@@ -1,0 +1,200 @@
+// Command lifting-sim regenerates the tables and figures of the LiFTinG
+// paper (Guerraoui et al., Middleware 2010) from the reproduction library.
+//
+// Usage:
+//
+//	lifting-sim [flags] <experiment>
+//
+// Experiments: fig1, fig10, fig11, fig12, fig13, fig14, eq7, table3,
+// table5, ablate, all. See EXPERIMENTS.md for the mapping to the paper and the
+// expected shapes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"lifting/internal/analysis"
+	"lifting/internal/experiment"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("lifting-sim", flag.ContinueOnError)
+	var (
+		n        = fs.Int("n", 0, "override system size (0 = experiment default)")
+		seed     = fs.Uint64("seed", 0, "override random seed (0 = experiment default)")
+		duration = fs.Duration("duration", 0, "override streamed duration (cluster experiments)")
+		pdcc     = fs.Float64("pdcc", -1, "override pdcc (fig14; -1 = default)")
+		periods  = fs.Int("periods", 0, "override score periods r (fig11/fig12)")
+		delta    = fs.Float64("delta", -1, "override degree of freeriding (fig11; -1 = default 0.1)")
+		noComp   = fs.Bool("no-compensation", false, "ablation: disable wrongful-blame compensation (fig10/fig11)")
+		quick    = fs.Bool("quick", false, "shrink paper-scale experiments for a fast pass")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: lifting-sim [flags] <fig1|fig10|fig11|fig12|fig13|fig14|eq7|ablate|table3|table5|all>\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return 2
+	}
+	name := strings.ToLower(fs.Arg(0))
+
+	scoreCfg := func() experiment.ScoreConfig {
+		cfg := experiment.DefaultScoreConfig()
+		if *quick {
+			cfg.N = 2000
+			cfg.Freeriders = 200
+		}
+		if *n > 0 {
+			cfg.N = *n
+			cfg.Freeriders = *n / 10
+		}
+		if *seed > 0 {
+			cfg.Seed = *seed
+		}
+		if *periods > 0 {
+			cfg.Periods = *periods
+		}
+		if *delta >= 0 {
+			cfg.Delta = analysis.Uniform(*delta)
+		}
+		cfg.NoCompensation = *noComp
+		return cfg
+	}
+	plCfg := func() experiment.PlanetLabConfig {
+		p := experiment.DefaultPlanetLabConfig()
+		if *quick {
+			p.N = 100
+			p.Duration = 20 * time.Second
+		}
+		if *n > 0 {
+			p.N = *n
+		}
+		if *seed > 0 {
+			p.Seed = *seed
+		}
+		if *duration > 0 {
+			p.Duration = *duration
+		}
+		if *pdcc >= 0 {
+			p.Pdcc = *pdcc
+		}
+		return p
+	}
+
+	runOne := func(which string) bool {
+		start := time.Now()
+		switch which {
+		case "fig1":
+			p := plCfg()
+			if p.Duration == experiment.DefaultPlanetLabConfig().Duration && *duration == 0 {
+				p.Duration = 45 * time.Second
+			}
+			var lags []time.Duration
+			for s := 0; s <= int(p.Duration/time.Second); s += 5 {
+				lags = append(lags, time.Duration(s)*time.Second)
+			}
+			for _, sc := range []experiment.Fig1Scenario{
+				experiment.Fig1NoFreeriders,
+				experiment.Fig1Freeriders,
+				experiment.Fig1FreeridersLiFTinG,
+			} {
+				tab, _ := experiment.Fig1(p, sc, lags)
+				tab.Render(os.Stdout)
+			}
+		case "fig10":
+			tab, _ := experiment.Fig10(scoreCfg())
+			tab.Render(os.Stdout)
+		case "fig11":
+			tab, _ := experiment.Fig11(scoreCfg())
+			tab.Render(os.Stdout)
+		case "fig12":
+			samples := 4000
+			if *quick {
+				samples = 1000
+			}
+			tab, _ := experiment.Fig12(scoreCfg(), nil, samples)
+			tab.Render(os.Stdout)
+		case "fig13":
+			cfg := experiment.DefaultEntropyConfig()
+			if *quick {
+				cfg.N = 2000
+				cfg.SampleNodes = 500
+			}
+			if *n > 0 {
+				cfg.N = *n
+			}
+			if *seed > 0 {
+				cfg.Seed = *seed
+			}
+			tab, _ := experiment.Fig13(cfg)
+			tab.Render(os.Stdout)
+		case "fig14":
+			p := plCfg()
+			for _, pd := range fig14Pdccs(*pdcc) {
+				p.Pdcc = pd
+				tab, _ := experiment.Fig14(p, nil)
+				tab.Render(os.Stdout)
+			}
+		case "eq7":
+			experiment.Eq7(8.95, 600, nil).Render(os.Stdout)
+		case "ablate":
+			cfg := experiment.DefaultAblationConfig()
+			if *quick {
+				cfg.ScoreN = 500
+				cfg.ClusterN = 50
+				cfg.Duration = 8 * time.Second
+			}
+			if *seed > 0 {
+				cfg.Seed = *seed
+			}
+			experiment.Ablations(cfg).Render(os.Stdout)
+		case "table3":
+			experiment.Table3(plCfg(), nil).Render(os.Stdout)
+		case "table5":
+			experiment.Table5(plCfg(), nil, nil).Render(os.Stdout)
+		default:
+			return false
+		}
+		fmt.Printf("(%s finished in %v)\n\n", which, time.Since(start).Round(time.Millisecond))
+		return true
+	}
+
+	if name == "all" {
+		for _, which := range []string{
+			"fig10", "fig11", "fig12", "fig13", "eq7", "ablate",
+			"table3", "table5", "fig14", "fig1",
+		} {
+			if !runOne(which) {
+				fmt.Fprintf(os.Stderr, "lifting-sim: internal error running %s\n", which)
+				return 1
+			}
+		}
+		return 0
+	}
+	if !runOne(name) {
+		fmt.Fprintf(os.Stderr, "lifting-sim: unknown experiment %q\n", name)
+		fs.Usage()
+		return 2
+	}
+	return 0
+}
+
+// fig14Pdccs returns the pdcc values to sweep: the paper shows 1 and 0.5.
+func fig14Pdccs(override float64) []float64 {
+	if override >= 0 {
+		return []float64{override}
+	}
+	return []float64{1, 0.5}
+}

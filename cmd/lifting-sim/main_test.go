@@ -1,0 +1,38 @@
+package main
+
+import "testing"
+
+func TestRunFastExperiments(t *testing.T) {
+	// The analytic experiments complete in milliseconds; run them for real.
+	for _, args := range [][]string{
+		{"eq7"},
+		{"-quick", "fig10"},
+		{"-quick", "-periods", "10", "fig11"},
+		{"-quick", "-n", "500", "fig13"},
+	} {
+		if code := run(args); code != 0 {
+			t.Fatalf("run(%v) = %d, want 0", args, code)
+		}
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	if code := run([]string{"no-such-experiment"}); code == 0 {
+		t.Fatal("unknown experiment accepted")
+	}
+	if code := run([]string{}); code == 0 {
+		t.Fatal("missing experiment accepted")
+	}
+	if code := run([]string{"-bogus-flag", "fig10"}); code == 0 {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunOverrides(t *testing.T) {
+	if code := run([]string{"-seed", "9", "-delta", "0.2", "-periods", "5", "-n", "400", "fig11"}); code != 0 {
+		t.Fatal("overrides rejected")
+	}
+	if code := run([]string{"-no-compensation", "-n", "300", "-periods", "3", "fig11"}); code != 0 {
+		t.Fatal("ablation flag rejected")
+	}
+}

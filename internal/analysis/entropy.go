@@ -1,0 +1,90 @@
+package analysis
+
+import "math"
+
+// CollusionEntropy returns the fanout-history entropy of a freerider that
+// picks a coalition member with probability pm and an honest node otherwise,
+// both classes uniformly (the entropy-maximizing strategy of §6.3.2):
+//
+//	H = −pm·log2(pm/m′) − (1−pm)·log2((1−pm)/(nh·f − m′))
+//
+// where m′ is the coalition size and nh·f the history length. This is the
+// right-hand side of Equation 7.
+func CollusionEntropy(pm float64, coalition, historyLen int) float64 {
+	m := float64(coalition)
+	hl := float64(historyLen)
+	if m <= 0 || hl <= m {
+		return math.NaN()
+	}
+	var h float64
+	if pm > 0 {
+		h -= pm * math.Log2(pm/m)
+	}
+	if pm < 1 {
+		h -= (1 - pm) * math.Log2((1-pm)/(hl-m))
+	}
+	return h
+}
+
+// MaxCollusionBias numerically inverts Equation 7: it returns p*m, the
+// largest probability of serving coalition partners that keeps the fanout
+// entropy at or above the threshold γ, for a coalition of the given size and
+// a history of historyLen = nh·f entries.
+//
+// The paper's worked example: γ = 8.95, coalition 26 (a freerider colluding
+// with 25 others), nh·f = 600 gives p*m ≈ 0.21 — a freerider can direct 21%
+// of its pushes at its coalition without being detected.
+//
+// CollusionEntropy(pm) is strictly decreasing for pm above the uniform point
+// m′/(nh·f), so bisection on [m′/(nh·f), 1] finds the crossing. If even
+// pm = 1 stays above γ (tiny γ) the function returns 1; if the entropy is
+// below γ already at the uniform point it returns the uniform point (no
+// extra bias is safe).
+func MaxCollusionBias(gamma float64, coalition, historyLen int) float64 {
+	uniform := float64(coalition) / float64(historyLen)
+	if CollusionEntropy(1, coalition, historyLen) >= gamma {
+		return 1
+	}
+	if CollusionEntropy(uniform, coalition, historyLen) < gamma {
+		return uniform
+	}
+	lo, hi := uniform, 1.0
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if CollusionEntropy(mid, coalition, historyLen) >= gamma {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// ExpectedHonestEntropy approximates the expected entropy of an honest
+// node's history of historyLen uniform draws over n−1 possible partners.
+// For k draws over N outcomes with k ≪ N the expected entropy is close to
+// log2(k) minus a birthday-collision correction: collisions replace two
+// singletons (2/k mass each as separate entries) with one doubleton.
+// The exact expectation uses the binomial occupancy distribution; this
+// second-order approximation is enough to position γ relative to the
+// simulated entropy distribution (Figure 13: 9.11–9.21 for k = 600,
+// n = 10000, max 9.23).
+func ExpectedHonestEntropy(historyLen, n int) float64 {
+	k := float64(historyLen)
+	numPartners := float64(n - 1)
+	if k <= 1 || numPartners <= 1 {
+		return 0
+	}
+	// Expected number of colliding pairs: C(k,2)/N.
+	pairs := k * (k - 1) / 2 / numPartners
+	// Each pair collision reduces entropy from log2(k) by
+	// (2/k)·log2(2) = 2/k bits (two 1/k masses merge into one 2/k mass:
+	// ΔH = (2/k)log2(2/k) − 2·(1/k)log2(1/k) = −2/k · ... ) — net loss of
+	// 2/k bits per collision.
+	loss := pairs * 2 / k
+	h := math.Log2(k) - loss
+	if h < 0 {
+		return 0
+	}
+	return h
+}

@@ -1,0 +1,146 @@
+package analysis
+
+import (
+	"math"
+	"sort"
+)
+
+// §6.2 discusses the alternative to LiFTinG's absolute-threshold detection:
+// "the score distribution among the nodes is expected to be a mixture of
+// two components … likelihood maximization algorithms are traditionally
+// used to address decision problems". The paper rejects relative detection
+// because (i) freeriders can shift it by wrongfully blaming honest nodes
+// and (ii) newcomers' scores are not comparable — but it is the natural
+// baseline, so this file implements it: a two-component Gaussian mixture
+// fitted by EM, classifying each score by posterior odds.
+
+// Mixture is a two-component 1-D Gaussian mixture, components ordered so
+// that component 0 has the lower mean (the freerider mode).
+type Mixture struct {
+	Weight [2]float64
+	Mean   [2]float64
+	Std    [2]float64
+	// Iterations is the number of EM steps performed.
+	Iterations int
+}
+
+// FitMixture runs EM on the scores. It returns false when the data cannot
+// support two components (fewer than 4 points or zero variance).
+func FitMixture(scores []float64, maxIter int) (Mixture, bool) {
+	n := len(scores)
+	if n < 4 {
+		return Mixture{}, false
+	}
+	sorted := make([]float64, n)
+	copy(sorted, scores)
+	sort.Float64s(sorted)
+	if sorted[0] == sorted[n-1] {
+		return Mixture{}, false
+	}
+
+	// Initialize from the lower/upper quartiles.
+	var m Mixture
+	lo := sorted[:n/4+1]
+	hi := sorted[3*n/4:]
+	m.Mean[0] = meanOf(lo)
+	m.Mean[1] = meanOf(hi)
+	spread := stdOf(sorted, meanOf(sorted))
+	m.Std[0], m.Std[1] = spread/2+1e-9, spread/2+1e-9
+	m.Weight[0], m.Weight[1] = 0.5, 0.5
+
+	resp := make([]float64, n) // responsibility of component 0
+	for iter := 0; iter < maxIter; iter++ {
+		m.Iterations = iter + 1
+		// E-step.
+		for i, x := range scores {
+			p0 := m.Weight[0] * gauss(x, m.Mean[0], m.Std[0])
+			p1 := m.Weight[1] * gauss(x, m.Mean[1], m.Std[1])
+			if p0+p1 <= 0 {
+				resp[i] = 0.5
+				continue
+			}
+			resp[i] = p0 / (p0 + p1)
+		}
+		// M-step.
+		var w0, s0, s1, q0, q1 float64
+		for i, x := range scores {
+			w0 += resp[i]
+			s0 += resp[i] * x
+			s1 += (1 - resp[i]) * x
+		}
+		w1 := float64(n) - w0
+		if w0 < 1e-9 || w1 < 1e-9 {
+			break // collapsed to one component
+		}
+		newMean0 := s0 / w0
+		newMean1 := s1 / w1
+		for i, x := range scores {
+			q0 += resp[i] * (x - newMean0) * (x - newMean0)
+			q1 += (1 - resp[i]) * (x - newMean1) * (x - newMean1)
+		}
+		delta := math.Abs(newMean0-m.Mean[0]) + math.Abs(newMean1-m.Mean[1])
+		m.Mean[0], m.Mean[1] = newMean0, newMean1
+		m.Std[0] = math.Sqrt(q0/w0) + 1e-9
+		m.Std[1] = math.Sqrt(q1/w1) + 1e-9
+		m.Weight[0] = w0 / float64(n)
+		m.Weight[1] = w1 / float64(n)
+		if delta < 1e-9 {
+			break
+		}
+	}
+	if m.Mean[0] > m.Mean[1] {
+		m.Mean[0], m.Mean[1] = m.Mean[1], m.Mean[0]
+		m.Std[0], m.Std[1] = m.Std[1], m.Std[0]
+		m.Weight[0], m.Weight[1] = m.Weight[1], m.Weight[0]
+	}
+	return m, true
+}
+
+// Posterior returns the probability that score x belongs to the lower
+// (freerider) component.
+func (m Mixture) Posterior(x float64) float64 {
+	p0 := m.Weight[0] * gauss(x, m.Mean[0], m.Std[0])
+	p1 := m.Weight[1] * gauss(x, m.Mean[1], m.Std[1])
+	if p0+p1 <= 0 {
+		return 0.5
+	}
+	return p0 / (p0 + p1)
+}
+
+// Classify flags x as a freerider when the posterior odds favour the lower
+// component.
+func (m Mixture) Classify(x float64) bool { return m.Posterior(x) > 0.5 }
+
+// Separation reports how far apart the modes are, in pooled standard
+// deviations — the visual "gap" of Figure 11a.
+func (m Mixture) Separation() float64 {
+	pooled := (m.Std[0] + m.Std[1]) / 2
+	if pooled <= 0 {
+		return 0
+	}
+	return (m.Mean[1] - m.Mean[0]) / pooled
+}
+
+func gauss(x, mean, std float64) float64 {
+	if std <= 0 {
+		return 0
+	}
+	z := (x - mean) / std
+	return math.Exp(-z*z/2) / (std * math.Sqrt(2*math.Pi))
+}
+
+func meanOf(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func stdOf(xs []float64, mean float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += (x - mean) * (x - mean)
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}

@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func synthScores(nHonest, nRiders int, gap float64, seed uint64) (scores []float64, isRider []bool) {
+	r := rand.New(rand.NewPCG(seed, seed))
+	for i := 0; i < nHonest; i++ {
+		scores = append(scores, r.NormFloat64()*3)
+		isRider = append(isRider, false)
+	}
+	for i := 0; i < nRiders; i++ {
+		scores = append(scores, -gap+r.NormFloat64()*3)
+		isRider = append(isRider, true)
+	}
+	return scores, isRider
+}
+
+func TestFitMixtureSeparatesModes(t *testing.T) {
+	scores, isRider := synthScores(900, 100, 25, 1)
+	m, ok := FitMixture(scores, 100)
+	if !ok {
+		t.Fatal("fit failed")
+	}
+	if math.Abs(m.Mean[0]-(-25)) > 2 {
+		t.Fatalf("freerider mode mean = %v, want ≈ -25", m.Mean[0])
+	}
+	if math.Abs(m.Mean[1]) > 2 {
+		t.Fatalf("honest mode mean = %v, want ≈ 0", m.Mean[1])
+	}
+	if math.Abs(m.Weight[0]-0.1) > 0.03 {
+		t.Fatalf("freerider weight = %v, want ≈ 0.1", m.Weight[0])
+	}
+	// Classification quality on a clean gap: near-perfect.
+	correct := 0
+	for i, s := range scores {
+		if m.Classify(s) == isRider[i] {
+			correct++
+		}
+	}
+	if frac := float64(correct) / float64(len(scores)); frac < 0.99 {
+		t.Fatalf("mixture classification accuracy = %v", frac)
+	}
+	if m.Separation() < 4 {
+		t.Fatalf("separation = %v, want a wide gap", m.Separation())
+	}
+}
+
+func TestFitMixtureDegenerateInputs(t *testing.T) {
+	if _, ok := FitMixture([]float64{1, 2}, 10); ok {
+		t.Fatal("fit accepted fewer than 4 points")
+	}
+	if _, ok := FitMixture([]float64{5, 5, 5, 5, 5}, 10); ok {
+		t.Fatal("fit accepted zero-variance data")
+	}
+}
+
+func TestMixtureOrdering(t *testing.T) {
+	scores, _ := synthScores(100, 400, 30, 3) // majority are the LOW mode
+	m, ok := FitMixture(scores, 100)
+	if !ok {
+		t.Fatal("fit failed")
+	}
+	if m.Mean[0] >= m.Mean[1] {
+		t.Fatalf("components not ordered: %v >= %v", m.Mean[0], m.Mean[1])
+	}
+}
+
+func TestPosteriorMonotone(t *testing.T) {
+	scores, _ := synthScores(500, 100, 20, 5)
+	m, ok := FitMixture(scores, 100)
+	if !ok {
+		t.Fatal("fit failed")
+	}
+	prev := 1.1
+	for x := -30.0; x <= 10; x += 2 {
+		p := m.Posterior(x)
+		if p > prev+0.02 {
+			t.Fatalf("posterior not decreasing in score at %v", x)
+		}
+		prev = p
+	}
+}
+
+// TestMixtureVulnerableToShifting demonstrates why the paper rejects
+// relative (mixture-based) detection (§6.2): if freeriders wrongfully blame
+// honest nodes and shift the whole distribution, the mixture detector's
+// boundary shifts with it, while LiFTinG's absolute threshold η does not.
+func TestMixtureVulnerableToShifting(t *testing.T) {
+	scores, isRider := synthScores(900, 100, 25, 7)
+	shift := -40.0 // a coordinated wrongful-blame campaign
+	shifted := make([]float64, len(scores))
+	for i, s := range scores {
+		shifted[i] = s + shift
+	}
+	m, ok := FitMixture(shifted, 100)
+	if !ok {
+		t.Fatal("fit failed")
+	}
+	// The mixture still flags the same relative population…
+	flagged := 0
+	for i, s := range shifted {
+		if m.Classify(s) && isRider[i] {
+			flagged++
+		}
+	}
+	if flagged < 95 {
+		t.Fatalf("mixture lost the freeriders after the shift: %d/100", flagged)
+	}
+	// …but an absolute threshold now condemns everyone — including honest
+	// nodes — which is the attack channel: freeriders can weaponize either
+	// detector, absolute by shifting others, relative by shifting
+	// themselves. LiFTinG chooses absolute + the assumption that freeriders
+	// do not wrongfully accuse (§2), making the shift irrational.
+	eta := -9.75
+	honestBelow := 0
+	for i, s := range shifted {
+		if !isRider[i] && s < eta {
+			honestBelow++
+		}
+	}
+	if honestBelow < 850 {
+		t.Fatalf("expected the shifted distribution to drown honest nodes below η, got %d", honestBelow)
+	}
+}

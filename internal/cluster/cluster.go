@@ -1,0 +1,528 @@
+// Package cluster assembles complete simulated LiFTinG systems: gossip
+// nodes with their verifiers, the reputation substrate, freerider behaviors,
+// a stream source and playout tracking — everything the experiments,
+// integration tests and examples need to run end-to-end scenarios under the
+// discrete-event engine.
+package cluster
+
+import (
+	"sort"
+	"time"
+
+	"lifting/internal/analysis"
+	"lifting/internal/core"
+	"lifting/internal/gossip"
+	"lifting/internal/membership"
+	"lifting/internal/metrics"
+	"lifting/internal/msg"
+	"lifting/internal/net"
+	"lifting/internal/reputation"
+	"lifting/internal/rng"
+	"lifting/internal/sim"
+	"lifting/internal/stats"
+	"lifting/internal/stream"
+)
+
+// BlameMode selects how blames reach the scores.
+type BlameMode int
+
+// Blame routing modes.
+const (
+	// BlameDirect applies blames straight onto a shared board — the
+	// idealized reputation used by the large-scale score experiments
+	// (equivalent to min-vote over loss-free managers).
+	BlameDirect BlameMode = iota + 1
+	// BlameMessages routes blames as messages to each target's M managers,
+	// as deployed on PlanetLab (§7).
+	BlameMessages
+)
+
+// Options configures a cluster.
+type Options struct {
+	// N is the number of nodes (ids 0..N-1; node 0 is the stream source
+	// and is always honest).
+	N int
+	// Seed roots all randomness.
+	Seed uint64
+	// Gossip is the dissemination configuration.
+	Gossip gossip.Config
+	// Core is LiFTinG's configuration. Used when LiFTinG is enabled.
+	Core core.Config
+	// Rep configures the reputation substrate. If Rep.Compensation is 0 it
+	// is derived from ExpectedLoss via the analysis (Equation 5, scaled by
+	// Pdcc-dependent terms are left to the caller).
+	Rep reputation.Config
+	// Stream describes the broadcast content.
+	Stream stream.Config
+	// NetDefaults is the default connection quality.
+	NetDefaults net.Conditions
+	// ConditionsFor, if non-nil, overrides per-node conditions (the
+	// PlanetLab heterogeneity of §7).
+	ConditionsFor func(id msg.NodeID) (net.Conditions, bool)
+	// LiFTinG enables the verification machinery.
+	LiFTinG bool
+	// BlameMode defaults to BlameDirect.
+	BlameMode BlameMode
+	// BehaviorFor, if non-nil, supplies per-node behaviors (freeriders).
+	// Returning nil means honest. Node 0 (the source) is always honest.
+	BehaviorFor func(id msg.NodeID, dir *membership.Directory, rand *rng.Stream) gossip.Behavior
+	// ExpelOnDetection removes nodes whose score crosses η (or who fail an
+	// audit): they are stopped, marked down, and leave the membership.
+	ExpelOnDetection bool
+	// ExpectedLoss is the pl used for compensation (defaults to
+	// NetDefaults' effective loss).
+	ExpectedLoss float64
+	// ExpectedR is the |R| used for compensation (defaults to
+	// Gossip.MaxRequest, else 4).
+	ExpectedR int
+	// TrackPlayout enables per-node playout recording for health curves.
+	TrackPlayout bool
+	// OnBlame, if non-nil, observes every blame emission (diagnostics and
+	// per-reason accounting in experiments). Only effective in direct mode.
+	OnBlame func(target msg.NodeID, value float64, reason msg.BlameReason)
+}
+
+// Cluster is an assembled system.
+type Cluster struct {
+	Opts      Options
+	Engine    *sim.Engine
+	Net       *net.SimNet
+	Dir       *membership.Directory
+	Collector *metrics.Collector
+	Nodes     map[msg.NodeID]*gossip.Node
+	Verifiers map[msg.NodeID]*core.Verifier
+	Managers  map[msg.NodeID]*reputation.Manager
+	Board     *reputation.Board // direct mode; nil in message mode
+	Playouts  map[msg.NodeID]*stream.Playout
+	// Expelled records when each node was expelled (virtual time).
+	Expelled map[msg.NodeID]time.Duration
+	// Freeriders records which nodes got a non-honest behavior.
+	Freeriders map[msg.NodeID]bool
+
+	root    *rng.Stream
+	auditor *core.Auditor
+	period  msg.Period
+	clients []*reputation.Client // message-mode blame clients, flushed per period
+}
+
+// auxChain fans a message out to handlers until one claims it.
+type auxChain []gossip.AuxHandler
+
+func (c auxChain) HandleAux(from msg.NodeID, m msg.Message) bool {
+	for _, h := range c {
+		if h != nil && h.HandleAux(from, m) {
+			return true
+		}
+	}
+	return false
+}
+
+// managerAux adapts a reputation.Manager to gossip.AuxHandler.
+type managerAux struct{ m *reputation.Manager }
+
+func (a managerAux) HandleAux(from msg.NodeID, mm msg.Message) bool {
+	return a.m.HandleMessage(from, mm)
+}
+
+// boardSink adapts a reputation.Board to core.BlameSink.
+type boardSink struct {
+	b  *reputation.Board
+	on func(target msg.NodeID, value float64, reason msg.BlameReason)
+}
+
+func (s boardSink) Blame(target msg.NodeID, value float64, reason msg.BlameReason) {
+	s.b.AddBlame(target, value)
+	if s.on != nil {
+		s.on(target, value, reason)
+	}
+}
+
+// auditorProxy routes audit responses to the cluster's auditor once it
+// exists (the auditor is created lazily, after the nodes).
+type auditorProxy struct{ c *Cluster }
+
+func (p auditorProxy) HandleAux(from msg.NodeID, m msg.Message) bool {
+	if p.c.auditor == nil {
+		return false
+	}
+	return p.c.auditor.HandleAux(from, m)
+}
+
+// New assembles a cluster. It panics on invalid configuration (experiments
+// are code, not user input).
+func New(opts Options) *Cluster {
+	if opts.N < 2 {
+		panic("cluster: need at least 2 nodes")
+	}
+	if opts.BlameMode == 0 {
+		opts.BlameMode = BlameDirect
+	}
+	if opts.ExpectedR == 0 {
+		if opts.Gossip.MaxRequest > 0 {
+			opts.ExpectedR = opts.Gossip.MaxRequest
+		} else {
+			opts.ExpectedR = 4
+		}
+	}
+	if opts.ExpectedLoss == 0 {
+		d := opts.NetDefaults
+		opts.ExpectedLoss = 1 - (1-d.LossIn)*(1-d.LossOut)
+	}
+	if opts.Rep.Compensation == 0 && opts.LiFTinG {
+		opts.Rep.Compensation = CompensationFor(opts.ExpectedLoss, opts.Gossip.F, opts.ExpectedR, opts.Core.Pdcc)
+	}
+	if opts.Core.Population == 0 {
+		opts.Core.Population = opts.N
+	}
+	if opts.ExpelOnDetection && opts.Rep.GracePeriods == 0 {
+		// Young scores are noisy (σ(s) ∝ 1/√r); don't act on them.
+		opts.Rep.GracePeriods = 8
+	}
+
+	c := &Cluster{
+		Opts:       opts,
+		Engine:     sim.NewEngine(),
+		Dir:        membership.Sequential(opts.N),
+		Collector:  metrics.NewCollector(),
+		Nodes:      make(map[msg.NodeID]*gossip.Node, opts.N),
+		Verifiers:  make(map[msg.NodeID]*core.Verifier, opts.N),
+		Managers:   make(map[msg.NodeID]*reputation.Manager, opts.N),
+		Playouts:   make(map[msg.NodeID]*stream.Playout, opts.N),
+		Expelled:   make(map[msg.NodeID]time.Duration),
+		Freeriders: make(map[msg.NodeID]bool),
+		root:       rng.New(opts.Seed),
+	}
+	c.Net = net.NewSimNet(c.Engine, c.root.Derive("net"), c.Collector, opts.NetDefaults)
+
+	if opts.BlameMode == BlameDirect {
+		c.Board = reputation.NewBoard(opts.Rep.Compensation)
+	}
+	repCfg := opts.Rep
+	repCfg.OnExpel = func(target msg.NodeID, reason msg.BlameReason) { c.expel(target) }
+
+	for i := 0; i < opts.N; i++ {
+		id := msg.NodeID(i)
+		nodeRand := c.root.ForNode(uint32(i))
+
+		var behavior gossip.Behavior
+		if opts.BehaviorFor != nil && id != 0 {
+			behavior = opts.BehaviorFor(id, c.Dir, nodeRand.Derive("behavior"))
+		}
+		if behavior == nil {
+			behavior = gossip.Honest{}
+		} else {
+			c.Freeriders[id] = true
+		}
+
+		gcfg := opts.Gossip
+		gcfg.StartOffset = time.Duration(nodeRand.Derive("offset").Float64() * float64(gcfg.Period))
+
+		deps := gossip.Deps{
+			Ctx:      c.Engine,
+			Net:      c.Net,
+			Dir:      c.Dir,
+			Rand:     nodeRand.Derive("gossip"),
+			Behavior: behavior,
+		}
+
+		if opts.TrackPlayout {
+			p := stream.NewPlayout(opts.Stream)
+			c.Playouts[id] = p
+			deps.OnChunk = func(ch msg.ChunkID, at time.Duration) { p.Received(ch, at) }
+		}
+
+		var aux auxChain
+		if opts.LiFTinG {
+			var sink core.BlameSink
+			if opts.BlameMode == BlameDirect {
+				sink = boardSink{b: c.Board, on: opts.OnBlame}
+			} else {
+				client := reputation.NewClient(id, repCfg, c.Net, c.Dir)
+				c.clients = append(c.clients, client)
+				sink = client
+			}
+			node := gossip.NewNode(id, gcfg, deps) // create first to share its history
+			v := core.NewVerifier(id, opts.Core, c.Engine, c.Net, nodeRand.Derive("verify"), node.History(), behavior, sink)
+			c.Verifiers[id] = v
+			aux = append(aux, v)
+			if opts.BlameMode == BlameMessages {
+				mgr := reputation.NewManager(id, repCfg, c.Net, c.Dir)
+				c.Managers[id] = mgr
+				aux = append(aux, managerAux{mgr})
+			}
+			if id == 0 {
+				aux = append(aux, auditorProxy{c})
+			}
+			deps.Monitor = v
+			deps.Aux = aux
+			deps.History = node.History()
+			// Rebuild the node with the full wiring (cheap; state empty).
+			node = gossip.NewNode(id, gcfg, deps)
+			c.Nodes[id] = node
+			c.Net.Attach(id, node)
+			continue
+		}
+
+		node := gossip.NewNode(id, gcfg, deps)
+		c.Nodes[id] = node
+		c.Net.Attach(id, node)
+	}
+
+	if cf := opts.ConditionsFor; cf != nil {
+		for i := 0; i < opts.N; i++ {
+			if cond, ok := cf(msg.NodeID(i)); ok {
+				c.Net.SetConditions(msg.NodeID(i), cond)
+			}
+		}
+	}
+
+	// Pre-register every node with the scorekeepers at period 0 so r counts
+	// time in the system, not time since first blame.
+	if opts.LiFTinG {
+		switch opts.BlameMode {
+		case BlameDirect:
+			for i := 0; i < opts.N; i++ {
+				c.Board.Join(msg.NodeID(i))
+			}
+		case BlameMessages:
+			for i := 0; i < opts.N; i++ {
+				target := msg.NodeID(i)
+				for _, m := range c.Dir.Managers(target, opts.Rep.M) {
+					if mgr, ok := c.Managers[m]; ok {
+						mgr.Track(target, 0)
+					}
+				}
+			}
+		}
+	}
+
+	return c
+}
+
+// CompensationFor returns the per-period compensation b̃ for the given loss,
+// fanout, |R| and pdcc. Direct-verification wrongful blames and the
+// broken-chain blame (the (a)-term of Equation 3) accrue always; witness
+// blames only accrue when the verifier polls, i.e. a fraction pdcc of the
+// time (§6.2 analyzes pdcc = 1, where this reduces to Equation 5).
+func CompensationFor(loss float64, f, r int, pdcc float64) float64 {
+	p := analysis.Params{F: f, R: r, Loss: loss}
+	return p.DirectVerificationBlame() + p.CrossCheckBlameChain() + pdcc*p.CrossCheckBlameWitness()
+}
+
+// Calibration is the result of an honest pilot run: the empirical wrongful
+// blame rate and its spread. The analysis's b̃ (Equation 5) assumes the
+// saturated workload of §6.2 — every node receiving f proposals per period,
+// each answered by an |R|-chunk request. A real chunk workload is lighter
+// (each chunk is served to each node once), so deployments estimate b̃ from
+// observed traffic; Calibrate plays that role here.
+type Calibration struct {
+	// Compensation is the measured mean wrongful blame per node per period
+	// (the empirical b̃).
+	Compensation float64
+	// ScoreStd is the standard deviation of the resulting normalized
+	// honest scores; η is typically set at a few multiples of it (the
+	// paper's η = −9.75 is ≈ 2.7·σ(s) at its parameters).
+	ScoreStd float64
+	// Scores is the empirical distribution of honest pilot scores (with
+	// Compensation applied). Under heterogeneous connectivity it has a
+	// poor-node tail; thresholds are best placed by quantile (the paper's
+	// η flags ≈12% of honest nodes, almost all from that tail, §7.3).
+	Scores *stats.ECDF
+	// Periods is the pilot length used.
+	Periods int
+}
+
+// Calibrate runs an all-honest pilot with the given options and returns the
+// empirical compensation and honest score spread. The pilot ignores
+// BehaviorFor, expulsion and playout tracking, and discards the first 25%
+// of the run as warmup (the dissemination ramp-up produces atypical blame).
+func Calibrate(opts Options, duration time.Duration) Calibration {
+	pilot := opts
+	pilot.BehaviorFor = nil
+	pilot.ExpelOnDetection = false
+	pilot.TrackPlayout = false
+	pilot.BlameMode = BlameDirect
+	pilot.OnBlame = nil
+	pilot.Seed = opts.Seed ^ 0x5afec0de
+	c := New(pilot)
+	c.Start()
+	c.StartStream(duration)
+
+	warmup := duration / 4
+	c.Run(warmup)
+	warmupPeriod := int(c.Board.Period())
+	atWarmup := make(map[msg.NodeID]float64, pilot.N)
+	for i := 1; i < pilot.N; i++ {
+		atWarmup[msg.NodeID(i)] = c.Board.TotalBlame(msg.NodeID(i))
+	}
+	c.Run(duration + pilot.Gossip.Period)
+
+	periods := int(c.Board.Period()) - warmupPeriod
+	if periods < 1 {
+		periods = 1
+	}
+	var blame stats.Moments
+	rates := make([]float64, 0, pilot.N-1)
+	for i := 1; i < pilot.N; i++ { // skip the source: it never requests
+		rate := (c.Board.TotalBlame(msg.NodeID(i)) - atWarmup[msg.NodeID(i)]) / float64(periods)
+		blame.Add(rate)
+		rates = append(rates, rate)
+	}
+	// With compensation set to the measured mean, s = comp − total/r, so
+	// σ(s) equals the spread of per-period blame rates.
+	scores := make([]float64, len(rates))
+	for i, r := range rates {
+		scores[i] = blame.Mean() - r
+	}
+	return Calibration{
+		Compensation: blame.Mean(),
+		ScoreStd:     blame.Std(),
+		Scores:       stats.NewECDF(scores),
+		Periods:      periods,
+	}
+}
+
+// Start launches every node (in id order, for reproducibility).
+func (c *Cluster) Start() {
+	for i := 0; i < c.Opts.N; i++ {
+		c.Nodes[msg.NodeID(i)].Start()
+	}
+	c.scheduleTick(1)
+}
+
+// scheduleTick advances the score period every Tg.
+func (c *Cluster) scheduleTick(p msg.Period) {
+	c.Engine.After(c.Opts.Gossip.Period, func() {
+		c.period = p
+		if c.Board != nil {
+			c.Board.SetPeriod(p)
+			if c.Opts.ExpelOnDetection {
+				c.detectOnBoard()
+			}
+		}
+		flushEvery := msg.Period(c.Opts.Rep.FlushEvery)
+		if flushEvery < 1 {
+			flushEvery = 1
+		}
+		if p%flushEvery == 0 {
+			for _, client := range c.clients {
+				client.Flush()
+			}
+		}
+		for i := 0; i < c.Opts.N; i++ {
+			if m, ok := c.Managers[msg.NodeID(i)]; ok {
+				m.Tick(p)
+			}
+		}
+		c.scheduleTick(p + 1)
+	})
+}
+
+// detectOnBoard expels nodes whose board score crossed η.
+func (c *Cluster) detectOnBoard() {
+	var toExpel []msg.NodeID
+	c.Board.Each(func(id msg.NodeID, e reputation.Entry) {
+		if e.Expelled || c.Board.Periods(id) < c.Opts.Rep.GracePeriods {
+			return
+		}
+		if c.Board.Score(id) < c.Opts.Rep.Eta {
+			toExpel = append(toExpel, id)
+		}
+	})
+	sort.Slice(toExpel, func(i, j int) bool { return toExpel[i] < toExpel[j] })
+	for _, id := range toExpel {
+		c.Board.MarkExpelled(id, msg.ReasonUnknown)
+		c.expel(id)
+	}
+}
+
+// expel removes a node from the running system.
+func (c *Cluster) expel(id msg.NodeID) {
+	if _, done := c.Expelled[id]; done {
+		return
+	}
+	c.Expelled[id] = c.Engine.Now()
+	if c.Opts.ExpelOnDetection {
+		c.Dir.Expel(id)
+		c.Net.SetDown(id, true)
+		if n, ok := c.Nodes[id]; ok {
+			n.Stop()
+		}
+	}
+}
+
+// StartStream schedules chunk injections at the source (node 0) for the
+// given duration.
+func (c *Cluster) StartStream(duration time.Duration) {
+	total := c.Opts.Stream.ChunksBy(duration)
+	source := c.Nodes[0]
+	for i := 0; i < total; i++ {
+		ch := msg.ChunkID(i)
+		at := c.Opts.Stream.GenTime(ch)
+		if at > duration {
+			break
+		}
+		c.Engine.After(at, func() { source.InjectChunk(ch) })
+		if p, ok := c.Playouts[0]; ok {
+			p.Received(ch, at)
+		}
+	}
+}
+
+// Run advances the simulation to the given virtual time.
+func (c *Cluster) Run(until time.Duration) { c.Engine.Run(until) }
+
+// Auditor lazily creates the system's auditor, hosted at the source node
+// (audits run sporadically from any node; one auditor keeps the experiments
+// deterministic). Its outcomes expel on verdict when ExpelOnDetection is
+// set.
+func (c *Cluster) Auditor(onOutcome func(core.AuditOutcome)) *core.Auditor {
+	if c.auditor != nil {
+		return c.auditor
+	}
+	var sink core.BlameSink
+	if c.Board != nil {
+		sink = boardSink{b: c.Board, on: c.Opts.OnBlame}
+	} else {
+		client := reputation.NewClient(0, c.Opts.Rep, c.Net, c.Dir)
+		c.clients = append(c.clients, client)
+		sink = client
+	}
+	c.auditor = core.NewAuditor(0, c.Opts.Core, c.Engine, c.Net, c.root.Derive("auditor"), sink,
+		func(out core.AuditOutcome) {
+			if out.Expel {
+				c.expel(out.Target)
+			}
+			if onOutcome != nil {
+				onOutcome(out)
+			}
+		})
+	return c.auditor
+}
+
+// Scores returns every node's current score: the board score in direct
+// mode, or the min-vote over manager copies in message mode.
+func (c *Cluster) Scores() map[msg.NodeID]float64 {
+	out := make(map[msg.NodeID]float64, c.Opts.N)
+	if c.Board != nil {
+		for i := 0; i < c.Opts.N; i++ {
+			out[msg.NodeID(i)] = c.Board.Score(msg.NodeID(i))
+		}
+		return out
+	}
+	for i := 0; i < c.Opts.N; i++ {
+		target := msg.NodeID(i)
+		var copies []float64
+		for _, m := range c.Dir.Managers(target, c.Opts.Rep.M) {
+			if mgr, ok := c.Managers[m]; ok && mgr.Board().Tracked(target) {
+				copies = append(copies, mgr.Board().Score(target))
+			}
+		}
+		score, _ := reputation.MinVoteScore(copies, nil)
+		out[target] = score
+	}
+	return out
+}
+
+// Period returns the current score period.
+func (c *Cluster) Period() msg.Period { return c.period }

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"lifting/internal/msg"
+	"lifting/internal/stats"
+)
+
+func auditCfg() Config {
+	return Config{
+		F:              12,
+		Period:         tg,
+		Pdcc:           1,
+		HistoryPeriods: 50,
+		Gamma:          8.95,
+		Eta:            -9.75,
+	}
+}
+
+func TestEntropyThresholdScaling(t *testing.T) {
+	// Full-size evidence uses γ unchanged.
+	if got := EntropyThreshold(8.95, 600, 600); got != 8.95 {
+		t.Fatalf("threshold at nominal size = %v, want 8.95", got)
+	}
+	if got := EntropyThreshold(8.95, 1000, 600); got != 8.95 {
+		t.Fatalf("threshold above nominal size = %v, want 8.95", got)
+	}
+	// Half-size evidence scales down in log-space.
+	half := EntropyThreshold(8.95, 300, 600)
+	want := 8.95 * math.Log2(300) / math.Log2(600)
+	if math.Abs(half-want) > 1e-12 {
+		t.Fatalf("scaled threshold = %v, want %v", half, want)
+	}
+	if half >= 8.95 {
+		t.Fatal("scaled threshold should be below γ")
+	}
+	// Degenerate sizes fall back to γ.
+	if got := EntropyThreshold(8.95, 1, 600); got != 8.95 {
+		t.Fatalf("degenerate size threshold = %v", got)
+	}
+}
+
+// uniformProposals builds a history of one proposal per period to distinct
+// partners (maximal entropy).
+func uniformProposals(n int) []msg.ProposalRecord {
+	out := make([]msg.ProposalRecord, n)
+	for i := range out {
+		out[i] = msg.ProposalRecord{
+			Period:  msg.Period(i / 12),
+			Partner: msg.NodeID(i + 1),
+			Chunks:  []msg.ChunkID{msg.ChunkID(i)},
+		}
+	}
+	return out
+}
+
+// biasedProposals concentrates all proposals on a small coalition.
+func biasedProposals(n, coalition int) []msg.ProposalRecord {
+	out := make([]msg.ProposalRecord, n)
+	for i := range out {
+		out[i] = msg.ProposalRecord{
+			Period:  msg.Period(i / 12),
+			Partner: msg.NodeID(i%coalition + 1),
+			Chunks:  []msg.ChunkID{msg.ChunkID(i)},
+		}
+	}
+	return out
+}
+
+func TestEvaluateFanoutHonestPasses(t *testing.T) {
+	// 600 distinct partners: entropy = log2(600) ≈ 9.23 > 8.95.
+	entropy, size, ok := EvaluateFanout(uniformProposals(600), auditCfg())
+	if !ok {
+		t.Fatalf("uniform fanout failed the audit: H=%v over %d", entropy, size)
+	}
+	if math.Abs(entropy-math.Log2(600)) > 1e-9 {
+		t.Fatalf("entropy = %v, want log2(600)", entropy)
+	}
+}
+
+func TestEvaluateFanoutColluderFails(t *testing.T) {
+	// All pushes at a 25-node coalition: entropy ≈ log2(25) ≈ 4.6 < 8.95.
+	entropy, _, ok := EvaluateFanout(biasedProposals(600, 25), auditCfg())
+	if ok {
+		t.Fatalf("coalition-concentrated fanout passed: H=%v", entropy)
+	}
+}
+
+func TestEvaluateFanoutSkipsTinyEvidence(t *testing.T) {
+	cfg := auditCfg()
+	_, _, ok := EvaluateFanout(uniformProposals(10), cfg)
+	if !ok {
+		t.Fatal("evidence below MinEntropySamples must not condemn")
+	}
+}
+
+func TestEvaluateFaninSeparates(t *testing.T) {
+	cfg := auditCfg()
+	honest := stats.NewMultiset[msg.NodeID]()
+	for i := 0; i < 600; i++ {
+		honest.Add(msg.NodeID(i))
+	}
+	if _, _, ok := EvaluateFanin(honest, cfg); !ok {
+		t.Fatal("diverse fanin failed")
+	}
+	colluded := stats.NewMultiset[msg.NodeID]()
+	for i := 0; i < 600; i++ {
+		colluded.Add(msg.NodeID(i % 20))
+	}
+	if _, _, ok := EvaluateFanin(colluded, cfg); ok {
+		t.Fatal("coalition fanin passed")
+	}
+}
+
+func TestEvaluateFaninSeparateGamma(t *testing.T) {
+	cfg := auditCfg()
+	cfg.GammaFanin = 2.0
+	skewed := stats.NewMultiset[msg.NodeID]()
+	for i := 0; i < 600; i++ {
+		skewed.Add(msg.NodeID(i % 30)) // H = log2(30) ≈ 4.9
+	}
+	if _, _, ok := EvaluateFanin(skewed, cfg); !ok {
+		t.Fatal("fanin failed despite relaxed GammaFanin")
+	}
+	if _, _, ok := EvaluateFanout(biasedProposals(600, 30), cfg); ok {
+		t.Fatal("fanout check must still use the strict Gamma")
+	}
+}
+
+func TestPeriodStretchBlame(t *testing.T) {
+	// 50 expected periods, 25 observed (a ×2 stretcher): blame 25.
+	if got := PeriodStretchBlame(25, 50, 0.8); got != 25 {
+		t.Fatalf("stretch blame = %v, want 25", got)
+	}
+	// Within slack: no blame.
+	if got := PeriodStretchBlame(45, 50, 0.8); got != 0 {
+		t.Fatalf("blame within slack = %v, want 0", got)
+	}
+	if got := PeriodStretchBlame(0, 0, 0.8); got != 0 {
+		t.Fatalf("no expectation should mean no blame, got %v", got)
+	}
+}
+
+func TestPopulationCapsNominal(t *testing.T) {
+	// In a 64-node system the nominal entropy size is 63, not nh·f.
+	cfg := auditCfg()
+	cfg.Population = 64
+	// 600 entries over 63 distinct partners: entropy ≈ log2(63) ≈ 5.98.
+	props := make([]msg.ProposalRecord, 600)
+	for i := range props {
+		props[i] = msg.ProposalRecord{Partner: msg.NodeID(i%63 + 1)}
+	}
+	cfg.Gamma = 5.9
+	if _, _, ok := EvaluateFanout(props, cfg); !ok {
+		t.Fatal("maximally diverse fanout in a small system failed the audit")
+	}
+}

@@ -1,0 +1,53 @@
+package core
+
+// Blame algebra: the values of Table 1 of the paper, as pure functions. The
+// values of different verifications are designed to be directly comparable
+// ("proportional to the number of invalid pushes") so they can be summed
+// into one score.
+
+// PartialServeBlame returns the blame emitted by a receiver against a server
+// that delivered served out of requested chunks: f·(|R|−|S|)/|R|. If nothing
+// was served this equals f — the same blame as not proposing at all.
+func PartialServeBlame(f, requested, served int) float64 {
+	if requested <= 0 || served >= requested {
+		return 0
+	}
+	if served < 0 {
+		served = 0
+	}
+	return float64(f) * float64(requested-served) / float64(requested)
+}
+
+// FanoutBlame returns the blame emitted by each verifier against a node that
+// acknowledged proposing to reported < f partners: f − f̂.
+func FanoutBlame(f, reported int) float64 {
+	if reported >= f {
+		return 0
+	}
+	if reported < 0 {
+		reported = 0
+	}
+	return float64(f - reported)
+}
+
+// NoAckBlame returns the blame for a missing or incomplete acknowledgement:
+// f, the same as an entirely invalid propose phase.
+func NoAckBlame(f int) float64 { return float64(f) }
+
+// ContradictionBlame returns the blame for contradictory (or missing)
+// confirm testimonies: 1 per invalid proposal, per Table 1.
+func ContradictionBlame(contradictions int) float64 {
+	if contradictions < 0 {
+		return 0
+	}
+	return float64(contradictions)
+}
+
+// UnconfirmedHistoryBlame returns the a-posteriori cross-checking blame: 1
+// per history proposal not acknowledged by its alleged receiver (§5.3).
+func UnconfirmedHistoryBlame(unconfirmed int) float64 {
+	if unconfirmed < 0 {
+		return 0
+	}
+	return float64(unconfirmed)
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPartialServeBlameTable1(t *testing.T) {
+	// Table 1: f·(|R|−|S|)/|R| from the receiver.
+	cases := []struct {
+		f, requested, served int
+		want                 float64
+	}{
+		{7, 4, 4, 0},             // everything served
+		{7, 4, 3, 7.0 / 4},       // one chunk short
+		{7, 4, 0, 7},             // nothing served: same as not proposing
+		{12, 4, 2, 6},            // half served
+		{7, 0, 0, 0},             // nothing requested
+		{7, 4, 5, 0},             // over-serving is not blamed
+		{7, 4, -1, 7},            // clamped
+		{12, 3, 1, 12.0 * 2 / 3}, // fractional
+	}
+	for i, c := range cases {
+		if got := PartialServeBlame(c.f, c.requested, c.served); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("case %d: PartialServeBlame(%d,%d,%d) = %v, want %v", i, c.f, c.requested, c.served, got, c.want)
+		}
+	}
+}
+
+func TestFanoutBlameTable1(t *testing.T) {
+	// Table 1: f − f̂ from each verifier.
+	if got := FanoutBlame(7, 5); got != 2 {
+		t.Fatalf("FanoutBlame(7,5) = %v, want 2", got)
+	}
+	if got := FanoutBlame(7, 7); got != 0 {
+		t.Fatalf("FanoutBlame(7,7) = %v, want 0", got)
+	}
+	if got := FanoutBlame(7, 9); got != 0 {
+		t.Fatalf("over-fanout should not be blamed, got %v", got)
+	}
+	if got := FanoutBlame(7, -1); got != 7 {
+		t.Fatalf("FanoutBlame(7,-1) = %v, want 7", got)
+	}
+}
+
+func TestNoAckBlame(t *testing.T) {
+	if got := NoAckBlame(7); got != 7 {
+		t.Fatalf("NoAckBlame(7) = %v, want 7 (Table 1: missing ack costs f)", got)
+	}
+}
+
+func TestContradictionAndUnconfirmed(t *testing.T) {
+	if got := ContradictionBlame(3); got != 3 {
+		t.Fatalf("ContradictionBlame(3) = %v, want 3 (1 per invalid proposal)", got)
+	}
+	if got := ContradictionBlame(-1); got != 0 {
+		t.Fatalf("negative contradictions should be 0, got %v", got)
+	}
+	if got := UnconfirmedHistoryBlame(5); got != 5 {
+		t.Fatalf("UnconfirmedHistoryBlame(5) = %v, want 5", got)
+	}
+	if got := UnconfirmedHistoryBlame(-2); got != 0 {
+		t.Fatalf("negative unconfirmed should be 0, got %v", got)
+	}
+}
+
+func TestBlameValuesComparableProperty(t *testing.T) {
+	// The paper's blames are "directly comparable": all non-negative and
+	// bounded by f for single interactions.
+	f := func(fanout uint8, requested, served uint8) bool {
+		fo := int(fanout%16) + 1
+		req := int(requested % 16)
+		srv := int(served % 16)
+		b := PartialServeBlame(fo, req, srv)
+		if b < 0 || b > float64(fo)+1e-12 {
+			return false
+		}
+		fb := FanoutBlame(fo, srv)
+		return fb >= 0 && fb <= float64(fo)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartialServeMonotoneProperty(t *testing.T) {
+	// Serving more never increases blame.
+	f := func(served1, served2 uint8) bool {
+		a, b := int(served1%10), int(served2%10)
+		if a > b {
+			a, b = b, a
+		}
+		return PartialServeBlame(7, 9, a) >= PartialServeBlame(7, 9, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,141 @@
+// Package core implements LiFTinG itself (§5 of the paper): the
+// verification procedures that coerce nodes into contributing their fair
+// share to the gossip dissemination protocol.
+//
+//   - Direct verification: requested chunks must be served (blame
+//     f·(|R|−|S|)/|R| from the receiver, Table 1).
+//   - Direct cross-checking: served chunks must be acknowledged and further
+//     proposed to f nodes within a gossip period; the verifier polls the
+//     claimed partners with probability pdcc (blames per Table 1).
+//   - Local history auditing: the entropy of a node's fanout and fanin
+//     histories must exceed γ, and history entries must be confirmed by
+//     their alleged receivers (a-posteriori cross-checking).
+//
+// The Verifier type attaches to a gossip.Node via its Monitor and AuxHandler
+// hooks; the Auditor runs sporadically from any node. Blames flow into a
+// BlameSink — either the message-driven reputation client or a local board.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"lifting/internal/msg"
+)
+
+// Config holds LiFTinG's parameters.
+type Config struct {
+	// F is the protocol fanout (the verifier checks against it).
+	F int
+	// Period is the gossip period Tg.
+	Period time.Duration
+	// Pdcc is the probability of triggering direct cross-checking after a
+	// serve (§5: 1 purges, 0 disables, anything in between trades overhead
+	// for detection speed).
+	Pdcc float64
+	// AckTimeout is how long a server waits for the receiver's ack before
+	// blaming f. Defaults to 2·Period.
+	AckTimeout time.Duration
+	// ConfirmTimeout is how long the verifier collects confirm responses.
+	// Defaults to Period.
+	ConfirmTimeout time.Duration
+	// ServeTimeout is how long a requester waits for requested chunks
+	// before emitting partial-serve blames. Defaults to Period.
+	ServeTimeout time.Duration
+	// HistoryPeriods is nh, the audit horizon in gossip periods.
+	HistoryPeriods int
+	// Gamma is the entropy threshold γ for fanout/fanin audits (8.95 in
+	// the paper for nh·f = 600).
+	Gamma float64
+	// GammaFanin optionally overrides Gamma for the fanin check. The paper
+	// uses one threshold for both at n = 10,000; in small systems the fanin
+	// multiset is naturally more skewed (fast nodes win the first-proposal
+	// race) and may warrant a lower bar. 0 means use Gamma.
+	GammaFanin float64
+	// Eta is the expulsion threshold η on normalized scores (−9.75).
+	Eta float64
+	// AuditPollTimeout bounds the a-posteriori cross-check collection.
+	// Defaults to 4·Period (polls use the reliable transport).
+	AuditPollTimeout time.Duration
+	// MaxAuditPolls caps how many history entries an audit polls
+	// (0 = poll all; §5.3 allows "all or a subset").
+	MaxAuditPolls int
+	// PeriodCheckSlack is the fraction of the expected propose phases below
+	// which the gossip-period check emits period-stretch blame. Defaults to
+	// 0.8 (tolerates jitter and empty periods).
+	PeriodCheckSlack float64
+	// MinEntropySamples is the smallest multiset size on which an entropy
+	// check is meaningful; smaller evidence sets are skipped. Defaults
+	// to 32.
+	MinEntropySamples int
+	// Population is the system size n, used to cap the nominal entropy of
+	// audits in small systems (a history over n−1 possible partners cannot
+	// exceed log2(n−1) bits). 0 means unbounded (large-system regime).
+	Population int
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.F <= 0 {
+		return fmt.Errorf("core: fanout must be positive, got %d", c.F)
+	}
+	if c.Period <= 0 {
+		return fmt.Errorf("core: period must be positive, got %v", c.Period)
+	}
+	if c.Pdcc < 0 || c.Pdcc > 1 {
+		return fmt.Errorf("core: pdcc must be in [0,1], got %v", c.Pdcc)
+	}
+	if c.HistoryPeriods <= 0 {
+		return fmt.Errorf("core: history periods must be positive, got %d", c.HistoryPeriods)
+	}
+	return nil
+}
+
+// withDefaults fills zero timeouts with their Period-derived defaults.
+func (c Config) withDefaults() Config {
+	if c.AckTimeout == 0 {
+		c.AckTimeout = 2 * c.Period
+	}
+	if c.ConfirmTimeout == 0 {
+		c.ConfirmTimeout = c.Period
+	}
+	if c.ServeTimeout == 0 {
+		c.ServeTimeout = c.Period
+	}
+	if c.AuditPollTimeout == 0 {
+		c.AuditPollTimeout = 4 * c.Period
+	}
+	if c.PeriodCheckSlack == 0 {
+		c.PeriodCheckSlack = 0.8
+	}
+	if c.MinEntropySamples == 0 {
+		c.MinEntropySamples = 32
+	}
+	return c
+}
+
+// nominalEntropySize returns the evidence size γ is calibrated for: nh·f
+// entries, capped by the population when the system is small (at most n−1
+// distinct partners exist).
+func (c Config) nominalEntropySize() int {
+	nominal := c.HistoryPeriods * c.F
+	if c.Population > 1 && c.Population-1 < nominal {
+		nominal = c.Population - 1
+	}
+	return nominal
+}
+
+// BlameSink receives blame emissions from verification procedures.
+// reputation.Client (message-driven) and reputation-board adapters both
+// satisfy it.
+type BlameSink interface {
+	Blame(target msg.NodeID, value float64, reason msg.BlameReason)
+}
+
+// BlameFunc adapts a function to the BlameSink interface.
+type BlameFunc func(target msg.NodeID, value float64, reason msg.BlameReason)
+
+// Blame implements BlameSink.
+func (f BlameFunc) Blame(target msg.NodeID, value float64, reason msg.BlameReason) {
+	f(target, value, reason)
+}

@@ -1,0 +1,83 @@
+// Package experiment contains one runner per table and figure of the
+// paper's evaluation (§6 analysis/simulation and §7 PlanetLab deployment).
+// Each runner builds the workload, executes it (on the discrete-event
+// cluster or on the blame-process Monte Carlo), and returns the same rows or
+// series the paper reports, as renderable tables.
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a renderable experiment result: the rows of a paper table or the
+// series of a paper figure.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a row of already-formatted cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render writes the table as aligned ASCII.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s ==\n", t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, cell := range cells {
+			if i < len(widths) {
+				parts[i] = pad(cell, widths[i])
+			} else {
+				parts[i] = cell
+			}
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// F formats a float with the given decimals.
+func F(v float64, decimals int) string {
+	return fmt.Sprintf("%.*f", decimals, v)
+}
+
+// Pct formats a fraction as a percentage.
+func Pct(v float64) string {
+	return fmt.Sprintf("%.1f%%", 100*v)
+}

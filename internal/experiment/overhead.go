@@ -1,0 +1,116 @@
+package experiment
+
+import (
+	"time"
+
+	"lifting/internal/cluster"
+	"lifting/internal/msg"
+)
+
+// Table3 reproduces Table 3 of the paper: the per-node, per-period message
+// overhead of the verifications, for a sweep of pdcc values. The paper gives
+// the asymptotics — O(pdcc·f²) confirm traffic for the verifier and each
+// witness, O(pdcc·f) for the inspected node, plus O(M·f) blames — which the
+// measured counts must track.
+func Table3(p PlanetLabConfig, pdccs []float64) *Table {
+	if len(pdccs) == 0 {
+		pdccs = []float64{0, 0.5, 1}
+	}
+	t := &Table{
+		Title: "Table 3 — verification messages per node per gossip period",
+		Columns: []string{
+			"pdcc", "ack", "confirm", "confirm-resp", "blame", "total verif",
+			"theory confirm O(pdcc·f²)",
+		},
+	}
+	for _, pdcc := range pdccs {
+		pc := p
+		pc.Pdcc = pdcc
+		opts := pc.buildOptions()
+		opts.BlameMode = cluster.BlameMessages
+		c := cluster.New(opts)
+		c.Start()
+		c.StartStream(pc.Duration)
+		c.Run(pc.Duration + time.Second)
+
+		periods := float64(pc.Duration / pc.Period)
+		perNodePeriod := func(k msg.Kind) float64 {
+			return float64(c.Collector.SentMsgs(k)) / float64(pc.N) / periods
+		}
+		verifMsgs, _ := c.Collector.VerificationTotals()
+		t.AddRow(
+			F(pdcc, 2),
+			F(perNodePeriod(msg.KindAck), 2),
+			F(perNodePeriod(msg.KindConfirm), 2),
+			F(perNodePeriod(msg.KindConfirmResp), 2),
+			F(perNodePeriod(msg.KindBlame), 2),
+			F(float64(verifMsgs)/float64(pc.N)/periods, 2),
+			F(pdcc*float64(pc.F*pc.F), 1),
+		)
+	}
+	t.Notes = append(t.Notes,
+		"acks flow even at pdcc = 0 (they are what makes later polling possible)",
+		"confirm counts stay below the O(pdcc·f²) bound because the real workload has fewer than f servers per period")
+	return t
+}
+
+// Table5 reproduces Table 5: LiFTinG's relative bandwidth overhead
+// (verification bytes / dissemination bytes) for pdcc ∈ {0, 0.5, 1} and the
+// three stream rates of the paper. The paper's measurements:
+//
+//	stream    pdcc=0   pdcc=0.5  pdcc=1
+//	 674 kbps  1.07%    4.53%     8.01%
+//	1082 kbps  0.69%    3.51%     5.04%
+//	2036 kbps  0.38%    1.69%     2.76%
+//
+// The shape to reproduce: overhead grows with pdcc and shrinks as the
+// stream rate grows (verification traffic is rate-independent while the
+// payload is not).
+func Table5(p PlanetLabConfig, bitrates []int, pdccs []float64) *Table {
+	if len(bitrates) == 0 {
+		bitrates = []int{674_000, 1_082_000, 2_036_000}
+	}
+	if len(pdccs) == 0 {
+		pdccs = []float64{0, 0.5, 1}
+	}
+	t := &Table{
+		Title:   "Table 5 — bandwidth overhead of cross-checking and blaming",
+		Columns: append([]string{"stream"}, pdccHeader(pdccs)...),
+	}
+	paper := map[int][]string{
+		674_000:   {"1.07%", "4.53%", "8.01%"},
+		1_082_000: {"0.69%", "3.51%", "5.04%"},
+		2_036_000: {"0.38%", "1.69%", "2.76%"},
+	}
+	for _, rate := range bitrates {
+		row := []string{F(float64(rate)/1000, 0) + " kbps"}
+		for _, pdcc := range pdccs {
+			pc := p
+			pc.Pdcc = pdcc
+			pc.BitrateBps = rate
+			opts := pc.buildOptions()
+			opts.BlameMode = cluster.BlameMessages
+			c := cluster.New(opts)
+			c.Start()
+			c.StartStream(pc.Duration)
+			c.Run(pc.Duration + time.Second)
+			row = append(row, Pct(c.Collector.Overhead()))
+		}
+		if ref, ok := paper[rate]; ok && len(pdccs) == 3 {
+			row = append(row, "paper: "+ref[0]+" / "+ref[1]+" / "+ref[2])
+		}
+		t.AddRow(row...)
+	}
+	if len(pdccs) == 3 {
+		t.Columns = append(t.Columns, "paper (pdcc 0 / 0.5 / 1)")
+	}
+	return t
+}
+
+func pdccHeader(pdccs []float64) []string {
+	out := make([]string, len(pdccs))
+	for i, p := range pdccs {
+		out[i] = "pdcc=" + F(p, 2)
+	}
+	return out
+}

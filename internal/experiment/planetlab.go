@@ -1,0 +1,350 @@
+package experiment
+
+import (
+	"time"
+
+	"lifting/internal/cluster"
+	"lifting/internal/core"
+	"lifting/internal/freerider"
+	"lifting/internal/gossip"
+	"lifting/internal/membership"
+	"lifting/internal/msg"
+	"lifting/internal/net"
+	"lifting/internal/reputation"
+	"lifting/internal/rng"
+	"lifting/internal/stats"
+	"lifting/internal/stream"
+)
+
+// PlanetLabConfig describes the §7 deployment scenario: 300 nodes, 674 kbps
+// stream, fanout 7, Tg = 500 ms, M = 25 managers, 10% freeriders of degree
+// (1/7, 0.1, 0.1), mean loss 4% with a tail of poorly connected nodes.
+type PlanetLabConfig struct {
+	N            int
+	BitrateBps   int
+	F            int
+	Period       time.Duration
+	M            int
+	FreeriderPct float64
+	Delta        [3]float64
+	Pdcc         float64
+	MeanLoss     float64
+	// PoorPct is the fraction of honest nodes with degraded connectivity
+	// (higher loss, capped uplink) — the population behind the paper's
+	// false positives (§7.3).
+	PoorPct float64
+	Seed    uint64
+	// Duration is the streamed time.
+	Duration time.Duration
+}
+
+// DefaultPlanetLabConfig returns the paper's deployment parameters.
+func DefaultPlanetLabConfig() PlanetLabConfig {
+	return PlanetLabConfig{
+		N:            300,
+		BitrateBps:   674_000,
+		F:            7,
+		Period:       500 * time.Millisecond,
+		M:            25,
+		FreeriderPct: 0.10,
+		Delta:        [3]float64{1.0 / 7, 0.1, 0.1},
+		Pdcc:         1,
+		MeanLoss:     0.04,
+		PoorPct:      0.10,
+		Seed:         42,
+		Duration:     35 * time.Second,
+	}
+}
+
+// buildOptions assembles cluster options for the scenario. Freeriders are
+// the highest node ids; poor honest nodes are drawn deterministically from
+// the seed.
+func (p PlanetLabConfig) buildOptions() cluster.Options {
+	// The chunk rate is held constant across stream rates (≈64 chunks/s, as
+	// in the paper's streaming substrate [6]): a faster stream means bigger
+	// chunks, not more of them. This is why Table 5's overhead falls as the
+	// bitrate grows — verification traffic depends on the chunk rate only.
+	payload := 1316 * p.BitrateBps / 674_000
+	streamCfg := stream.Config{BitrateBps: p.BitrateBps, ChunkPayload: payload}
+	opts := cluster.Options{
+		N:    p.N,
+		Seed: p.Seed,
+		Gossip: gossip.Config{
+			F:              p.F,
+			Period:         p.Period,
+			ChunkPayload:   streamCfg.ChunkPayload,
+			HistoryPeriods: 50,
+		},
+		Core: core.Config{
+			F:              p.F,
+			Period:         p.Period,
+			Pdcc:           p.Pdcc,
+			HistoryPeriods: 50,
+			Gamma:          8.95,
+			Eta:            -9.75,
+		},
+		// Blames are reported to the managers every 10 gossip periods:
+		// scores act on the r ≈ 50-period timescale, and per-period
+		// reporting to M = 25 managers would alone exceed the paper's
+		// measured blaming overhead (Table 5).
+		Rep:          reputation.Config{M: p.M, Eta: -9.75, FlushEvery: 10},
+		Stream:       streamCfg,
+		NetDefaults:  net.Uniform(p.MeanLoss, 20*time.Millisecond),
+		LiFTinG:      true,
+		ExpectedLoss: p.MeanLoss,
+	}
+	// Heterogeneity: a PoorPct tail of honest nodes suffers triple loss and
+	// a capped uplink — they cannot contribute their fair share even though
+	// they follow the protocol (§7.3's false-positive population).
+	poor := rng.New(p.Seed).Derive("poor")
+	opts.ConditionsFor = func(id msg.NodeID) (net.Conditions, bool) {
+		if id == 0 || p.freerider(id) {
+			return net.Conditions{}, false
+		}
+		if poor.Bernoulli(p.PoorPct) {
+			// Doubled loss and high latency jitter: blamed like a mild
+			// freerider (§7.3: the false positives "do not deliberately
+			// freeride, but their connection does not allow them to
+			// contribute their fair share").
+			c := net.Uniform(2*p.MeanLoss, 60*time.Millisecond)
+			c.LatencyJitter = 60 * time.Millisecond
+			return c, true
+		}
+		return net.Conditions{}, false
+	}
+	nFree := int(p.FreeriderPct * float64(p.N))
+	first := msg.NodeID(p.N - nFree)
+	opts.BehaviorFor = func(id msg.NodeID, _ *membership.Directory, _ *rng.Stream) gossip.Behavior {
+		if id >= first {
+			return freerider.Degree{Delta1: p.Delta[0], Delta2: p.Delta[1], Delta3: p.Delta[2]}
+		}
+		return nil
+	}
+	return opts
+}
+
+func (p PlanetLabConfig) freerider(id msg.NodeID) bool {
+	nFree := int(p.FreeriderPct * float64(p.N))
+	return int(id) >= p.N-nFree
+}
+
+// Fig14Snapshot is one CDF snapshot of Figure 14.
+type Fig14Snapshot struct {
+	At        time.Duration
+	Honest    []float64
+	Freerider []float64
+	// Detection and FalsePositives at the calibrated threshold.
+	Detection      float64
+	FalsePositives float64
+}
+
+// Fig14Result aggregates the experiment.
+type Fig14Result struct {
+	Pdcc      float64
+	Eta       float64
+	Snapshots []Fig14Snapshot
+}
+
+// Fig14 reproduces Figure 14: cumulative score distributions of honest
+// nodes and freeriders after 25, 30 and 35 seconds, for the given pdcc. The
+// paper's anchor: with pdcc = 1 after 30 s, 86% of freeriders are below the
+// threshold and 12% of honest nodes (mostly the poorly connected tail) sit
+// below it too; pdcc = 0.5 at 35 s looks like pdcc = 1 at 30 s.
+//
+// Compensation and the threshold are calibrated from an honest pilot run
+// (our chunk workload is lighter than the saturated analysis model; the
+// paper instead compensates analytically from the measured 4% loss).
+func Fig14(p PlanetLabConfig, snapshots []time.Duration) (*Table, *Fig14Result) {
+	if len(snapshots) == 0 {
+		snapshots = []time.Duration{25 * time.Second, 30 * time.Second, 35 * time.Second}
+	}
+	opts := p.buildOptions()
+
+	cal := cluster.Calibrate(opts, p.Duration)
+	opts.Rep.Compensation = cal.Compensation
+	opts.BlameMode = cluster.BlameDirect
+
+	c := cluster.New(opts)
+	c.Start()
+	c.StartStream(p.Duration + time.Second)
+
+	// The detection threshold is placed from the observed mixture at the
+	// first snapshot, at the quantile expected to be flagged: freeriders
+	// plus the poorly connected tail. The paper arrives at its fixed
+	// η = −9.75 the same way — from the empirical score CDF of Figure 11 —
+	// and accepts ≈12% honest flags, "most of them nodes whose decreased
+	// contribution is due to poor capabilities" (§7.3).
+	var eta float64
+	res := &Fig14Result{Pdcc: p.Pdcc}
+	for si, at := range snapshots {
+		c.Run(at)
+		snap := Fig14Snapshot{At: at}
+		scores := c.Scores()
+		if si == 0 {
+			all := make([]float64, 0, p.N-1)
+			for i := 1; i < p.N; i++ {
+				all = append(all, scores[msg.NodeID(i)])
+			}
+			flagged := p.FreeriderPct + p.PoorPct
+			eta = stats.NewECDF(all).Quantile(flagged)
+			res.Eta = eta
+		}
+		for i := 1; i < p.N; i++ {
+			id := msg.NodeID(i)
+			s := scores[id]
+			if p.freerider(id) {
+				snap.Freerider = append(snap.Freerider, s)
+				if s < eta {
+					snap.Detection++
+				}
+			} else {
+				snap.Honest = append(snap.Honest, s)
+				if s < eta {
+					snap.FalsePositives++
+				}
+			}
+		}
+		if len(snap.Freerider) > 0 {
+			snap.Detection /= float64(len(snap.Freerider))
+		}
+		if len(snap.Honest) > 0 {
+			snap.FalsePositives /= float64(len(snap.Honest))
+		}
+		res.Snapshots = append(res.Snapshots, snap)
+	}
+
+	t := &Table{
+		Title: "Figure 14 — score CDF snapshots (pdcc = " + F(p.Pdcc, 2) + ", η = " + F(eta, 2) + ")",
+		Columns: []string{
+			"time", "detection", "false positives", "paper (pdcc=1 @30s)",
+		},
+	}
+	for _, s := range res.Snapshots {
+		t.AddRow(s.At.String(), Pct(s.Detection), Pct(s.FalsePositives), "86% / 12%")
+	}
+	t.Notes = append(t.Notes,
+		"compensation calibrated to "+F(cal.Compensation, 2)+" per period (honest pilot)",
+		"false positives concentrate on the poorly connected tail, as in §7.3")
+	return t, res
+}
+
+// Fig1Scenario identifies one curve of Figure 1.
+type Fig1Scenario int
+
+// Figure 1 curves.
+const (
+	Fig1NoFreeriders Fig1Scenario = iota + 1
+	Fig1Freeriders
+	Fig1FreeridersLiFTinG
+)
+
+// Fig1Result carries one health curve.
+type Fig1Result struct {
+	Scenario Fig1Scenario
+	Lags     []time.Duration
+	Health   []float64
+}
+
+// Fig1 reproduces Figure 1: the fraction of nodes viewing a clear stream as
+// a function of the stream lag, for (a) no freeriders, (b) 25% freeriders
+// without LiFTinG — the system collapses, and (c) 25% freeriders policed by
+// LiFTinG — wise freeriders can only deviate marginally (δ = 0.035 keeps
+// P(caught) < 50%, §6.3.1) and the aggressive ones are expelled, so the
+// curve stays near the baseline.
+func Fig1(p PlanetLabConfig, scenario Fig1Scenario, lags []time.Duration) (*Table, *Fig1Result) {
+	if len(lags) == 0 {
+		for s := 0; s <= 60; s += 5 {
+			lags = append(lags, time.Duration(s)*time.Second)
+		}
+	}
+	p.FreeriderPct = 0.25
+	p.PoorPct = 0 // Figure 1 isolates the freeriding effect
+	opts := p.buildOptions()
+	opts.TrackPlayout = true
+
+	// Finite upload capacity: every node's uplink is twice the stream rate.
+	// The system fits when everyone contributes (demand ≈ 1× per node) but
+	// not when 25% leech (honest demand rises by a third, and burstiness beyond that) — the regime in
+	// which Figure 1's middle curve collapses. PlanetLab itself imposed
+	// this constraint physically. The broadcast source is provisioned
+	// separately (its f partners pull the whole stream from it).
+	opts.NetDefaults.UplinkBps = 2.0 * float64(p.BitrateBps) / 8
+	prevCond := opts.ConditionsFor
+	opts.ConditionsFor = func(id msg.NodeID) (net.Conditions, bool) {
+		if id == 0 {
+			c := opts.NetDefaults
+			c.UplinkBps = 0 // unlimited
+			return c, true
+		}
+		if prevCond != nil {
+			return prevCond(id)
+		}
+		return net.Conditions{}, false
+	}
+
+	switch scenario {
+	case Fig1NoFreeriders:
+		opts.LiFTinG = false
+		opts.BehaviorFor = nil
+	case Fig1Freeriders:
+		// No verification: rational freeriders decrease their contribution
+		// "as much as possible" (§1) — to nothing.
+		opts.LiFTinG = false
+		prev := opts.BehaviorFor
+		opts.BehaviorFor = func(id msg.NodeID, dir *membership.Directory, r *rng.Stream) gossip.Behavior {
+			if prev(id, dir, r) != nil {
+				return freerider.Degree{Delta1: 1, Delta2: 1, Delta3: 1}
+			}
+			return nil
+		}
+	case Fig1FreeridersLiFTinG:
+		// Coerced: wise freeriders keep P(caught) < 50% → δ = 0.035.
+		cal := cluster.Calibrate(opts, 10*time.Second)
+		opts.Rep.Compensation = cal.Compensation
+		opts.Rep.Eta = -2.5 * cal.ScoreStd
+		opts.ExpelOnDetection = true
+		prev := opts.BehaviorFor
+		opts.BehaviorFor = func(id msg.NodeID, dir *membership.Directory, r *rng.Stream) gossip.Behavior {
+			if prev(id, dir, r) != nil {
+				return freerider.Degree{Delta1: 0.035, Delta2: 0.035, Delta3: 0.035}
+			}
+			return nil
+		}
+	}
+
+	c := cluster.New(opts)
+	c.Start()
+	c.StartStream(p.Duration)
+	maxLag := lags[len(lags)-1]
+	c.Run(p.Duration + maxLag)
+
+	total := opts.Stream.ChunksBy(p.Duration - time.Second)
+	playouts := make([]*stream.Playout, 0, p.N-1)
+	for i := 1; i < p.N; i++ {
+		playouts = append(playouts, c.Playouts[msg.NodeID(i)])
+	}
+	health := stream.Health(playouts, total, lags)
+
+	res := &Fig1Result{Scenario: scenario, Lags: lags, Health: health}
+	t := &Table{
+		Title:   "Figure 1 — fraction of nodes viewing a clear stream vs stream lag (scenario " + fig1Name(scenario) + ")",
+		Columns: []string{"lag", "health"},
+	}
+	for i, lag := range lags {
+		t.AddRow(lag.String(), F(health[i], 3))
+	}
+	return t, res
+}
+
+func fig1Name(s Fig1Scenario) string {
+	switch s {
+	case Fig1NoFreeriders:
+		return "no freeriders"
+	case Fig1Freeriders:
+		return "25% freeriders"
+	case Fig1FreeridersLiFTinG:
+		return "25% freeriders + LiFTinG"
+	default:
+		return "unknown"
+	}
+}

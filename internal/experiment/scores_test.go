@@ -1,0 +1,163 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+
+	"lifting/internal/analysis"
+	"lifting/internal/rng"
+	"lifting/internal/stats"
+)
+
+func paperParams() analysis.Params {
+	return analysis.Params{F: 12, R: 4, Loss: 0.07}
+}
+
+func TestBlameProcessMatchesEquation5(t *testing.T) {
+	// The Monte-Carlo mean must converge to the closed form b̃ = 72.95.
+	bp := BlameProcess{P: paperParams(), Rand: rng.New(3)}
+	var m stats.Moments
+	for i := 0; i < 20000; i++ {
+		m.Add(bp.SamplePeriod())
+	}
+	want := paperParams().WrongfulBlame()
+	if math.Abs(m.Mean()-want) > 0.5 {
+		t.Fatalf("MC mean = %v, closed form b̃ = %v", m.Mean(), want)
+	}
+	// And the spread must match the paper's experimental σ(b) = 25.6.
+	if m.Std() < 22 || m.Std() > 29 {
+		t.Fatalf("MC σ(b) = %v, paper reports 25.6", m.Std())
+	}
+	// Our analytical σ(b) should agree with the MC too.
+	if aStd := paperParams().WrongfulBlameStd(); math.Abs(aStd-m.Std()) > 2 {
+		t.Fatalf("analytical σ(b) = %v vs MC %v", aStd, m.Std())
+	}
+}
+
+func TestBlameProcessFreeriderMatchesBPrime(t *testing.T) {
+	for _, d := range []float64{0.05, 0.1, 0.2} {
+		delta := analysis.Uniform(d)
+		bp := BlameProcess{P: paperParams(), Delta: delta, Rand: rng.New(7)}
+		var m stats.Moments
+		for i := 0; i < 20000; i++ {
+			m.Add(bp.SamplePeriod())
+		}
+		want := paperParams().FreeriderBlame(delta)
+		// The sampler rounds (1−δ1)·f to an integer partner count; allow a
+		// correspondingly loose tolerance.
+		if math.Abs(m.Mean()-want) > 0.05*want+2 {
+			t.Fatalf("δ=%v: MC mean %v vs closed form b̃′ = %v", d, m.Mean(), want)
+		}
+	}
+}
+
+func TestFig10CentersAtZero(t *testing.T) {
+	cfg := DefaultScoreConfig()
+	cfg.N = 5000
+	_, res := Fig10(cfg)
+	// Paper: mean < 0.01 at n = 10,000; scale tolerance with sample size:
+	// σ(mean) = σ(b)/√n ≈ 25.6/70 ≈ 0.37.
+	if math.Abs(res.HonestM.Mean()) > 1.2 {
+		t.Fatalf("Fig10 mean = %v, want ≈0", res.HonestM.Mean())
+	}
+	if res.HonestM.Std() < 22 || res.HonestM.Std() > 29 {
+		t.Fatalf("Fig10 σ = %v, paper reports 25.6", res.HonestM.Std())
+	}
+}
+
+func TestFig11SeparatesModes(t *testing.T) {
+	cfg := DefaultScoreConfig()
+	cfg.N = 3000
+	cfg.Freeriders = 300
+	_, res := Fig11(cfg)
+	// Paper: two disjoint modes; α > 99% and β < 1% at η = −9.75 for
+	// ∆ = (0.1, 0.1, 0.1) after r = 50.
+	if res.Detection < 0.99 {
+		t.Fatalf("detection = %v, paper says >99%% at δ=0.1", res.Detection)
+	}
+	if res.FalsePositives > 0.01 {
+		t.Fatalf("false positives = %v, paper says <1%%", res.FalsePositives)
+	}
+	// The pdf modes are disjoint up to sub-percent tails (Figure 11a shows
+	// a clear gap; extreme order statistics may graze at finite samples).
+	if lo, hi := res.Honest.Quantile(0.005), res.Freerider.Quantile(0.995); lo <= hi {
+		t.Fatalf("modes overlap beyond tails: honest q0.5%% %v vs freerider q99.5%% %v", lo, hi)
+	}
+}
+
+func TestFig11NoCompensationAblation(t *testing.T) {
+	// Without compensation every score shifts down by b̃ ≈ 72.95: honest
+	// nodes land far below η and would all be expelled. This is the
+	// motivation for §6.2.
+	cfg := DefaultScoreConfig()
+	cfg.N = 1000
+	cfg.Freeriders = 0
+	cfg.NoCompensation = true
+	res := RunScores(cfg)
+	if res.FalsePositives < 0.99 {
+		t.Fatalf("without compensation honest nodes should sit below η; β = %v", res.FalsePositives)
+	}
+}
+
+func TestFig12Anchors(t *testing.T) {
+	cfg := DefaultScoreConfig()
+	deltas := []float64{0, 0.035, 0.05, 0.1, 0.2}
+	_, points := Fig12(cfg, deltas, 1500)
+	byDelta := map[float64]Fig12Point{}
+	for _, p := range points {
+		byDelta[p.Delta] = p
+	}
+	// Paper anchors (§6.3.1 / Figure 12):
+	// δ=0.05 → α ≈ 65%; δ ≥ 0.1 → α > 99%; δ=0.035 → α ≈ 50%, gain ≈ 10%.
+	if p := byDelta[0.05]; p.Detection < 0.45 || p.Detection > 0.85 {
+		t.Fatalf("α(0.05) = %v, paper says ≈0.65", p.Detection)
+	}
+	if p := byDelta[0.1]; p.Detection < 0.99 {
+		t.Fatalf("α(0.1) = %v, paper says >0.99", p.Detection)
+	}
+	if p := byDelta[0.035]; p.Detection < 0.25 || p.Detection > 0.75 {
+		t.Fatalf("α(0.035) = %v, paper says ≈0.5", p.Detection)
+	}
+	if p := byDelta[0.035]; math.Abs(p.Gain-0.10) > 0.01 {
+		t.Fatalf("gain(0.035) = %v, paper says ≈0.10", p.Gain)
+	}
+	// Honest nodes are almost never flagged.
+	if p := byDelta[0.0]; p.Detection > 0.02 {
+		t.Fatalf("α(0) = %v, honest nodes should pass", p.Detection)
+	}
+	// Detection is monotone in δ.
+	prev := -1.0
+	for _, d := range deltas {
+		if byDelta[d].Detection < prev-0.05 {
+			t.Fatalf("detection not monotone at δ=%v", d)
+		}
+		prev = byDelta[d].Detection
+	}
+}
+
+func TestCDFSeries(t *testing.T) {
+	e := stats.NewECDF([]float64{1, 2, 3})
+	pts := CDFSeries(e, 0, 4, 5)
+	if len(pts) != 5 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if pts[0][1] != 0 || pts[4][1] != 1 {
+		t.Fatalf("CDF endpoints wrong: %v", pts)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i][1] < pts[i-1][1] {
+			t.Fatal("CDF series not monotone")
+		}
+	}
+}
+
+func TestRunScoresDeterministic(t *testing.T) {
+	cfg := DefaultScoreConfig()
+	cfg.N = 500
+	cfg.Freeriders = 50
+	a := RunScores(cfg)
+	b := RunScores(cfg)
+	if a.HonestM.Mean() != b.HonestM.Mean() || a.Detection != b.Detection {
+		t.Fatal("identical configs produced different results")
+	}
+}

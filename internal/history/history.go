@@ -1,0 +1,274 @@
+// Package history implements the bounded accountability log every LiFTinG
+// node maintains (§5 of the paper): a trace of the events of the last nh
+// gossip periods. The log feeds three consumers:
+//
+//   - witness duty for direct cross-checking: "did node s propose chunks C
+//     to me recently?" (§5.2);
+//   - local history auditing: the fanout multiset Fh (nodes the owner
+//     proposed to) and the fanin multiset F'h (nodes that served the owner),
+//     whose entropies are checked against γ (§5.3);
+//   - a-posteriori cross-checking: the list of proposals to be confirmed by
+//     their alleged receivers (§5.3).
+package history
+
+import (
+	"lifting/internal/msg"
+	"lifting/internal/stats"
+)
+
+// Log is one node's bounded history. It retains the last Retention periods;
+// older entries are pruned as the owner's period advances.
+//
+// Log is a plain data structure with no locking: each node touches only its
+// own log from its own execution context.
+type Log struct {
+	retention int
+	periods   map[msg.Period]*periodLog
+	newest    msg.Period
+}
+
+type periodLog struct {
+	// proposalsSent are the owner's fanout entries for the period.
+	proposalsSent []msg.ProposalRecord
+	// servesReceived are the owner's fanin entries (as recorded; a
+	// freerider may have recorded forged origins).
+	servesReceived []msg.ServeRecord
+	// proposalsReceived indexes proposals the owner received, by sender,
+	// for witness duty.
+	proposalsReceived map[msg.NodeID][]msg.ChunkID
+	// confirmAskers records, per suspect, the nodes that asked the owner to
+	// confirm that suspect's proposals. For an honest suspect these askers
+	// are exactly the suspect's servers, which is how the auditor
+	// reconstructs F'h (§5.3).
+	confirmAskers map[msg.NodeID][]msg.NodeID
+}
+
+// NewLog creates a log retaining the given number of gossip periods (nh).
+// It panics if retention is not positive.
+func NewLog(retention int) *Log {
+	if retention <= 0 {
+		panic("history: retention must be positive")
+	}
+	return &Log{
+		retention: retention,
+		periods:   make(map[msg.Period]*periodLog),
+	}
+}
+
+// Retention returns nh, the number of periods retained.
+func (l *Log) Retention() int { return l.retention }
+
+func (l *Log) period(p msg.Period) *periodLog {
+	pl, ok := l.periods[p]
+	if !ok {
+		pl = &periodLog{
+			proposalsReceived: make(map[msg.NodeID][]msg.ChunkID),
+			confirmAskers:     make(map[msg.NodeID][]msg.NodeID),
+		}
+		l.periods[p] = pl
+		if p > l.newest {
+			l.newest = p
+		}
+		l.prune()
+	}
+	return pl
+}
+
+func (l *Log) prune() {
+	if len(l.periods) <= l.retention {
+		return
+	}
+	for p := range l.periods {
+		if l.newest >= msg.Period(l.retention) && p <= l.newest-msg.Period(l.retention) {
+			delete(l.periods, p)
+		}
+	}
+}
+
+// RecordProposalSent logs that the owner proposed chunks to partner during
+// period p.
+func (l *Log) RecordProposalSent(p msg.Period, partner msg.NodeID, chunks []msg.ChunkID) {
+	pl := l.period(p)
+	cp := make([]msg.ChunkID, len(chunks))
+	copy(cp, chunks)
+	pl.proposalsSent = append(pl.proposalsSent, msg.ProposalRecord{Period: p, Partner: partner, Chunks: cp})
+}
+
+// RecordServeReceived logs that server delivered chunks to the owner during
+// period p (a fanin entry).
+func (l *Log) RecordServeReceived(p msg.Period, server msg.NodeID, chunks []msg.ChunkID) {
+	pl := l.period(p)
+	cp := make([]msg.ChunkID, len(chunks))
+	copy(cp, chunks)
+	pl.servesReceived = append(pl.servesReceived, msg.ServeRecord{Period: p, Server: server, Chunks: cp})
+}
+
+// RecordProposalReceived logs that from proposed chunks to the owner during
+// period p, for later witness duty.
+func (l *Log) RecordProposalReceived(p msg.Period, from msg.NodeID, chunks []msg.ChunkID) {
+	pl := l.period(p)
+	pl.proposalsReceived[from] = append(pl.proposalsReceived[from], chunks...)
+}
+
+// RecordConfirmAsker logs that asker sent a Confirm about suspect during
+// period p.
+func (l *Log) RecordConfirmAsker(p msg.Period, suspect, asker msg.NodeID) {
+	pl := l.period(p)
+	pl.confirmAskers[suspect] = append(pl.confirmAskers[suspect], asker)
+}
+
+// HasProposalFrom reports whether the owner received, during periods
+// [from, to], a proposal from sender covering every chunk in chunks. This is
+// the witness-side truth for direct cross-checking (§5.2).
+func (l *Log) HasProposalFrom(sender msg.NodeID, from, to msg.Period, chunks []msg.ChunkID) bool {
+	if len(chunks) == 0 {
+		return true
+	}
+	got := make(map[msg.ChunkID]bool)
+	for p := from; p <= to; p++ {
+		pl, ok := l.periods[p]
+		if !ok {
+			continue
+		}
+		for _, c := range pl.proposalsReceived[sender] {
+			got[c] = true
+		}
+	}
+	for _, c := range chunks {
+		if !got[c] {
+			return false
+		}
+	}
+	return true
+}
+
+// HasRecentProposalFrom is like HasProposalFrom over the whole retained
+// window: it reports whether any combination of retained proposals from
+// sender covers chunks. Witness duty uses it because sender and witness
+// periods are not synchronized.
+func (l *Log) HasRecentProposalFrom(sender msg.NodeID, chunks []msg.ChunkID) bool {
+	if len(chunks) == 0 {
+		return true
+	}
+	got := make(map[msg.ChunkID]bool)
+	for _, pl := range l.periods {
+		for _, c := range pl.proposalsReceived[sender] {
+			got[c] = true
+		}
+	}
+	for _, c := range chunks {
+		if !got[c] {
+			return false
+		}
+	}
+	return true
+}
+
+// FanoutMultiset returns Fh: the multiset of partners the owner proposed to
+// during periods (since, newest].
+func (l *Log) FanoutMultiset(since msg.Period) *stats.Multiset[msg.NodeID] {
+	ms := stats.NewMultiset[msg.NodeID]()
+	for p, pl := range l.periods {
+		if p <= since {
+			continue
+		}
+		for i := range pl.proposalsSent {
+			ms.Add(pl.proposalsSent[i].Partner)
+		}
+	}
+	return ms
+}
+
+// FaninMultiset returns F'h: the multiset of servers recorded in the owner's
+// fanin during periods (since, newest].
+func (l *Log) FaninMultiset(since msg.Period) *stats.Multiset[msg.NodeID] {
+	ms := stats.NewMultiset[msg.NodeID]()
+	for p, pl := range l.periods {
+		if p <= since {
+			continue
+		}
+		for i := range pl.servesReceived {
+			ms.Add(pl.servesReceived[i].Server)
+		}
+	}
+	return ms
+}
+
+// Proposals returns the owner's fanout records for periods (since, newest],
+// in unspecified order. The returned records share chunk slices with the
+// log; callers must not modify them.
+func (l *Log) Proposals(since msg.Period) []msg.ProposalRecord {
+	var out []msg.ProposalRecord
+	for p, pl := range l.periods {
+		if p <= since {
+			continue
+		}
+		out = append(out, pl.proposalsSent...)
+	}
+	return out
+}
+
+// Serves returns the owner's fanin records for periods (since, newest].
+func (l *Log) Serves(since msg.Period) []msg.ServeRecord {
+	var out []msg.ServeRecord
+	for p, pl := range l.periods {
+		if p <= since {
+			continue
+		}
+		out = append(out, pl.servesReceived...)
+	}
+	return out
+}
+
+// ProposalPeriods returns the number of distinct periods in (since, newest]
+// during which the owner sent at least one proposal. Comparing this count
+// against the expected number of periods detects gossip-period stretching
+// (§5.3: "checking the gossip period boils down to counting the number of
+// proposals in the local history").
+func (l *Log) ProposalPeriods(since msg.Period) int {
+	n := 0
+	for p, pl := range l.periods {
+		if p <= since {
+			continue
+		}
+		if len(pl.proposalsSent) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// AskersFor returns the multiset of nodes that asked the owner to confirm
+// proposals of suspect during periods (since, newest].
+func (l *Log) AskersFor(suspect msg.NodeID, since msg.Period) []msg.NodeID {
+	var out []msg.NodeID
+	for p, pl := range l.periods {
+		if p <= since {
+			continue
+		}
+		out = append(out, pl.confirmAskers[suspect]...)
+	}
+	return out
+}
+
+// Snapshot builds the audit response for an AuditReq covering the most
+// recent horizon periods: every fanout and fanin record retained. An honest
+// node returns this snapshot verbatim; a freerider may forge it (§5.3
+// discusses why forgery is caught by a-posteriori cross-checking).
+func (l *Log) Snapshot(owner msg.NodeID, horizon int) *msg.AuditResp {
+	since := msg.Period(0)
+	if h := msg.Period(horizon); l.newest > h {
+		since = l.newest - h
+	}
+	resp := &msg.AuditResp{Sender: owner}
+	resp.Proposals = l.Proposals(since)
+	resp.Serves = l.Serves(since)
+	return resp
+}
+
+// Newest returns the most recent period recorded.
+func (l *Log) Newest() msg.Period { return l.newest }
+
+// PeriodsRetained returns the number of periods currently held (bounded by
+// Retention).
+func (l *Log) PeriodsRetained() int { return len(l.periods) }

@@ -1,0 +1,162 @@
+package history
+
+import (
+	"testing"
+
+	"lifting/internal/msg"
+)
+
+func TestNewLogPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewLog(0) did not panic")
+		}
+	}()
+	NewLog(0)
+}
+
+func TestFanoutMultiset(t *testing.T) {
+	l := NewLog(10)
+	l.RecordProposalSent(1, 7, []msg.ChunkID{1, 2})
+	l.RecordProposalSent(1, 8, []msg.ChunkID{1, 2})
+	l.RecordProposalSent(2, 7, []msg.ChunkID{3})
+	ms := l.FanoutMultiset(0)
+	if ms.Len() != 3 {
+		t.Fatalf("Fh size = %d, want 3", ms.Len())
+	}
+	if ms.Count(7) != 2 || ms.Count(8) != 1 {
+		t.Fatalf("Fh counts wrong: 7→%d, 8→%d", ms.Count(7), ms.Count(8))
+	}
+	// Filtering by since excludes older periods.
+	if got := l.FanoutMultiset(1).Len(); got != 1 {
+		t.Fatalf("Fh since period 1 = %d entries, want 1", got)
+	}
+}
+
+func TestFaninMultiset(t *testing.T) {
+	l := NewLog(10)
+	l.RecordServeReceived(3, 4, []msg.ChunkID{9})
+	l.RecordServeReceived(3, 4, []msg.ChunkID{10})
+	l.RecordServeReceived(4, 5, []msg.ChunkID{11})
+	ms := l.FaninMultiset(0)
+	if ms.Count(4) != 2 || ms.Count(5) != 1 {
+		t.Fatalf("F'h counts wrong: %d, %d", ms.Count(4), ms.Count(5))
+	}
+}
+
+func TestHasProposalFrom(t *testing.T) {
+	l := NewLog(10)
+	l.RecordProposalReceived(5, 2, []msg.ChunkID{1, 2, 3})
+	l.RecordProposalReceived(6, 2, []msg.ChunkID{4})
+	cases := []struct {
+		from, to msg.Period
+		chunks   []msg.ChunkID
+		want     bool
+	}{
+		{5, 5, []msg.ChunkID{1, 3}, true},
+		{5, 6, []msg.ChunkID{1, 4}, true}, // spans two periods
+		{5, 5, []msg.ChunkID{4}, false},   // wrong period
+		{5, 6, []msg.ChunkID{9}, false},   // never proposed
+		{5, 6, nil, true},                 // empty set vacuously covered
+	}
+	for i, c := range cases {
+		if got := l.HasProposalFrom(2, c.from, c.to, c.chunks); got != c.want {
+			t.Errorf("case %d: HasProposalFrom = %v, want %v", i, got, c.want)
+		}
+	}
+	if l.HasProposalFrom(3, 5, 6, []msg.ChunkID{1}) {
+		t.Fatal("proposal attributed to the wrong sender")
+	}
+}
+
+func TestPruneKeepsRetentionWindow(t *testing.T) {
+	l := NewLog(3)
+	for p := msg.Period(1); p <= 10; p++ {
+		l.RecordProposalSent(p, msg.NodeID(p), []msg.ChunkID{msg.ChunkID(p)})
+	}
+	if l.PeriodsRetained() > 3 {
+		t.Fatalf("retained %d periods, want <= 3", l.PeriodsRetained())
+	}
+	ms := l.FanoutMultiset(0)
+	if ms.Count(1) != 0 {
+		t.Fatal("pruned period still visible in Fh")
+	}
+	if ms.Count(10) != 1 || ms.Count(9) != 1 || ms.Count(8) != 1 {
+		t.Fatal("recent periods missing from Fh")
+	}
+	if l.Newest() != 10 {
+		t.Fatalf("Newest = %d, want 10", l.Newest())
+	}
+}
+
+func TestProposalPeriods(t *testing.T) {
+	l := NewLog(20)
+	l.RecordProposalSent(1, 2, []msg.ChunkID{1})
+	l.RecordProposalSent(1, 3, []msg.ChunkID{1})
+	l.RecordProposalSent(4, 2, []msg.ChunkID{2})
+	// Period 3 exists but has no proposals sent (only a serve received):
+	l.RecordServeReceived(3, 9, []msg.ChunkID{5})
+	if got := l.ProposalPeriods(0); got != 2 {
+		t.Fatalf("ProposalPeriods = %d, want 2", got)
+	}
+}
+
+func TestAskersFor(t *testing.T) {
+	l := NewLog(10)
+	l.RecordConfirmAsker(2, 7, 100)
+	l.RecordConfirmAsker(2, 7, 101)
+	l.RecordConfirmAsker(3, 7, 102)
+	l.RecordConfirmAsker(2, 8, 103)
+	askers := l.AskersFor(7, 0)
+	if len(askers) != 3 {
+		t.Fatalf("askers for suspect 7 = %v, want 3 entries", askers)
+	}
+	if got := l.AskersFor(8, 0); len(got) != 1 || got[0] != 103 {
+		t.Fatalf("askers for suspect 8 = %v", got)
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	l := NewLog(50)
+	for p := msg.Period(1); p <= 10; p++ {
+		l.RecordProposalSent(p, 5, []msg.ChunkID{msg.ChunkID(p)})
+		l.RecordServeReceived(p, 6, []msg.ChunkID{msg.ChunkID(p)})
+	}
+	resp := l.Snapshot(42, 5)
+	if resp.Sender != 42 {
+		t.Fatalf("snapshot sender = %d", resp.Sender)
+	}
+	if len(resp.Proposals) != 5 || len(resp.Serves) != 5 {
+		t.Fatalf("snapshot sizes = %d/%d, want 5/5", len(resp.Proposals), len(resp.Serves))
+	}
+	for _, r := range resp.Proposals {
+		if r.Period <= 5 {
+			t.Fatalf("snapshot includes period %d beyond horizon", r.Period)
+		}
+	}
+	// Horizon larger than recorded history returns everything.
+	all := l.Snapshot(42, 100)
+	if len(all.Proposals) != 10 {
+		t.Fatalf("full snapshot has %d proposals, want 10", len(all.Proposals))
+	}
+}
+
+func TestRecordCopiesChunks(t *testing.T) {
+	l := NewLog(5)
+	chunks := []msg.ChunkID{1, 2}
+	l.RecordProposalSent(1, 2, chunks)
+	chunks[0] = 99
+	got := l.Proposals(0)
+	if got[0].Chunks[0] != 1 {
+		t.Fatal("log aliases caller's chunk slice")
+	}
+}
+
+func TestWitnessRecordsAccumulate(t *testing.T) {
+	l := NewLog(5)
+	l.RecordProposalReceived(2, 9, []msg.ChunkID{1})
+	l.RecordProposalReceived(2, 9, []msg.ChunkID{2})
+	if !l.HasProposalFrom(9, 2, 2, []msg.ChunkID{1, 2}) {
+		t.Fatal("accumulated proposals from the same sender/period not merged")
+	}
+}

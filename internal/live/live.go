@@ -1,0 +1,206 @@
+// Package live runs the same protocol nodes as the discrete-event simulator
+// on a goroutine-per-node runtime over real (wall-clock) time. Messages are
+// serialized through the binary codec on every hop, delivered asynchronously
+// with configurable loss and latency, and handled under a per-node lock so
+// node logic stays single-threaded — the concurrency contract sim.Context
+// promises.
+//
+// The live runtime trades determinism for realism: integration tests use it
+// to check that LiFTinG's verdicts do not depend on the simulator's
+// idealized scheduling.
+package live
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"lifting/internal/metrics"
+	"lifting/internal/msg"
+	"lifting/internal/net"
+	"lifting/internal/rng"
+	"lifting/internal/sim"
+)
+
+// Runtime hosts a set of live nodes.
+type Runtime struct {
+	start     time.Time
+	collector *metrics.Collector
+	defaults  net.Conditions
+
+	mu      sync.Mutex
+	rand    *rng.Stream
+	nodes   map[msg.NodeID]*nodeCtx
+	conds   map[msg.NodeID]net.Conditions
+	stopped bool
+
+	inflight sync.WaitGroup
+}
+
+var _ net.Network = (*Runtime)(nil)
+
+// NewRuntime creates a live runtime. collector may be nil.
+func NewRuntime(seed uint64, collector *metrics.Collector, defaults net.Conditions) *Runtime {
+	return &Runtime{
+		start:     time.Now(),
+		collector: collector,
+		defaults:  defaults,
+		rand:      rng.New(seed),
+		nodes:     make(map[msg.NodeID]*nodeCtx),
+		conds:     make(map[msg.NodeID]net.Conditions),
+	}
+}
+
+// nodeCtx is one node's execution context: a lock serializing all its
+// callbacks plus the shared clock.
+type nodeCtx struct {
+	rt *Runtime
+	id msg.NodeID
+	mu sync.Mutex
+	h  net.Handler
+}
+
+var _ sim.Context = (*nodeCtx)(nil)
+
+// Now implements sim.Context: time elapsed since the runtime started.
+func (n *nodeCtx) Now() time.Duration { return time.Since(n.rt.start) }
+
+// After implements sim.Context: fn runs on a timer goroutine under the
+// node's lock, unless the runtime has been closed.
+func (n *nodeCtx) After(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	n.rt.inflight.Add(1)
+	time.AfterFunc(d, func() {
+		defer n.rt.inflight.Done()
+		if n.rt.isStopped() {
+			return
+		}
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		fn()
+	})
+}
+
+// Attach registers a node and returns its execution context. The handler
+// receives all messages addressed to id.
+func (r *Runtime) Attach(id msg.NodeID, h net.Handler) sim.Context {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ctx, ok := r.nodes[id]
+	if !ok {
+		ctx = &nodeCtx{rt: r, id: id}
+		r.nodes[id] = ctx
+	}
+	ctx.h = h
+	return ctx
+}
+
+// Context returns the execution context for a node attached earlier, or a
+// fresh detached one.
+func (r *Runtime) Context(id msg.NodeID) sim.Context {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if ctx, ok := r.nodes[id]; ok {
+		return ctx
+	}
+	ctx := &nodeCtx{rt: r, id: id}
+	r.nodes[id] = ctx
+	return ctx
+}
+
+// SetConditions overrides a node's connection quality.
+func (r *Runtime) SetConditions(id msg.NodeID, c net.Conditions) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.conds[id] = c
+}
+
+func (r *Runtime) conditionsOf(id msg.NodeID) net.Conditions {
+	if c, ok := r.conds[id]; ok {
+		return c
+	}
+	return r.defaults
+}
+
+func (r *Runtime) isStopped() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stopped
+}
+
+// Send implements net.Network. The message round-trips through the binary
+// codec and is delivered on its own goroutine after the modelled latency.
+func (r *Runtime) Send(from, to msg.NodeID, m msg.Message, mode net.Mode) {
+	size := m.WireSize()
+	if r.collector != nil {
+		r.collector.OnSend(from, m, size)
+	}
+
+	encoded, err := msg.Encode(m)
+	if err != nil {
+		// Outbound messages are constructed by our own protocol code; an
+		// encoding failure is a programming error.
+		panic(fmt.Sprintf("live: encoding %T: %v", m, err))
+	}
+
+	r.mu.Lock()
+	if r.stopped {
+		r.mu.Unlock()
+		return
+	}
+	src := r.conditionsOf(from)
+	dst := r.conditionsOf(to)
+	drop := src.Down || dst.Down
+	if mode == net.Unreliable && !drop {
+		drop = r.rand.Bernoulli(src.LossOut) || r.rand.Bernoulli(dst.LossIn)
+	}
+	latency := src.LatencyBase/2 + dst.LatencyBase/2
+	if jitter := src.LatencyJitter/2 + dst.LatencyJitter/2; jitter > 0 {
+		latency += time.Duration(r.rand.Float64() * float64(jitter))
+	}
+	if mode == net.Reliable {
+		latency *= 3
+	}
+	dstCtx := r.nodes[to]
+	r.mu.Unlock()
+
+	if drop || dstCtx == nil {
+		if r.collector != nil {
+			r.collector.OnDrop(m)
+		}
+		return
+	}
+
+	r.inflight.Add(1)
+	time.AfterFunc(latency, func() {
+		defer r.inflight.Done()
+		if r.isStopped() {
+			return
+		}
+		decoded, err := msg.Decode(encoded)
+		if err != nil {
+			if r.collector != nil {
+				r.collector.OnDrop(m)
+			}
+			return
+		}
+		if r.collector != nil {
+			r.collector.OnDeliver(to, decoded, size)
+		}
+		dstCtx.mu.Lock()
+		defer dstCtx.mu.Unlock()
+		if dstCtx.h != nil {
+			dstCtx.h.HandleMessage(from, decoded)
+		}
+	})
+}
+
+// Close stops delivery and waits for in-flight callbacks to finish.
+func (r *Runtime) Close() {
+	r.mu.Lock()
+	r.stopped = true
+	r.mu.Unlock()
+	r.inflight.Wait()
+}

@@ -1,0 +1,155 @@
+// Package membership implements the full-membership directory and uniform
+// random peer sampling the paper assumes (§2): every node can pick a uniform
+// random subset of the live nodes. It also provides the deterministic
+// manager assignment used by the Alliatrust-like reputation substrate
+// (§5.1): every node is assigned M pseudo-random managers.
+package membership
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"lifting/internal/msg"
+	"lifting/internal/rng"
+)
+
+// Directory is the full-membership view of the system. Nodes that are
+// expelled (or crash) are removed from the sampling population but remain
+// known, so manager assignment stays stable.
+//
+// Directory is not safe for concurrent use; the live runtime wraps it in
+// a lock of its own.
+type Directory struct {
+	all     []msg.NodeID
+	alive   []msg.NodeID
+	aliveAt map[msg.NodeID]int // index into alive, for O(1) removal
+}
+
+// NewDirectory creates a directory over the given node ids, all alive.
+// It panics on duplicate ids.
+func NewDirectory(ids []msg.NodeID) *Directory {
+	d := &Directory{
+		all:     make([]msg.NodeID, len(ids)),
+		alive:   make([]msg.NodeID, len(ids)),
+		aliveAt: make(map[msg.NodeID]int, len(ids)),
+	}
+	copy(d.all, ids)
+	copy(d.alive, ids)
+	for i, id := range ids {
+		if _, dup := d.aliveAt[id]; dup {
+			panic(fmt.Sprintf("membership: duplicate node id %d", id))
+		}
+		d.aliveAt[id] = i
+	}
+	return d
+}
+
+// Sequential returns a directory over ids 0..n-1.
+func Sequential(n int) *Directory {
+	ids := make([]msg.NodeID, n)
+	for i := range ids {
+		ids[i] = msg.NodeID(i)
+	}
+	return NewDirectory(ids)
+}
+
+// N returns the total number of nodes ever registered.
+func (d *Directory) N() int { return len(d.all) }
+
+// NAlive returns the number of live (non-expelled) nodes.
+func (d *Directory) NAlive() int { return len(d.alive) }
+
+// All returns all node ids ever registered, in registration order. The
+// caller must not modify the returned slice.
+func (d *Directory) All() []msg.NodeID { return d.all }
+
+// Alive reports whether id is currently live.
+func (d *Directory) Alive(id msg.NodeID) bool {
+	_, ok := d.aliveAt[id]
+	return ok
+}
+
+// Expel removes id from the sampling population. It reports whether the
+// node was live. Expelling is idempotent.
+func (d *Directory) Expel(id msg.NodeID) bool {
+	i, ok := d.aliveAt[id]
+	if !ok {
+		return false
+	}
+	last := len(d.alive) - 1
+	moved := d.alive[last]
+	d.alive[i] = moved
+	d.aliveAt[moved] = i
+	d.alive = d.alive[:last]
+	delete(d.aliveAt, id)
+	return true
+}
+
+// Sample returns k distinct live nodes chosen uniformly at random, never
+// including self. If fewer than k candidates exist, all of them are
+// returned. The result order is random.
+func (d *Directory) Sample(s *rng.Stream, k int, self msg.NodeID) []msg.NodeID {
+	candidates := len(d.alive)
+	if d.Alive(self) {
+		candidates--
+	}
+	if k > candidates {
+		k = candidates
+	}
+	if k <= 0 {
+		return nil
+	}
+	out := make([]msg.NodeID, 0, k)
+	// Floyd's algorithm over the alive slice, skipping self by re-drawing:
+	// rejection is cheap because self occupies a single slot.
+	seen := make(map[int]struct{}, k+1)
+	if i, ok := d.aliveAt[self]; ok {
+		seen[i] = struct{}{}
+	}
+	n := len(d.alive)
+	for len(out) < k {
+		i := s.IntN(n)
+		if _, dup := seen[i]; dup {
+			continue
+		}
+		seen[i] = struct{}{}
+		out = append(out, d.alive[i])
+	}
+	return out
+}
+
+// Managers returns the M managers of target: a deterministic pseudo-random
+// set of nodes derived by hashing the target id, excluding the target
+// itself. The assignment is over the full registration set so every node
+// computes the same managers without coordination (§5.1).
+func (d *Directory) Managers(target msg.NodeID, m int) []msg.NodeID {
+	n := len(d.all)
+	if n <= 1 {
+		return nil
+	}
+	if m > n-1 {
+		m = n - 1
+	}
+	out := make([]msg.NodeID, 0, m)
+	used := map[msg.NodeID]struct{}{target: {}}
+	for salt := uint32(0); len(out) < m; salt++ {
+		h := fnv.New64a()
+		var buf [8]byte
+		buf[0] = byte(target >> 24)
+		buf[1] = byte(target >> 16)
+		buf[2] = byte(target >> 8)
+		buf[3] = byte(target)
+		buf[4] = byte(salt >> 24)
+		buf[5] = byte(salt >> 16)
+		buf[6] = byte(salt >> 8)
+		buf[7] = byte(salt)
+		_, _ = h.Write(buf[:])
+		id := d.all[h.Sum64()%uint64(n)]
+		if _, dup := used[id]; dup {
+			continue
+		}
+		used[id] = struct{}{}
+		out = append(out, id)
+	}
+	return out
+}

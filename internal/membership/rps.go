@@ -1,0 +1,229 @@
+package membership
+
+import (
+	"fmt"
+
+	"lifting/internal/msg"
+	"lifting/internal/rng"
+)
+
+// RPS is a Cyclon-style random peer sampling instance: each node keeps a
+// small partial view and periodically shuffles a random slice of it with
+// its oldest neighbour. After a few rounds the view is a fresh uniform
+// sample of the live population, which is the service the paper assumes as
+// an alternative to full membership (§2, [13, 18]).
+//
+// The shuffle exchange is modelled as a direct state swap between the two
+// instances (the dissemination and verification layers are the subject of
+// this reproduction; the sampling layer is a substrate). RPSNetwork drives
+// the rounds.
+type RPS struct {
+	self       msg.NodeID
+	viewSize   int
+	shuffleLen int
+	rand       *rng.Stream
+	view       []viewEntry
+}
+
+type viewEntry struct {
+	id  msg.NodeID
+	age int
+}
+
+// NewRPS creates an instance with the given view size and shuffle length,
+// bootstrapped from seed peers (typically a few contacts).
+func NewRPS(self msg.NodeID, viewSize, shuffleLen int, seedPeers []msg.NodeID, rand *rng.Stream) *RPS {
+	if viewSize <= 0 || shuffleLen <= 0 || shuffleLen > viewSize {
+		panic(fmt.Sprintf("membership: invalid RPS sizes view=%d shuffle=%d", viewSize, shuffleLen))
+	}
+	r := &RPS{self: self, viewSize: viewSize, shuffleLen: shuffleLen, rand: rand}
+	for _, p := range seedPeers {
+		if p != self && len(r.view) < viewSize {
+			r.view = append(r.view, viewEntry{id: p})
+		}
+	}
+	return r
+}
+
+// Self returns the owner's id.
+func (r *RPS) Self() msg.NodeID { return r.self }
+
+// ViewIDs returns the current view (copy).
+func (r *RPS) ViewIDs() []msg.NodeID {
+	out := make([]msg.NodeID, len(r.view))
+	for i, e := range r.view {
+		out[i] = e.id
+	}
+	return out
+}
+
+// Sample returns up to k distinct peers drawn from the current view. The
+// freshness guarantees of the shuffle make repeated samples approximate
+// uniform sampling over the population.
+func (r *RPS) Sample(k int) []msg.NodeID {
+	if k > len(r.view) {
+		k = len(r.view)
+	}
+	if k <= 0 {
+		return nil
+	}
+	idx := r.rand.SampleK(len(r.view), k)
+	out := make([]msg.NodeID, 0, k)
+	for _, i := range idx {
+		out = append(out, r.view[i].id)
+	}
+	return out
+}
+
+// oldest returns the index of the oldest view entry.
+func (r *RPS) oldest() int {
+	best := 0
+	for i, e := range r.view {
+		if e.age > r.view[best].age {
+			best = i
+		}
+	}
+	return best
+}
+
+// shuffleSubset picks l view indices, always including must (or -1 for
+// none).
+func (r *RPS) shuffleSubset(l, must int) []int {
+	idx := r.rand.SampleK(len(r.view), min(l, len(r.view)))
+	if must >= 0 {
+		found := false
+		for _, i := range idx {
+			if i == must {
+				found = true
+				break
+			}
+		}
+		if !found {
+			idx[0] = must
+		}
+	}
+	return idx
+}
+
+// integrate merges received entries into the view, dropping entries that
+// were sent away first, then duplicates, then the oldest.
+func (r *RPS) integrate(received []viewEntry, sentAway map[msg.NodeID]bool) {
+	have := make(map[msg.NodeID]int, len(r.view))
+	for i, e := range r.view {
+		have[e.id] = i
+	}
+	for _, in := range received {
+		if in.id == r.self {
+			continue
+		}
+		if j, dup := have[in.id]; dup {
+			if in.age < r.view[j].age {
+				r.view[j].age = in.age
+			}
+			continue
+		}
+		if len(r.view) < r.viewSize {
+			r.view = append(r.view, in)
+			have[in.id] = len(r.view) - 1
+			continue
+		}
+		// Replace an entry that was just shuffled away, else the oldest.
+		replaced := false
+		for j, e := range r.view {
+			if sentAway[e.id] {
+				delete(have, e.id)
+				delete(sentAway, e.id)
+				r.view[j] = in
+				have[in.id] = j
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			j := r.oldest()
+			delete(have, r.view[j].id)
+			r.view[j] = in
+			have[in.id] = j
+		}
+	}
+}
+
+// RPSNetwork drives the shuffle rounds over a set of instances.
+type RPSNetwork struct {
+	nodes map[msg.NodeID]*RPS
+	order []msg.NodeID
+}
+
+// NewRPSNetwork builds n instances with a ring bootstrap (each node knows
+// its few successors), the standard worst-case start for peer sampling.
+func NewRPSNetwork(n, viewSize, shuffleLen int, root *rng.Stream) *RPSNetwork {
+	net := &RPSNetwork{nodes: make(map[msg.NodeID]*RPS, n)}
+	for i := 0; i < n; i++ {
+		id := msg.NodeID(i)
+		seeds := make([]msg.NodeID, 0, 3)
+		for d := 1; d <= 3; d++ {
+			seeds = append(seeds, msg.NodeID((i+d)%n))
+		}
+		net.nodes[id] = NewRPS(id, viewSize, shuffleLen, seeds, root.ForNode(uint32(i)))
+		net.order = append(net.order, id)
+	}
+	return net
+}
+
+// Node returns the instance for id.
+func (n *RPSNetwork) Node(id msg.NodeID) *RPS { return n.nodes[id] }
+
+// Round performs one shuffle per node, in id order (deterministic).
+func (n *RPSNetwork) Round() {
+	for _, id := range n.order {
+		a := n.nodes[id]
+		if len(a.view) == 0 {
+			continue
+		}
+		for i := range a.view {
+			a.view[i].age++
+		}
+		oldIdx := a.oldest()
+		peer := a.view[oldIdx].id
+		b, ok := n.nodes[peer]
+		if !ok {
+			// Departed peer: drop it.
+			a.view = append(a.view[:oldIdx], a.view[oldIdx+1:]...)
+			continue
+		}
+
+		// A sends a subset including a fresh self-entry, removing the
+		// oldest entry (the shuffle partner).
+		aIdx := a.shuffleSubset(a.shuffleLen-1, oldIdx)
+		aSent := make([]viewEntry, 0, len(aIdx)+1)
+		aAway := make(map[msg.NodeID]bool, len(aIdx))
+		for _, i := range aIdx {
+			aSent = append(aSent, a.view[i])
+			aAway[a.view[i].id] = true
+		}
+		aSent = append(aSent, viewEntry{id: a.self, age: 0})
+
+		bIdx := b.shuffleSubset(b.shuffleLen, -1)
+		bSent := make([]viewEntry, 0, len(bIdx))
+		bAway := make(map[msg.NodeID]bool, len(bIdx))
+		for _, i := range bIdx {
+			bSent = append(bSent, b.view[i])
+			bAway[b.view[i].id] = true
+		}
+
+		a.integrate(bSent, aAway)
+		b.integrate(aSent, bAway)
+	}
+}
+
+// Remove deletes a node (crash/expulsion); stale references age out of the
+// other views through the shuffle.
+func (n *RPSNetwork) Remove(id msg.NodeID) {
+	delete(n.nodes, id)
+	for i, o := range n.order {
+		if o == id {
+			n.order = append(n.order[:i], n.order[i+1:]...)
+			break
+		}
+	}
+}

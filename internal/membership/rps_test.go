@@ -1,0 +1,177 @@
+package membership
+
+import (
+	"math"
+	"testing"
+
+	"lifting/internal/msg"
+	"lifting/internal/rng"
+	"lifting/internal/stats"
+)
+
+func newRPSNet(t *testing.T, n int) *RPSNetwork {
+	t.Helper()
+	return NewRPSNetwork(n, 16, 8, rng.New(3))
+}
+
+func TestRPSInvalidSizesPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid sizes did not panic")
+		}
+	}()
+	NewRPS(1, 4, 8, nil, rng.New(1))
+}
+
+func TestRPSViewNeverContainsSelfOrDuplicates(t *testing.T) {
+	net := newRPSNet(t, 60)
+	for round := 0; round < 50; round++ {
+		net.Round()
+		for id, node := range net.nodes {
+			seen := map[msg.NodeID]bool{}
+			for _, v := range node.ViewIDs() {
+				if v == id {
+					t.Fatalf("round %d: node %d has itself in view", round, id)
+				}
+				if seen[v] {
+					t.Fatalf("round %d: node %d has duplicate %d", round, id, v)
+				}
+				seen[v] = true
+			}
+		}
+	}
+}
+
+func TestRPSViewsFill(t *testing.T) {
+	net := newRPSNet(t, 60)
+	for round := 0; round < 30; round++ {
+		net.Round()
+	}
+	for id, node := range net.nodes {
+		if len(node.ViewIDs()) < 12 {
+			t.Fatalf("node %d view has only %d entries after 30 rounds", id, len(node.ViewIDs()))
+		}
+	}
+}
+
+func TestRPSMixesBeyondRingNeighbours(t *testing.T) {
+	// Bootstrap is a ring; after shuffling, views must reach far nodes.
+	const n = 100
+	net := newRPSNet(t, n)
+	for round := 0; round < 40; round++ {
+		net.Round()
+	}
+	farCount := 0
+	total := 0
+	for id, node := range net.nodes {
+		for _, v := range node.ViewIDs() {
+			total++
+			d := int(v) - int(id)
+			if d < 0 {
+				d = -d
+			}
+			if d > n/2 {
+				d = n - d
+			}
+			if d > 10 {
+				farCount++
+			}
+		}
+	}
+	if frac := float64(farCount) / float64(total); frac < 0.5 {
+		t.Fatalf("views still ring-local after mixing: only %v far entries", frac)
+	}
+}
+
+func TestRPSSamplingApproximatelyUniform(t *testing.T) {
+	// Sampling one partner per round from a node's view, over many rounds,
+	// must hit the whole population roughly uniformly — the property the
+	// gossip protocol needs from its peer sampling service (§2).
+	const n = 80
+	net := newRPSNet(t, n)
+	for round := 0; round < 30; round++ {
+		net.Round()
+	}
+	counts := make([]int, n)
+	const rounds = 4000
+	node := net.Node(0)
+	for i := 0; i < rounds; i++ {
+		net.Round()
+		for _, p := range node.Sample(2) {
+			counts[p]++
+		}
+	}
+	if counts[0] != 0 {
+		t.Fatal("node sampled itself")
+	}
+	chi := stats.ChiSquareUniform(counts[1:])
+	// 78 degrees of freedom; 1e-4 critical value ≈ 135. The shuffle is not
+	// a perfect sampler (that is exactly why γ must tolerate deviation,
+	// §5.3), so the bar is loose but still two-sided meaningful.
+	if chi > 220 {
+		t.Fatalf("RPS sampling chi-square = %v, far from uniform", chi)
+	}
+}
+
+func TestRPSHistoryEntropyPassesGamma(t *testing.T) {
+	// The paper's γ must tolerate the imperfection of peer sampling
+	// (§5.3). Build nh·f = 600-entry histories by sampling from RPS views
+	// and check their entropy against a γ scaled for this population
+	// (n = 200 → max ≈ log2(min(600, 199)) = 7.6; the paper's 8.95 assumes
+	// n = 10,000).
+	const n = 200
+	net := newRPSNet(t, n)
+	for round := 0; round < 30; round++ {
+		net.Round()
+	}
+	node := net.Node(5)
+	hist := stats.NewMultiset[msg.NodeID]()
+	for len(hist.Elements()) < 600 {
+		net.Round()
+		for _, p := range node.Sample(12) {
+			hist.Add(p)
+		}
+	}
+	h := hist.Entropy()
+	maxH := math.Log2(float64(n - 1))
+	if h < 0.93*maxH {
+		t.Fatalf("RPS-driven history entropy %v too far below max %v — γ would wrongly expel", h, maxH)
+	}
+}
+
+func TestRPSRemoveNodeHealsViews(t *testing.T) {
+	net := newRPSNet(t, 40)
+	for round := 0; round < 20; round++ {
+		net.Round()
+	}
+	net.Remove(7)
+	for round := 0; round < 60; round++ {
+		net.Round()
+	}
+	for id, node := range net.nodes {
+		for _, v := range node.ViewIDs() {
+			if v == 7 {
+				t.Fatalf("node %d still references removed node after 60 rounds", id)
+			}
+		}
+	}
+}
+
+func TestRPSDeterministic(t *testing.T) {
+	runOnce := func() []msg.NodeID {
+		net := NewRPSNetwork(30, 8, 4, rng.New(9))
+		for round := 0; round < 25; round++ {
+			net.Round()
+		}
+		return net.Node(3).ViewIDs()
+	}
+	a, b := runOnce(), runOnce()
+	if len(a) != len(b) {
+		t.Fatal("runs diverged in view size")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("identical runs produced different views")
+		}
+	}
+}

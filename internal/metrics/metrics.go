@@ -1,0 +1,146 @@
+// Package metrics collects message and byte counters for the dissemination
+// protocol and LiFTinG's verifications. It feeds the overhead accounting of
+// Table 3 (message counts) and Table 5 (bandwidth overhead) of the paper.
+package metrics
+
+import (
+	"sync"
+
+	"lifting/internal/msg"
+)
+
+// PerNode aggregates traffic for a single node.
+type PerNode struct {
+	SentMsgs  uint64
+	SentBytes uint64
+	RecvMsgs  uint64
+	RecvBytes uint64
+}
+
+// Collector accumulates global and per-node traffic statistics. It is safe
+// for concurrent use (the live runtime delivers from many goroutines); under
+// the single-threaded simulator the lock is uncontended.
+//
+// The zero value is not usable; create one with NewCollector.
+type Collector struct {
+	mu        sync.Mutex
+	sentMsgs  map[msg.Kind]uint64
+	sentBytes map[msg.Kind]uint64
+	dropped   map[msg.Kind]uint64
+	perNode   map[msg.NodeID]*PerNode
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{
+		sentMsgs:  make(map[msg.Kind]uint64),
+		sentBytes: make(map[msg.Kind]uint64),
+		dropped:   make(map[msg.Kind]uint64),
+		perNode:   make(map[msg.NodeID]*PerNode),
+	}
+}
+
+// OnSend records that from sent m (size bytes on the wire).
+func (c *Collector) OnSend(from msg.NodeID, m msg.Message, size int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sentMsgs[m.Kind()]++
+	c.sentBytes[m.Kind()] += uint64(size)
+	n := c.node(from)
+	n.SentMsgs++
+	n.SentBytes += uint64(size)
+}
+
+// OnDeliver records that to received m (size bytes on the wire).
+func (c *Collector) OnDeliver(to msg.NodeID, m msg.Message, size int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := c.node(to)
+	n.RecvMsgs++
+	n.RecvBytes += uint64(size)
+}
+
+// OnDrop records that a message of the given kind was lost in transit.
+func (c *Collector) OnDrop(m msg.Message) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.dropped[m.Kind()]++
+}
+
+func (c *Collector) node(id msg.NodeID) *PerNode {
+	n, ok := c.perNode[id]
+	if !ok {
+		n = &PerNode{}
+		c.perNode[id] = n
+	}
+	return n
+}
+
+// SentMsgs returns the number of messages of the given kind sent.
+func (c *Collector) SentMsgs(k msg.Kind) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sentMsgs[k]
+}
+
+// SentBytes returns the number of bytes of the given kind sent.
+func (c *Collector) SentBytes(k msg.Kind) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sentBytes[k]
+}
+
+// Dropped returns the number of messages of the given kind lost in transit.
+func (c *Collector) Dropped(k msg.Kind) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropped[k]
+}
+
+// Node returns a copy of the per-node counters for id.
+func (c *Collector) Node(id msg.NodeID) PerNode {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n, ok := c.perNode[id]; ok {
+		return *n
+	}
+	return PerNode{}
+}
+
+// Totals sums counters over every kind for which include returns true and
+// reports (messages, bytes).
+func (c *Collector) Totals(include func(msg.Kind) bool) (msgs, bytes uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k, n := range c.sentMsgs {
+		if include(k) {
+			msgs += n
+			bytes += c.sentBytes[k]
+		}
+	}
+	return msgs, bytes
+}
+
+// VerificationTotals reports messages and bytes sent by LiFTinG
+// verifications (everything except propose/request/serve).
+func (c *Collector) VerificationTotals() (msgs, bytes uint64) {
+	return c.Totals(func(k msg.Kind) bool { return k.IsVerification() })
+}
+
+// ProtocolTotals reports messages and bytes sent by the dissemination
+// protocol itself (propose/request/serve).
+func (c *Collector) ProtocolTotals() (msgs, bytes uint64) {
+	return c.Totals(func(k msg.Kind) bool { return !k.IsVerification() })
+}
+
+// Overhead returns LiFTinG's relative bandwidth overhead: verification bytes
+// divided by dissemination bytes (Table 5's metric). It returns 0 when no
+// dissemination traffic was recorded.
+func (c *Collector) Overhead() float64 {
+	_, vb := c.VerificationTotals()
+	_, pb := c.ProtocolTotals()
+	if pb == 0 {
+		return 0
+	}
+	return float64(vb) / float64(pb)
+}

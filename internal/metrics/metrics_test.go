@@ -1,0 +1,107 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"lifting/internal/msg"
+)
+
+func TestCounters(t *testing.T) {
+	c := NewCollector()
+	serve := &msg.Serve{Sender: 1, Chunk: 1, PayloadSize: 1000}
+	ack := &msg.Ack{Sender: 2, Chunks: []msg.ChunkID{1}}
+	c.OnSend(1, serve, serve.WireSize())
+	c.OnSend(1, serve, serve.WireSize())
+	c.OnSend(2, ack, ack.WireSize())
+	c.OnDeliver(3, serve, serve.WireSize())
+	c.OnDrop(serve)
+
+	if got := c.SentMsgs(msg.KindServe); got != 2 {
+		t.Fatalf("SentMsgs(serve) = %d, want 2", got)
+	}
+	if got := c.SentBytes(msg.KindServe); got != uint64(2*serve.WireSize()) {
+		t.Fatalf("SentBytes(serve) = %d", got)
+	}
+	if got := c.Dropped(msg.KindServe); got != 1 {
+		t.Fatalf("Dropped = %d, want 1", got)
+	}
+	n1 := c.Node(1)
+	if n1.SentMsgs != 2 || n1.SentBytes != uint64(2*serve.WireSize()) {
+		t.Fatalf("node 1 counters: %+v", n1)
+	}
+	n3 := c.Node(3)
+	if n3.RecvMsgs != 1 {
+		t.Fatalf("node 3 counters: %+v", n3)
+	}
+	if got := c.Node(99); got != (PerNode{}) {
+		t.Fatalf("unknown node counters: %+v", got)
+	}
+}
+
+func TestOverheadRatio(t *testing.T) {
+	c := NewCollector()
+	serve := &msg.Serve{Sender: 1, Chunk: 1, PayloadSize: 10000}
+	blame := &msg.Blame{Sender: 2, Target: 3, Value: 1}
+	c.OnSend(1, serve, serve.WireSize())
+	c.OnSend(2, blame, blame.WireSize())
+
+	vm, vb := c.VerificationTotals()
+	pm, pb := c.ProtocolTotals()
+	if vm != 1 || pm != 1 {
+		t.Fatalf("message totals = %d/%d", vm, pm)
+	}
+	want := float64(vb) / float64(pb)
+	if got := c.Overhead(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Overhead = %v, want %v", got, want)
+	}
+	if want > 0.02 {
+		t.Fatalf("verification bytes should be tiny next to a 10 kB serve: %v", want)
+	}
+}
+
+func TestOverheadZeroWithoutProtocolTraffic(t *testing.T) {
+	c := NewCollector()
+	blame := &msg.Blame{Sender: 2, Target: 3, Value: 1}
+	c.OnSend(2, blame, blame.WireSize())
+	if got := c.Overhead(); got != 0 {
+		t.Fatalf("Overhead without protocol bytes = %v, want 0", got)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	// The live runtime records from many goroutines.
+	c := NewCollector()
+	m := &msg.ScoreReq{Sender: 1, Target: 2}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.OnSend(1, m, m.WireSize())
+				c.OnDeliver(2, m, m.WireSize())
+				c.OnDrop(m)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.SentMsgs(msg.KindScoreReq); got != 8000 {
+		t.Fatalf("concurrent sends = %d, want 8000", got)
+	}
+	if got := c.Dropped(msg.KindScoreReq); got != 8000 {
+		t.Fatalf("concurrent drops = %d, want 8000", got)
+	}
+}
+
+func TestTotalsFilter(t *testing.T) {
+	c := NewCollector()
+	c.OnSend(1, &msg.Propose{Sender: 1}, 100)
+	c.OnSend(1, &msg.Request{Sender: 1}, 50)
+	c.OnSend(1, &msg.Confirm{Sender: 1}, 40)
+	msgs, bytes := c.Totals(func(k msg.Kind) bool { return k == msg.KindPropose })
+	if msgs != 1 || bytes != 100 {
+		t.Fatalf("filtered totals = %d/%d", msgs, bytes)
+	}
+}

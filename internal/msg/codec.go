@@ -1,0 +1,458 @@
+package msg
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Codec errors.
+var (
+	ErrTruncated   = errors.New("msg: truncated message")
+	ErrUnknownKind = errors.New("msg: unknown message kind")
+	ErrTooLong     = errors.New("msg: list too long for wire format")
+)
+
+const maxListLen = 1<<16 - 1
+
+// Encode serializes m into a fresh byte slice. The layout is
+// kind(1) | sender(4) | kind-specific body, all big-endian.
+func Encode(m Message) ([]byte, error) {
+	w := &writer{buf: make([]byte, 0, 64)}
+	w.u8(uint8(m.Kind()))
+	w.u32(uint32(m.From()))
+	switch v := m.(type) {
+	case *Propose:
+		w.u32(uint32(v.Period))
+		if err := w.chunkList(v.Chunks); err != nil {
+			return nil, err
+		}
+		if err := w.nodeList(v.Origins); err != nil {
+			return nil, err
+		}
+	case *Request:
+		w.u32(uint32(v.Period))
+		if err := w.chunkList(v.Chunks); err != nil {
+			return nil, err
+		}
+	case *Serve:
+		w.u32(uint32(v.Period))
+		w.u32(uint32(v.Chunk))
+		w.u32(uint32(v.PayloadSize))
+	case *Ack:
+		w.u32(uint32(v.Period))
+		if err := w.chunkList(v.Chunks); err != nil {
+			return nil, err
+		}
+		if err := w.nodeList(v.Partners); err != nil {
+			return nil, err
+		}
+	case *Confirm:
+		w.u32(uint32(v.Suspect))
+		w.u32(uint32(v.Period))
+		if err := w.chunkList(v.Chunks); err != nil {
+			return nil, err
+		}
+	case *ConfirmResp:
+		w.u32(uint32(v.Suspect))
+		w.u32(uint32(v.Period))
+		w.bool(v.Confirmed)
+	case *Blame:
+		w.u32(uint32(v.Target))
+		w.f64(v.Value)
+		w.u8(uint8(v.Reason))
+	case *ScoreReq:
+		w.u32(uint32(v.Target))
+	case *ScoreResp:
+		w.u32(uint32(v.Target))
+		w.f64(v.Score)
+		w.bool(v.Expelled)
+	case *Expel:
+		w.u32(uint32(v.Target))
+		w.u8(uint8(v.Reason))
+	case *AuditReq:
+		w.u64(uint64(v.Horizon))
+	case *AuditResp:
+		if len(v.Proposals) > maxListLen || len(v.Serves) > maxListLen {
+			return nil, ErrTooLong
+		}
+		w.u16(uint16(len(v.Proposals)))
+		for i := range v.Proposals {
+			r := &v.Proposals[i]
+			w.u32(uint32(r.Period))
+			w.u32(uint32(r.Partner))
+			if err := w.chunkList(r.Chunks); err != nil {
+				return nil, err
+			}
+		}
+		w.u16(uint16(len(v.Serves)))
+		for i := range v.Serves {
+			r := &v.Serves[i]
+			w.u32(uint32(r.Period))
+			w.u32(uint32(r.Server))
+			if err := w.chunkList(r.Chunks); err != nil {
+				return nil, err
+			}
+		}
+	case *AuditPoll:
+		w.u32(uint32(v.Suspect))
+		w.u32(uint32(v.Period))
+		if err := w.chunkList(v.Chunks); err != nil {
+			return nil, err
+		}
+	case *AuditPollResp:
+		w.u32(uint32(v.Suspect))
+		w.u32(uint32(v.Period))
+		w.bool(v.Confirmed)
+		if err := w.nodeList(v.Askers); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("%w: %T", ErrUnknownKind, m)
+	}
+	return w.buf, nil
+}
+
+// Decode parses a message previously produced by Encode.
+func Decode(b []byte) (Message, error) {
+	r := &reader{buf: b}
+	kind, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	sender32, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	sender := NodeID(sender32)
+	var m Message
+	switch Kind(kind) {
+	case KindPropose:
+		v := &Propose{Sender: sender}
+		v.Period, err = r.period()
+		if err == nil {
+			v.Chunks, err = r.chunkList()
+		}
+		if err == nil {
+			v.Origins, err = r.nodeList()
+		}
+		m = v
+	case KindRequest:
+		v := &Request{Sender: sender}
+		v.Period, err = r.period()
+		if err == nil {
+			v.Chunks, err = r.chunkList()
+		}
+		m = v
+	case KindServe:
+		v := &Serve{Sender: sender}
+		v.Period, err = r.period()
+		var c, p uint32
+		if err == nil {
+			c, err = r.u32()
+			v.Chunk = ChunkID(c)
+		}
+		if err == nil {
+			p, err = r.u32()
+			v.PayloadSize = int(p)
+		}
+		m = v
+	case KindAck:
+		v := &Ack{Sender: sender}
+		v.Period, err = r.period()
+		if err == nil {
+			v.Chunks, err = r.chunkList()
+		}
+		if err == nil {
+			v.Partners, err = r.nodeList()
+		}
+		m = v
+	case KindConfirm:
+		v := &Confirm{Sender: sender}
+		v.Suspect, err = r.node()
+		if err == nil {
+			v.Period, err = r.period()
+		}
+		if err == nil {
+			v.Chunks, err = r.chunkList()
+		}
+		m = v
+	case KindConfirmResp:
+		v := &ConfirmResp{Sender: sender}
+		v.Suspect, err = r.node()
+		if err == nil {
+			v.Period, err = r.period()
+		}
+		if err == nil {
+			v.Confirmed, err = r.bool()
+		}
+		m = v
+	case KindBlame:
+		v := &Blame{Sender: sender}
+		v.Target, err = r.node()
+		if err == nil {
+			v.Value, err = r.f64()
+		}
+		var reason uint8
+		if err == nil {
+			reason, err = r.u8()
+			v.Reason = BlameReason(reason)
+		}
+		m = v
+	case KindScoreReq:
+		v := &ScoreReq{Sender: sender}
+		v.Target, err = r.node()
+		m = v
+	case KindScoreResp:
+		v := &ScoreResp{Sender: sender}
+		v.Target, err = r.node()
+		if err == nil {
+			v.Score, err = r.f64()
+		}
+		if err == nil {
+			v.Expelled, err = r.bool()
+		}
+		m = v
+	case KindExpel:
+		v := &Expel{Sender: sender}
+		v.Target, err = r.node()
+		var reason uint8
+		if err == nil {
+			reason, err = r.u8()
+			v.Reason = BlameReason(reason)
+		}
+		m = v
+	case KindAuditReq:
+		v := &AuditReq{Sender: sender}
+		var h uint64
+		h, err = r.u64()
+		v.Horizon = time.Duration(h)
+		m = v
+	case KindAuditResp:
+		v := &AuditResp{Sender: sender}
+		var n uint16
+		n, err = r.u16()
+		if err == nil && n > 0 {
+			v.Proposals = make([]ProposalRecord, n)
+			for i := range v.Proposals {
+				rec := &v.Proposals[i]
+				rec.Period, err = r.period()
+				if err == nil {
+					rec.Partner, err = r.node()
+				}
+				if err == nil {
+					rec.Chunks, err = r.chunkList()
+				}
+				if err != nil {
+					break
+				}
+			}
+		}
+		if err == nil {
+			n, err = r.u16()
+		}
+		if err == nil && n > 0 {
+			v.Serves = make([]ServeRecord, n)
+			for i := range v.Serves {
+				rec := &v.Serves[i]
+				rec.Period, err = r.period()
+				if err == nil {
+					rec.Server, err = r.node()
+				}
+				if err == nil {
+					rec.Chunks, err = r.chunkList()
+				}
+				if err != nil {
+					break
+				}
+			}
+		}
+		m = v
+	case KindAuditPoll:
+		v := &AuditPoll{Sender: sender}
+		v.Suspect, err = r.node()
+		if err == nil {
+			v.Period, err = r.period()
+		}
+		if err == nil {
+			v.Chunks, err = r.chunkList()
+		}
+		m = v
+	case KindAuditPollResp:
+		v := &AuditPollResp{Sender: sender}
+		v.Suspect, err = r.node()
+		if err == nil {
+			v.Period, err = r.period()
+		}
+		if err == nil {
+			v.Confirmed, err = r.bool()
+		}
+		if err == nil {
+			v.Askers, err = r.nodeList()
+		}
+		m = v
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrUnknownKind, kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(r.buf) != r.off {
+		return nil, fmt.Errorf("msg: %d trailing bytes after %s", len(r.buf)-r.off, Kind(kind))
+	}
+	return m, nil
+}
+
+type writer struct {
+	buf []byte
+}
+
+func (w *writer) u8(v uint8)   { w.buf = append(w.buf, v) }
+func (w *writer) u16(v uint16) { w.buf = binary.BigEndian.AppendUint16(w.buf, v) }
+func (w *writer) u32(v uint32) { w.buf = binary.BigEndian.AppendUint32(w.buf, v) }
+func (w *writer) u64(v uint64) { w.buf = binary.BigEndian.AppendUint64(w.buf, v) }
+func (w *writer) f64(v float64) {
+	w.u64(math.Float64bits(v))
+}
+
+func (w *writer) bool(v bool) {
+	if v {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+}
+
+func (w *writer) chunkList(chunks []ChunkID) error {
+	if len(chunks) > maxListLen {
+		return ErrTooLong
+	}
+	w.u16(uint16(len(chunks)))
+	for _, c := range chunks {
+		w.u32(uint32(c))
+	}
+	return nil
+}
+
+func (w *writer) nodeList(nodes []NodeID) error {
+	if len(nodes) > maxListLen {
+		return ErrTooLong
+	}
+	w.u16(uint16(len(nodes)))
+	for _, n := range nodes {
+		w.u32(uint32(n))
+	}
+	return nil
+}
+
+type reader struct {
+	buf []byte
+	off int
+}
+
+func (r *reader) take(n int) ([]byte, error) {
+	if r.off+n > len(r.buf) {
+		return nil, ErrTruncated
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b, nil
+}
+
+func (r *reader) u8() (uint8, error) {
+	b, err := r.take(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (r *reader) u16() (uint16, error) {
+	b, err := r.take(2)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint16(b), nil
+}
+
+func (r *reader) u32() (uint32, error) {
+	b, err := r.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint32(b), nil
+}
+
+func (r *reader) u64() (uint64, error) {
+	b, err := r.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint64(b), nil
+}
+
+func (r *reader) f64() (float64, error) {
+	v, err := r.u64()
+	if err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(v), nil
+}
+
+func (r *reader) bool() (bool, error) {
+	v, err := r.u8()
+	if err != nil {
+		return false, err
+	}
+	return v != 0, nil
+}
+
+func (r *reader) node() (NodeID, error) {
+	v, err := r.u32()
+	return NodeID(v), err
+}
+
+func (r *reader) period() (Period, error) {
+	v, err := r.u32()
+	return Period(v), err
+}
+
+func (r *reader) chunkList() ([]ChunkID, error) {
+	n, err := r.u16()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]ChunkID, n)
+	for i := range out {
+		v, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = ChunkID(v)
+	}
+	return out, nil
+}
+
+func (r *reader) nodeList() ([]NodeID, error) {
+	n, err := r.u16()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]NodeID, n)
+	for i := range out {
+		v, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = NodeID(v)
+	}
+	return out, nil
+}

@@ -1,0 +1,65 @@
+package msg
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestDecodeNeverPanics feeds random byte strings to the decoder: whatever
+// arrives from the network must produce a message or an error, never a
+// panic or a hang.
+func TestDecodeNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("Decode panicked on %x: %v", data, r)
+			}
+		}()
+		m, err := Decode(data)
+		// Either a valid message or an error, not both nil.
+		return (m != nil) != (err != nil)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDecodeValidPrefixMutations flips bytes of valid encodings: decoding
+// must stay panic-free, and successful decodes must re-encode.
+func TestDecodeValidPrefixMutations(t *testing.T) {
+	seeds := allMessages()
+	for _, m := range seeds {
+		b, err := Encode(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range b {
+			for _, delta := range []byte{0x01, 0x80, 0xFF} {
+				mut := append([]byte(nil), b...)
+				mut[i] ^= delta
+				decoded, err := Decode(mut)
+				if err != nil {
+					continue
+				}
+				if _, err := Encode(decoded); err != nil {
+					t.Fatalf("re-encoding a decoded mutation failed: %v", err)
+				}
+			}
+		}
+	}
+}
+
+// TestDecodeLengthBomb checks that a huge claimed list length on a short
+// message errors out instead of allocating unbounded memory and crashing.
+func TestDecodeLengthBomb(t *testing.T) {
+	// Propose with a claimed 65535-chunk list but no payload.
+	b := []byte{
+		byte(KindPropose),
+		0, 0, 0, 1, // sender
+		0, 0, 0, 2, // period
+		0xFF, 0xFF, // chunk count 65535
+	}
+	if _, err := Decode(b); err == nil {
+		t.Fatal("length bomb decoded successfully")
+	}
+}

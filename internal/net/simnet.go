@@ -1,0 +1,134 @@
+package net
+
+import (
+	"time"
+
+	"lifting/internal/metrics"
+	"lifting/internal/msg"
+	"lifting/internal/rng"
+	"lifting/internal/sim"
+)
+
+// reliableSetupFactor models the extra one-way latency of establishing a TCP
+// connection (SYN/SYN-ACK) relative to a bare datagram.
+const reliableSetupFactor = 3
+
+// SimNet delivers messages through the discrete-event engine. It is the
+// simulation-side implementation of Network.
+type SimNet struct {
+	engine    *sim.Engine
+	rand      *rng.Stream
+	collector *metrics.Collector
+	handlers  map[msg.NodeID]Handler
+	conds     map[msg.NodeID]*Conditions
+	uplink    map[msg.NodeID]time.Duration // uplink busy-until, per node
+	defaults  Conditions
+}
+
+var _ Network = (*SimNet)(nil)
+
+// NewSimNet creates a network on the given engine. rand is the loss/latency
+// randomness source; collector may be nil to disable accounting; defaults
+// apply to nodes without explicit conditions.
+func NewSimNet(engine *sim.Engine, rand *rng.Stream, collector *metrics.Collector, defaults Conditions) *SimNet {
+	return &SimNet{
+		engine:    engine,
+		rand:      rand,
+		collector: collector,
+		handlers:  make(map[msg.NodeID]Handler),
+		conds:     make(map[msg.NodeID]*Conditions),
+		uplink:    make(map[msg.NodeID]time.Duration),
+		defaults:  defaults,
+	}
+}
+
+// Attach registers the handler for a node. A nil handler detaches the node.
+func (n *SimNet) Attach(id msg.NodeID, h Handler) {
+	if h == nil {
+		delete(n.handlers, id)
+		return
+	}
+	n.handlers[id] = h
+}
+
+// SetConditions overrides the connection quality of a node.
+func (n *SimNet) SetConditions(id msg.NodeID, c Conditions) {
+	cc := c
+	n.conds[id] = &cc
+}
+
+// ConditionsOf returns the effective conditions of a node.
+func (n *SimNet) ConditionsOf(id msg.NodeID) Conditions {
+	if c, ok := n.conds[id]; ok {
+		return *c
+	}
+	return n.defaults
+}
+
+// SetDown marks a node as departed (true) or alive (false), preserving its
+// other conditions.
+func (n *SimNet) SetDown(id msg.NodeID, down bool) {
+	c := n.ConditionsOf(id)
+	c.Down = down
+	n.conds[id] = &c
+}
+
+// Send implements Network. The message is delivered through the event queue
+// after uplink serialization and propagation delay, unless it is lost.
+func (n *SimNet) Send(from, to msg.NodeID, m msg.Message, mode Mode) {
+	size := m.WireSize()
+	if n.collector != nil {
+		n.collector.OnSend(from, m, size)
+	}
+	src := n.ConditionsOf(from)
+	dst := n.ConditionsOf(to)
+	if src.Down || dst.Down {
+		n.drop(m)
+		return
+	}
+	if mode == Unreliable {
+		if n.rand.Bernoulli(src.LossOut) || n.rand.Bernoulli(dst.LossIn) {
+			n.drop(m)
+			return
+		}
+	}
+
+	now := n.engine.Now()
+	start := now
+	if busy := n.uplink[from]; busy > start {
+		start = busy
+	}
+	var tx time.Duration
+	if src.UplinkBps > 0 {
+		tx = time.Duration(float64(size) / src.UplinkBps * float64(time.Second))
+	}
+	n.uplink[from] = start + tx
+
+	latency := src.LatencyBase/2 + dst.LatencyBase/2
+	jitter := src.LatencyJitter/2 + dst.LatencyJitter/2
+	if jitter > 0 {
+		latency += time.Duration(n.rand.Float64() * float64(jitter))
+	}
+	if mode == Reliable {
+		latency *= reliableSetupFactor
+	}
+
+	deliverAt := start + tx + latency - now
+	n.engine.After(deliverAt, func() {
+		h, ok := n.handlers[to]
+		if !ok || n.ConditionsOf(to).Down {
+			n.drop(m)
+			return
+		}
+		if n.collector != nil {
+			n.collector.OnDeliver(to, m, size)
+		}
+		h.HandleMessage(from, m)
+	})
+}
+
+func (n *SimNet) drop(m msg.Message) {
+	if n.collector != nil {
+		n.collector.OnDrop(m)
+	}
+}

@@ -1,0 +1,266 @@
+package net
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"lifting/internal/metrics"
+	"lifting/internal/msg"
+	"lifting/internal/rng"
+	"lifting/internal/sim"
+)
+
+type capture struct {
+	from []msg.NodeID
+	msgs []msg.Message
+	at   []time.Duration
+	eng  *sim.Engine
+}
+
+func (c *capture) HandleMessage(from msg.NodeID, m msg.Message) {
+	c.from = append(c.from, from)
+	c.msgs = append(c.msgs, m)
+	if c.eng != nil {
+		c.at = append(c.at, c.eng.Now())
+	}
+}
+
+func newNet(t *testing.T, defaults Conditions) (*sim.Engine, *SimNet, *metrics.Collector) {
+	t.Helper()
+	eng := sim.NewEngine()
+	col := metrics.NewCollector()
+	n := NewSimNet(eng, rng.New(1), col, defaults)
+	return eng, n, col
+}
+
+func TestLosslessDelivery(t *testing.T) {
+	eng, n, _ := newNet(t, Uniform(0, 10*time.Millisecond))
+	rx := &capture{eng: eng}
+	n.Attach(2, rx)
+	n.Send(1, 2, &msg.ScoreReq{Sender: 1, Target: 9}, Unreliable)
+	eng.RunAll()
+	if len(rx.msgs) != 1 {
+		t.Fatalf("delivered %d messages, want 1", len(rx.msgs))
+	}
+	if rx.from[0] != 1 {
+		t.Fatalf("from = %d, want 1", rx.from[0])
+	}
+	if rx.at[0] != 10*time.Millisecond {
+		t.Fatalf("delivered at %v, want 10ms", rx.at[0])
+	}
+}
+
+func TestLossRate(t *testing.T) {
+	eng, n, col := newNet(t, Uniform(0.07, time.Millisecond))
+	rx := &capture{}
+	n.Attach(2, rx)
+	const total = 50000
+	for i := 0; i < total; i++ {
+		n.Send(1, 2, &msg.ScoreReq{Sender: 1, Target: 2}, Unreliable)
+	}
+	eng.RunAll()
+	got := float64(total-len(rx.msgs)) / total
+	if math.Abs(got-0.07) > 0.01 {
+		t.Fatalf("observed loss %v, want ~0.07", got)
+	}
+	if col.Dropped(msg.KindScoreReq) != uint64(total-len(rx.msgs)) {
+		t.Fatal("drop counter does not match undelivered messages")
+	}
+}
+
+func TestReliableNeverLoses(t *testing.T) {
+	eng, n, _ := newNet(t, Uniform(0.5, time.Millisecond))
+	rx := &capture{}
+	n.Attach(2, rx)
+	const total = 2000
+	for i := 0; i < total; i++ {
+		n.Send(1, 2, &msg.AuditReq{Sender: 1, Horizon: time.Second}, Reliable)
+	}
+	eng.RunAll()
+	if len(rx.msgs) != total {
+		t.Fatalf("reliable mode delivered %d/%d", len(rx.msgs), total)
+	}
+}
+
+func TestReliableSlowerThanUnreliable(t *testing.T) {
+	eng, n, _ := newNet(t, Uniform(0, 10*time.Millisecond))
+	rx := &capture{eng: eng}
+	n.Attach(2, rx)
+	n.Send(1, 2, &msg.ScoreReq{Sender: 1, Target: 2}, Unreliable)
+	n.Send(1, 2, &msg.AuditReq{Sender: 1, Horizon: time.Second}, Reliable)
+	eng.RunAll()
+	if len(rx.at) != 2 {
+		t.Fatal("expected two deliveries")
+	}
+	if rx.at[1] <= rx.at[0] {
+		t.Fatalf("reliable delivery (%v) should be slower than unreliable (%v)", rx.at[1], rx.at[0])
+	}
+}
+
+func TestDownNodeDropsBothDirections(t *testing.T) {
+	eng, n, _ := newNet(t, Uniform(0, time.Millisecond))
+	rx := &capture{}
+	n.Attach(2, rx)
+	n.SetDown(1, true)
+	n.Send(1, 2, &msg.ScoreReq{Sender: 1, Target: 2}, Unreliable)
+	n.SetDown(1, false)
+	n.SetDown(2, true)
+	n.Send(1, 2, &msg.ScoreReq{Sender: 1, Target: 2}, Unreliable)
+	eng.RunAll()
+	if len(rx.msgs) != 0 {
+		t.Fatalf("down node received %d messages", len(rx.msgs))
+	}
+}
+
+func TestDownAtDeliveryTime(t *testing.T) {
+	// A node that goes down while a message is in flight must not receive it.
+	eng, n, _ := newNet(t, Uniform(0, 10*time.Millisecond))
+	rx := &capture{}
+	n.Attach(2, rx)
+	n.Send(1, 2, &msg.ScoreReq{Sender: 1, Target: 2}, Unreliable)
+	eng.After(time.Millisecond, func() { n.SetDown(2, true) })
+	eng.RunAll()
+	if len(rx.msgs) != 0 {
+		t.Fatal("message delivered to a node that went down in flight")
+	}
+}
+
+func TestUnattachedDestinationDrops(t *testing.T) {
+	eng, n, col := newNet(t, Uniform(0, time.Millisecond))
+	n.Send(1, 99, &msg.ScoreReq{Sender: 1, Target: 2}, Unreliable)
+	eng.RunAll()
+	if col.Dropped(msg.KindScoreReq) != 1 {
+		t.Fatal("message to unattached node was not counted as dropped")
+	}
+}
+
+func TestUplinkSerialization(t *testing.T) {
+	// Two 1000-byte-ish messages over a 10 kB/s uplink must be ~0.1 s apart.
+	eng, n, _ := newNet(t, Conditions{UplinkBps: 10000, LatencyBase: 0})
+	rx := &capture{eng: eng}
+	n.Attach(2, rx)
+	big := &msg.Serve{Sender: 1, Chunk: 1, PayloadSize: 1000 - 45}
+	n.Send(1, 2, big, Unreliable)
+	n.Send(1, 2, big, Unreliable)
+	eng.RunAll()
+	if len(rx.at) != 2 {
+		t.Fatalf("delivered %d, want 2", len(rx.at))
+	}
+	gap := rx.at[1] - rx.at[0]
+	if math.Abs(gap.Seconds()-0.1) > 0.001 {
+		t.Fatalf("uplink gap = %v, want ~100ms", gap)
+	}
+}
+
+func TestUplinkUnlimitedWhenZero(t *testing.T) {
+	eng, n, _ := newNet(t, Conditions{LatencyBase: time.Millisecond})
+	rx := &capture{eng: eng}
+	n.Attach(2, rx)
+	n.Send(1, 2, &msg.Serve{Sender: 1, Chunk: 1, PayloadSize: 1 << 20}, Unreliable)
+	eng.RunAll()
+	if rx.at[0] != time.Millisecond {
+		t.Fatalf("unlimited uplink delivery at %v, want 1ms", rx.at[0])
+	}
+}
+
+func TestPerNodeConditionsOverride(t *testing.T) {
+	eng, n, _ := newNet(t, Uniform(0, time.Millisecond))
+	n.SetConditions(3, Conditions{LossIn: 1})
+	rx := &capture{}
+	n.Attach(3, rx)
+	for i := 0; i < 100; i++ {
+		n.Send(1, 3, &msg.ScoreReq{Sender: 1, Target: 3}, Unreliable)
+	}
+	eng.RunAll()
+	if len(rx.msgs) != 0 {
+		t.Fatal("LossIn=1 node still received messages")
+	}
+	if got := n.ConditionsOf(3).LossIn; got != 1 {
+		t.Fatalf("ConditionsOf(3).LossIn = %v, want 1", got)
+	}
+}
+
+func TestLatencyJitterRange(t *testing.T) {
+	eng, n, _ := newNet(t, Conditions{LatencyBase: 10 * time.Millisecond, LatencyJitter: 10 * time.Millisecond})
+	rx := &capture{eng: eng}
+	n.Attach(2, rx)
+	for i := 0; i < 500; i++ {
+		n.Send(1, 2, &msg.ScoreReq{Sender: 1, Target: 2}, Unreliable)
+	}
+	eng.RunAll()
+	var minAt, maxAt = rx.at[0], rx.at[0]
+	for _, a := range rx.at {
+		if a < minAt {
+			minAt = a
+		}
+		if a > maxAt {
+			maxAt = a
+		}
+	}
+	if minAt < 10*time.Millisecond {
+		t.Fatalf("delivery before base latency: %v", minAt)
+	}
+	if maxAt >= 20*time.Millisecond {
+		t.Fatalf("delivery beyond base+jitter: %v", maxAt)
+	}
+	if maxAt-minAt < time.Millisecond {
+		t.Fatal("jitter appears inactive")
+	}
+}
+
+func TestMetricsAccounting(t *testing.T) {
+	eng, n, col := newNet(t, Uniform(0, time.Millisecond))
+	rx := &capture{}
+	n.Attach(2, rx)
+	serve := &msg.Serve{Sender: 1, Chunk: 1, PayloadSize: 1000}
+	blame := &msg.Blame{Sender: 1, Target: 5, Value: 2}
+	n.Send(1, 2, serve, Unreliable)
+	n.Send(1, 2, blame, Unreliable)
+	eng.RunAll()
+	if col.SentMsgs(msg.KindServe) != 1 || col.SentMsgs(msg.KindBlame) != 1 {
+		t.Fatal("sent counters wrong")
+	}
+	_, vb := col.VerificationTotals()
+	_, pb := col.ProtocolTotals()
+	if vb != uint64(blame.WireSize()) {
+		t.Fatalf("verification bytes = %d, want %d", vb, blame.WireSize())
+	}
+	if pb != uint64(serve.WireSize()) {
+		t.Fatalf("protocol bytes = %d, want %d", pb, serve.WireSize())
+	}
+	if ov := col.Overhead(); math.Abs(ov-float64(vb)/float64(pb)) > 1e-12 {
+		t.Fatalf("overhead = %v", ov)
+	}
+	node1 := col.Node(1)
+	if node1.SentMsgs != 2 || node1.SentBytes == 0 {
+		t.Fatal("per-node counters wrong")
+	}
+	node2 := col.Node(2)
+	if node2.RecvMsgs != 2 {
+		t.Fatal("receiver counters wrong")
+	}
+}
+
+func TestDeterministicDelivery(t *testing.T) {
+	run := func() []time.Duration {
+		eng := sim.NewEngine()
+		n := NewSimNet(eng, rng.New(99), nil, Conditions{LatencyBase: time.Millisecond, LatencyJitter: 5 * time.Millisecond, LossIn: 0.1})
+		rx := &capture{eng: eng}
+		n.Attach(2, rx)
+		for i := 0; i < 200; i++ {
+			n.Send(1, 2, &msg.ScoreReq{Sender: 1, Target: 2}, Unreliable)
+		}
+		eng.RunAll()
+		return rx.at
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("deliveries differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("delivery times diverged between identical runs")
+		}
+	}
+}

@@ -1,0 +1,154 @@
+// Package reputation implements the Alliatrust-like distributed reputation
+// substrate LiFTinG relies on (§5.1 of the paper): every node has M
+// pseudo-random managers that each keep a copy of its score; blames are sent
+// to the managers; scores are read by querying the managers and taking the
+// minimum (which makes score inflation by colluding managers ineffective);
+// expulsion is triggered through the same managers.
+//
+// The package provides two layers:
+//
+//   - Board: the pure score algebra — blame accumulation, per-period
+//     compensation of wrongful blames (b̃ of Equation 5) and normalization
+//     by the time spent in the system (Equation 6). Large-scale experiments
+//     use a Board directly.
+//   - Manager/Client: the message-driven layer used at PlanetLab scale,
+//     where blames and score reads travel as (lossy) messages.
+package reputation
+
+import (
+	"lifting/internal/msg"
+)
+
+// Entry is one tracked node's state on a board.
+type Entry struct {
+	TotalBlame float64
+	JoinPeriod msg.Period
+	Expelled   bool
+	Reason     msg.BlameReason
+}
+
+// Board accumulates blames and computes normalized, compensated scores.
+// The zero value is not usable; create one with NewBoard.
+type Board struct {
+	compensation float64
+	period       msg.Period
+	entries      map[msg.NodeID]*Entry
+}
+
+// NewBoard creates a board. compensation is b̃, the expected wrongful blame
+// applied to an honest node per gossip period (Equation 5); it is added back
+// each period so honest scores average zero (§6.2).
+func NewBoard(compensation float64) *Board {
+	return &Board{
+		compensation: compensation,
+		entries:      make(map[msg.NodeID]*Entry),
+	}
+}
+
+// Compensation returns b̃.
+func (b *Board) Compensation() float64 { return b.compensation }
+
+// SetPeriod advances the board's clock to period p. Scores are normalized by
+// the number of periods a node has been tracked.
+func (b *Board) SetPeriod(p msg.Period) {
+	if p > b.period {
+		b.period = p
+	}
+}
+
+// Period returns the board's current period.
+func (b *Board) Period() msg.Period { return b.period }
+
+// Join starts tracking id as of the board's current period. Joining an
+// already-tracked node is a no-op.
+func (b *Board) Join(id msg.NodeID) {
+	if _, ok := b.entries[id]; ok {
+		return
+	}
+	b.entries[id] = &Entry{JoinPeriod: b.period}
+}
+
+// Tracked reports whether id is tracked.
+func (b *Board) Tracked(id msg.NodeID) bool {
+	_, ok := b.entries[id]
+	return ok
+}
+
+// AddBlame applies a blame value to target, tracking it first if needed.
+func (b *Board) AddBlame(target msg.NodeID, value float64) {
+	b.Join(target)
+	b.entries[target].TotalBlame += value
+}
+
+// TotalBlame returns the raw accumulated blame of target.
+func (b *Board) TotalBlame(target msg.NodeID) float64 {
+	if e, ok := b.entries[target]; ok {
+		return e.TotalBlame
+	}
+	return 0
+}
+
+// Periods returns r, the number of gossip periods target has been tracked
+// (at least 1 once tracked, so scores are always defined).
+func (b *Board) Periods(target msg.NodeID) int {
+	e, ok := b.entries[target]
+	if !ok {
+		return 0
+	}
+	r := int(b.period) - int(e.JoinPeriod)
+	if r < 1 {
+		r = 1
+	}
+	return r
+}
+
+// Score returns the normalized, compensated score of target (Equation 6):
+//
+//	s = −(1/r) · Σᵢ (bᵢ − b̃) = b̃ − (Σᵢ bᵢ)/r
+//
+// Honest nodes have E[s] = 0; freeriders drift negative. Untracked nodes
+// score 0.
+func (b *Board) Score(target msg.NodeID) float64 {
+	e, ok := b.entries[target]
+	if !ok {
+		return 0
+	}
+	r := float64(b.Periods(target))
+	return b.compensation - e.TotalBlame/r
+}
+
+// MarkExpelled flags target as expelled with the given reason and reports
+// whether this was the first expulsion. Untracked targets are joined first.
+func (b *Board) MarkExpelled(target msg.NodeID, reason msg.BlameReason) bool {
+	b.Join(target)
+	e := b.entries[target]
+	if e.Expelled {
+		return false
+	}
+	e.Expelled = true
+	e.Reason = reason
+	return true
+}
+
+// Expelled reports whether target is flagged as expelled.
+func (b *Board) Expelled(target msg.NodeID) bool {
+	if e, ok := b.entries[target]; ok {
+		return e.Expelled
+	}
+	return false
+}
+
+// Entry returns a copy of target's entry and whether it is tracked.
+func (b *Board) Entry(target msg.NodeID) (Entry, bool) {
+	if e, ok := b.entries[target]; ok {
+		return *e, true
+	}
+	return Entry{}, false
+}
+
+// Each calls fn for every tracked node. Iteration order is unspecified.
+func (b *Board) Each(fn func(id msg.NodeID, e Entry)) {
+	for id, e := range b.entries {
+		fn(id, *e)
+	}
+}

@@ -1,0 +1,219 @@
+package reputation
+
+import (
+	"sort"
+
+	"lifting/internal/membership"
+	"lifting/internal/msg"
+	"lifting/internal/net"
+)
+
+// Config parameterizes the message-driven reputation layer.
+type Config struct {
+	// M is the number of managers per node (25 in the paper's deployment).
+	M int
+	// Compensation is b̃, the per-period wrongful-blame compensation.
+	Compensation float64
+	// Eta is the expulsion threshold η on normalized scores (−9.75 in the
+	// paper).
+	Eta float64
+	// GracePeriods is the minimum number of gossip periods a node must have
+	// been tracked before η applies: σ(s) shrinks as 1/√r (§6.3.1), so very
+	// young scores are too noisy to act on.
+	GracePeriods int
+	// FlushEvery batches client blames over this many gossip periods before
+	// reporting them to the managers (default 1). Scores only matter on the
+	// timescale of r ≈ 50 periods, so coarse batching keeps the blaming
+	// bandwidth negligible (Table 5) at a small detection-latency cost.
+	FlushEvery int
+	// OnExpel, if non-nil, is invoked the first time a manager decides to
+	// expel a node (used by the harness to remove the node from the
+	// membership and record detection latency).
+	OnExpel func(target msg.NodeID, reason msg.BlameReason)
+}
+
+// Manager is the manager-side duty of one node: it holds score copies for
+// the targets it manages and serves blame/score/expel traffic.
+type Manager struct {
+	self  msg.NodeID
+	cfg   Config
+	board *Board
+	netw  net.Network
+	dir   *membership.Directory
+}
+
+// NewManager creates the manager component of node self.
+func NewManager(self msg.NodeID, cfg Config, netw net.Network, dir *membership.Directory) *Manager {
+	return &Manager{
+		self:  self,
+		cfg:   cfg,
+		board: NewBoard(cfg.Compensation),
+		netw:  netw,
+		dir:   dir,
+	}
+}
+
+// Board exposes the manager's local score copies (read-mostly; used by the
+// harness for min-vote reads without extra message traffic).
+func (m *Manager) Board() *Board { return m.board }
+
+// Tick advances the manager's period clock and re-evaluates expulsion for
+// every tracked node: scores change with r even without new blames.
+func (m *Manager) Tick(p msg.Period) {
+	m.board.SetPeriod(p)
+	var toExpel []msg.NodeID
+	m.board.Each(func(id msg.NodeID, e Entry) {
+		if e.Expelled || m.board.Periods(id) < m.cfg.GracePeriods {
+			return
+		}
+		if m.board.Score(id) < m.cfg.Eta {
+			toExpel = append(toExpel, id)
+		}
+	})
+	sort.Slice(toExpel, func(i, j int) bool { return toExpel[i] < toExpel[j] })
+	for _, id := range toExpel {
+		m.expel(id, msg.ReasonUnknown)
+	}
+}
+
+// Track registers target with this manager as of period p.
+func (m *Manager) Track(target msg.NodeID, p msg.Period) {
+	m.board.SetPeriod(p)
+	m.board.Join(target)
+}
+
+// HandleMessage processes reputation traffic addressed to this node. It
+// reports whether the message kind belonged to the reputation layer.
+func (m *Manager) HandleMessage(from msg.NodeID, mm msg.Message) bool {
+	switch v := mm.(type) {
+	case *msg.Blame:
+		m.board.AddBlame(v.Target, v.Value)
+		if !m.board.Expelled(v.Target) &&
+			m.board.Periods(v.Target) >= m.cfg.GracePeriods &&
+			m.board.Score(v.Target) < m.cfg.Eta {
+			m.expel(v.Target, v.Reason)
+		}
+		return true
+	case *msg.ScoreReq:
+		resp := &msg.ScoreResp{
+			Sender:   m.self,
+			Target:   v.Target,
+			Score:    m.board.Score(v.Target),
+			Expelled: m.board.Expelled(v.Target),
+		}
+		m.netw.Send(m.self, from, resp, net.Unreliable)
+		return true
+	case *msg.Expel:
+		// Another manager of the target decided to expel: adopt the verdict
+		// so reads from this manager agree.
+		if m.board.MarkExpelled(v.Target, v.Reason) && m.cfg.OnExpel != nil {
+			m.cfg.OnExpel(v.Target, v.Reason)
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// expel marks the target expelled, notifies the harness and informs the
+// target's other managers so their copies converge.
+func (m *Manager) expel(target msg.NodeID, reason msg.BlameReason) {
+	if !m.board.MarkExpelled(target, reason) {
+		return
+	}
+	if m.cfg.OnExpel != nil {
+		m.cfg.OnExpel(target, reason)
+	}
+	for _, mgr := range m.dir.Managers(target, m.cfg.M) {
+		if mgr == m.self {
+			continue
+		}
+		m.netw.Send(m.self, mgr, &msg.Expel{Sender: m.self, Target: target, Reason: reason}, net.Unreliable)
+	}
+}
+
+// Client is the verifier-side interface to the reputation substrate: it
+// routes blames to the target's managers. Blames against the same target
+// are batched until Flush (typically once per gossip period): the blame
+// values of different verifications are designed to be summable (§5), so
+// batching costs nothing in fidelity and keeps the messaging overhead
+// proportional to the number of blamed targets rather than of blame events.
+type Client struct {
+	self    msg.NodeID
+	cfg     Config
+	netw    net.Network
+	dir     *membership.Directory
+	pending map[msg.NodeID]*pendingBlame
+	order   []msg.NodeID
+}
+
+type pendingBlame struct {
+	value  float64
+	reason msg.BlameReason
+}
+
+// NewClient creates the client component of node self.
+func NewClient(self msg.NodeID, cfg Config, netw net.Network, dir *membership.Directory) *Client {
+	return &Client{
+		self:    self,
+		cfg:     cfg,
+		netw:    netw,
+		dir:     dir,
+		pending: make(map[msg.NodeID]*pendingBlame),
+	}
+}
+
+// Blame accumulates a blame of the given value against target; the batch is
+// sent to the target's M managers on the next Flush. The recorded reason is
+// the first one of the batch.
+func (c *Client) Blame(target msg.NodeID, value float64, reason msg.BlameReason) {
+	if value <= 0 {
+		return
+	}
+	if p, ok := c.pending[target]; ok {
+		p.value += value
+		return
+	}
+	c.pending[target] = &pendingBlame{value: value, reason: reason}
+	c.order = append(c.order, target)
+}
+
+// Flush sends one aggregated blame message per blamed target to each of its
+// M managers (§5.1). Blames travel over the unreliable transport; min-vote
+// reads tolerate the resulting divergence between manager copies.
+func (c *Client) Flush() {
+	for _, target := range c.order {
+		p := c.pending[target]
+		for _, mgr := range c.dir.Managers(target, c.cfg.M) {
+			b := &msg.Blame{Sender: c.self, Target: target, Value: p.value, Reason: p.reason}
+			c.netw.Send(c.self, mgr, b, net.Unreliable)
+		}
+	}
+	c.pending = make(map[msg.NodeID]*pendingBlame)
+	c.order = c.order[:0]
+}
+
+// PendingTargets returns the number of targets with unflushed blames.
+func (c *Client) PendingTargets() int { return len(c.pending) }
+
+// MinVoteScore aggregates manager score copies with the paper's voting
+// function: the minimum over the returned values (§5.1). It also reports
+// whether any manager flagged the target as expelled.
+func MinVoteScore(copies []float64, expelledFlags []bool) (score float64, expelled bool) {
+	if len(copies) == 0 {
+		return 0, false
+	}
+	score = copies[0]
+	for _, s := range copies[1:] {
+		if s < score {
+			score = s
+		}
+	}
+	for _, e := range expelledFlags {
+		if e {
+			expelled = true
+			break
+		}
+	}
+	return score, expelled
+}

@@ -1,0 +1,87 @@
+package reputation
+
+import (
+	"time"
+
+	"lifting/internal/membership"
+	"lifting/internal/msg"
+	"lifting/internal/net"
+	"lifting/internal/sim"
+)
+
+// Reader performs decentralized score reads: it queries a target's M
+// managers and votes over the returned copies with the minimum (§5.1 —
+// the minimum makes score inflation by colluding managers ineffective,
+// and blame-message loss can only raise individual copies, never lower
+// the minimum below the truth).
+type Reader struct {
+	self    msg.NodeID
+	cfg     Config
+	ctx     sim.Context
+	netw    net.Network
+	dir     *membership.Directory
+	timeout time.Duration
+
+	pending map[msg.NodeID]*readState
+}
+
+type readState struct {
+	copies   []float64
+	expelled []bool
+	done     bool
+	callback func(score float64, expelled bool, replies int)
+}
+
+// NewReader creates a score reader hosted at node self. timeout bounds how
+// long a read waits for manager replies.
+func NewReader(self msg.NodeID, cfg Config, ctx sim.Context, netw net.Network, dir *membership.Directory, timeout time.Duration) *Reader {
+	return &Reader{
+		self:    self,
+		cfg:     cfg,
+		ctx:     ctx,
+		netw:    netw,
+		dir:     dir,
+		timeout: timeout,
+		pending: make(map[msg.NodeID]*readState),
+	}
+}
+
+// Read queries target's managers and delivers the min-vote result to fn.
+// Concurrent reads of the same target are rejected (fn is called with zero
+// replies). Reads with no replies at all report a zero score.
+func (r *Reader) Read(target msg.NodeID, fn func(score float64, expelled bool, replies int)) {
+	if _, dup := r.pending[target]; dup {
+		fn(0, false, 0)
+		return
+	}
+	st := &readState{callback: fn}
+	r.pending[target] = st
+	for _, mgr := range r.dir.Managers(target, r.cfg.M) {
+		r.netw.Send(r.self, mgr, &msg.ScoreReq{Sender: r.self, Target: target}, net.Unreliable)
+	}
+	r.ctx.After(r.timeout, func() {
+		if st.done {
+			return
+		}
+		st.done = true
+		delete(r.pending, target)
+		score, expelled := MinVoteScore(st.copies, st.expelled)
+		st.callback(score, expelled, len(st.copies))
+	})
+}
+
+// HandleAux consumes ScoreResp messages addressed to this reader. It
+// reports whether the message belonged to an outstanding read.
+func (r *Reader) HandleAux(_ msg.NodeID, m msg.Message) bool {
+	resp, ok := m.(*msg.ScoreResp)
+	if !ok {
+		return false
+	}
+	st, ok := r.pending[resp.Target]
+	if !ok || st.done {
+		return true
+	}
+	st.copies = append(st.copies, resp.Score)
+	st.expelled = append(st.expelled, resp.Expelled)
+	return true
+}

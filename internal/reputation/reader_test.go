@@ -1,0 +1,125 @@
+package reputation
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"lifting/internal/msg"
+)
+
+func TestReaderMinVote(t *testing.T) {
+	cfg := Config{M: 5, Compensation: 2, Eta: -1e9}
+	eng, netw, dir, managers, _ := managed(t, 30, cfg, 0)
+
+	// Seed different copies at the target's managers.
+	mgrs := dir.Managers(7, 5)
+	for i, m := range mgrs {
+		managers[m].Track(7, 0)
+		managers[m].Board().AddBlame(7, float64(i)) // scores 2, 1, 0, -1, -2
+		managers[m].Tick(1)
+	}
+
+	reader := NewReader(1, cfg, eng, netw, dir, 100*time.Millisecond)
+	netw.Attach(1, handlerFunc(func(from msg.NodeID, m msg.Message) {
+		reader.HandleAux(from, m)
+	}))
+	var gotScore float64
+	var gotReplies int
+	reader.Read(7, func(score float64, expelled bool, replies int) {
+		gotScore, gotReplies = score, replies
+	})
+	eng.RunAll()
+	if gotReplies != 5 {
+		t.Fatalf("replies = %d, want 5", gotReplies)
+	}
+	// Min over {2, 1, 0, -1, -2} = -2.
+	if math.Abs(gotScore-(-2)) > 1e-12 {
+		t.Fatalf("min-vote score = %v, want -2", gotScore)
+	}
+}
+
+func TestReaderToleratesLossAndInflation(t *testing.T) {
+	// Half the managers are colluders returning +1000; message loss kills
+	// some replies. The minimum still tracks the most-blamed honest copy.
+	cfg := Config{M: 6, Compensation: 0, Eta: -1e9}
+	eng, netw, dir, managers, _ := managed(t, 40, cfg, 0.1)
+	mgrs := dir.Managers(9, 6)
+	for i, m := range mgrs {
+		managers[m].Track(9, 0)
+		if i%2 == 0 {
+			managers[m].Board().AddBlame(9, -1000) // inflating colluder
+		} else {
+			managers[m].Board().AddBlame(9, 50)
+		}
+		managers[m].Tick(1)
+	}
+	reader := NewReader(1, cfg, eng, netw, dir, 200*time.Millisecond)
+	netw.Attach(1, handlerFunc(func(from msg.NodeID, m msg.Message) {
+		reader.HandleAux(from, m)
+	}))
+	var gotScore float64
+	var gotReplies int
+	reader.Read(9, func(score float64, _ bool, replies int) { gotScore, gotReplies = score, replies })
+	eng.RunAll()
+	if gotReplies == 0 {
+		t.Skip("all replies lost at 10% loss (unlucky seed)")
+	}
+	// If any honest reply survived, the min is at most -50.
+	if gotScore > -50+1e-9 && gotReplies >= 4 {
+		t.Fatalf("min-vote %v did not resist inflation (replies %d)", gotScore, gotReplies)
+	}
+}
+
+func TestReaderExpelledFlag(t *testing.T) {
+	cfg := Config{M: 3, Compensation: 0, Eta: -1e9}
+	eng, netw, dir, managers, _ := managed(t, 20, cfg, 0)
+	m0 := dir.Managers(5, 3)[0]
+	managers[m0].Track(5, 0)
+	managers[m0].Board().MarkExpelled(5, msg.ReasonAuditEntropy)
+	reader := NewReader(1, cfg, eng, netw, dir, 100*time.Millisecond)
+	netw.Attach(1, handlerFunc(func(from msg.NodeID, m msg.Message) {
+		reader.HandleAux(from, m)
+	}))
+	var gotExpelled bool
+	reader.Read(5, func(_ float64, expelled bool, _ int) { gotExpelled = expelled })
+	eng.RunAll()
+	if !gotExpelled {
+		t.Fatal("expelled flag not surfaced by the read")
+	}
+}
+
+func TestReaderConcurrentReadRejected(t *testing.T) {
+	cfg := Config{M: 3, Compensation: 0, Eta: -1e9}
+	eng, netw, dir, _, _ := managed(t, 10, cfg, 0)
+	reader := NewReader(1, cfg, eng, netw, dir, 100*time.Millisecond)
+	calls := 0
+	reader.Read(5, func(_ float64, _ bool, _ int) { calls++ })
+	rejected := false
+	reader.Read(5, func(_ float64, _ bool, replies int) {
+		if replies == 0 {
+			rejected = true
+		}
+	})
+	eng.RunAll()
+	if !rejected {
+		t.Fatal("concurrent read was not rejected")
+	}
+	if calls != 1 {
+		t.Fatalf("first read callback ran %d times", calls)
+	}
+}
+
+func TestReaderIgnoresForeignMessages(t *testing.T) {
+	cfg := Config{M: 3}
+	eng, netw, dir, _, _ := managed(t, 10, cfg, 0)
+	_ = eng
+	reader := NewReader(1, cfg, eng, netw, dir, time.Millisecond)
+	if reader.HandleAux(2, &msg.Propose{Sender: 2}) {
+		t.Fatal("reader claimed a gossip message")
+	}
+	// A stray score response with no outstanding read is consumed quietly.
+	if !reader.HandleAux(2, &msg.ScoreResp{Sender: 2, Target: 9}) {
+		t.Fatal("reader rejected a score response")
+	}
+}

@@ -1,0 +1,134 @@
+// Package sim implements a deterministic discrete-event simulation engine
+// with a virtual clock. The gossip and LiFTinG protocol logic is written
+// against the small Context interface so the same node code runs both under
+// this engine (for large-scale Monte-Carlo runs, §6 of the paper) and under
+// the goroutine-based live runtime in internal/live (for integration
+// realism, §7).
+package sim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Context is the execution environment a protocol node sees: a virtual (or
+// real) clock plus one-shot timers. Implementations guarantee that all
+// callbacks for one node are serialized.
+type Context interface {
+	// Now returns the current virtual time, measured from the start of the
+	// run.
+	Now() time.Duration
+	// After schedules fn to run once, d from now. d < 0 is treated as 0.
+	After(d time.Duration, fn func())
+}
+
+// Engine is a deterministic discrete-event scheduler. The zero value is not
+// usable; create one with NewEngine. Engine is not safe for concurrent use:
+// the whole simulation runs on the caller's goroutine.
+type Engine struct {
+	now    time.Duration
+	queue  eventQueue
+	seq    uint64
+	events uint64
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+var _ Context = (*Engine)(nil)
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// After schedules fn at Now()+d. Events scheduled for the same instant run
+// in scheduling order (FIFO), which keeps runs reproducible.
+func (e *Engine) After(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: e.now + d, seq: e.seq, fn: fn})
+}
+
+// At schedules fn at absolute virtual time t. Times in the past run
+// immediately (at the current time).
+func (e *Engine) At(t time.Duration, fn func()) {
+	e.After(t-e.now, fn)
+}
+
+// Step runs the next pending event and reports whether one existed.
+func (e *Engine) Step() bool {
+	if e.queue.Len() == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*event)
+	e.now = ev.at
+	e.events++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue is empty or the clock would pass
+// until. It returns the number of events executed. Events scheduled exactly
+// at until still run.
+func (e *Engine) Run(until time.Duration) uint64 {
+	start := e.events
+	for e.queue.Len() > 0 {
+		next := e.queue[0].at
+		if next > until {
+			break
+		}
+		e.Step()
+	}
+	if e.now < until {
+		e.now = until
+	}
+	return e.events - start
+}
+
+// RunAll executes events until the queue is empty and returns the number of
+// events executed. Use only for workloads that provably quiesce.
+func (e *Engine) RunAll() uint64 {
+	start := e.events
+	for e.Step() {
+	}
+	return e.events - start
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return e.queue.Len() }
+
+// Events returns the total number of events executed so far.
+func (e *Engine) Events() uint64 { return e.events }
+
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *eventQueue) Push(x any) { *q = append(*q, x.(*event)) }
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}

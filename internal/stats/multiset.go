@@ -1,0 +1,98 @@
+package stats
+
+// Multiset is a counted set over a comparable element type. LiFTinG's local
+// history auditing (§5.3) operates on two multisets per node: Fh, the nodes
+// the audited node proposed to, and F'h, the nodes that served it (fanin).
+type Multiset[T comparable] struct {
+	counts map[T]int
+	size   int
+}
+
+// NewMultiset returns an empty multiset.
+func NewMultiset[T comparable]() *Multiset[T] {
+	return &Multiset[T]{counts: make(map[T]int)}
+}
+
+// Add inserts one occurrence of v.
+func (m *Multiset[T]) Add(v T) { m.AddN(v, 1) }
+
+// AddN inserts n occurrences of v. It panics if n < 0.
+func (m *Multiset[T]) AddN(v T, n int) {
+	if n < 0 {
+		panic("stats: Multiset.AddN: negative count")
+	}
+	if n == 0 {
+		return
+	}
+	m.counts[v] += n
+	m.size += n
+}
+
+// Remove deletes one occurrence of v if present and reports whether it did.
+func (m *Multiset[T]) Remove(v T) bool {
+	c, ok := m.counts[v]
+	if !ok {
+		return false
+	}
+	if c == 1 {
+		delete(m.counts, v)
+	} else {
+		m.counts[v] = c - 1
+	}
+	m.size--
+	return true
+}
+
+// Count returns the number of occurrences of v.
+func (m *Multiset[T]) Count(v T) int { return m.counts[v] }
+
+// Len returns the total number of occurrences.
+func (m *Multiset[T]) Len() int { return m.size }
+
+// Distinct returns the number of distinct elements.
+func (m *Multiset[T]) Distinct() int { return len(m.counts) }
+
+// Entropy returns the Shannon entropy, in bits, of the empirical
+// distribution of elements. This is H(d̃h) of Equation (1) in the paper.
+func (m *Multiset[T]) Entropy() float64 {
+	if m.size == 0 {
+		return 0
+	}
+	counts := make([]int, 0, len(m.counts))
+	for _, c := range m.counts {
+		counts = append(counts, c)
+	}
+	return EntropyOfCounts(counts)
+}
+
+// Each calls fn for every distinct element with its count. Iteration order
+// is unspecified.
+func (m *Multiset[T]) Each(fn func(v T, count int)) {
+	for v, c := range m.counts {
+		fn(v, c)
+	}
+}
+
+// Elements returns all occurrences as a slice (each element repeated by its
+// count). Order is unspecified.
+func (m *Multiset[T]) Elements() []T {
+	out := make([]T, 0, m.size)
+	for v, c := range m.counts {
+		for i := 0; i < c; i++ {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Merge adds every occurrence in other into m.
+func (m *Multiset[T]) Merge(other *Multiset[T]) {
+	other.Each(func(v T, c int) { m.AddN(v, c) })
+}
+
+// Clone returns a deep copy.
+func (m *Multiset[T]) Clone() *Multiset[T] {
+	out := NewMultiset[T]()
+	out.Merge(m)
+	return out
+}

@@ -1,0 +1,129 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMultisetBasics(t *testing.T) {
+	m := NewMultiset[string]()
+	if m.Len() != 0 || m.Distinct() != 0 {
+		t.Fatal("new multiset not empty")
+	}
+	m.Add("a")
+	m.Add("a")
+	m.Add("b")
+	if m.Count("a") != 2 || m.Count("b") != 1 || m.Count("c") != 0 {
+		t.Fatal("counts wrong")
+	}
+	if m.Len() != 3 || m.Distinct() != 2 {
+		t.Fatalf("Len/Distinct = %d/%d, want 3/2", m.Len(), m.Distinct())
+	}
+}
+
+func TestMultisetRemove(t *testing.T) {
+	m := NewMultiset[int]()
+	m.AddN(7, 2)
+	if !m.Remove(7) {
+		t.Fatal("Remove existing element returned false")
+	}
+	if m.Count(7) != 1 || m.Len() != 1 {
+		t.Fatal("count after remove wrong")
+	}
+	if !m.Remove(7) {
+		t.Fatal("Remove second occurrence returned false")
+	}
+	if m.Remove(7) {
+		t.Fatal("Remove missing element returned true")
+	}
+	if m.Len() != 0 || m.Distinct() != 0 {
+		t.Fatal("multiset not empty after removals")
+	}
+}
+
+func TestMultisetAddNPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddN(-1) did not panic")
+		}
+	}()
+	NewMultiset[int]().AddN(1, -1)
+}
+
+func TestMultisetEntropyUniform(t *testing.T) {
+	m := NewMultiset[int]()
+	for i := 0; i < 64; i++ {
+		m.Add(i)
+	}
+	if h := m.Entropy(); math.Abs(h-6) > 1e-12 {
+		t.Fatalf("entropy of 64 distinct singletons = %v, want 6", h)
+	}
+}
+
+func TestMultisetEntropyPointMass(t *testing.T) {
+	m := NewMultiset[int]()
+	m.AddN(1, 100)
+	if h := m.Entropy(); h != 0 {
+		t.Fatalf("entropy of a point mass = %v, want 0", h)
+	}
+	if h := NewMultiset[int]().Entropy(); h != 0 {
+		t.Fatalf("entropy of empty multiset = %v, want 0", h)
+	}
+}
+
+func TestMultisetEntropyBoundProperty(t *testing.T) {
+	// Entropy of any multiset is within [0, log2(distinct)].
+	f := func(raw []uint8) bool {
+		m := NewMultiset[uint8]()
+		for _, v := range raw {
+			m.Add(v)
+		}
+		h := m.Entropy()
+		if m.Len() == 0 {
+			return h == 0
+		}
+		return h >= -1e-12 && h <= math.Log2(float64(m.Distinct()))+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultisetElementsAndMerge(t *testing.T) {
+	m := NewMultiset[string]()
+	m.AddN("x", 2)
+	m.Add("y")
+	el := m.Elements()
+	if len(el) != 3 {
+		t.Fatalf("Elements len = %d, want 3", len(el))
+	}
+	counts := map[string]int{}
+	for _, v := range el {
+		counts[v]++
+	}
+	if counts["x"] != 2 || counts["y"] != 1 {
+		t.Fatalf("Elements content wrong: %v", counts)
+	}
+
+	other := NewMultiset[string]()
+	other.Add("x")
+	other.Add("z")
+	m.Merge(other)
+	if m.Count("x") != 3 || m.Count("z") != 1 || m.Len() != 5 {
+		t.Fatal("Merge result wrong")
+	}
+}
+
+func TestMultisetClone(t *testing.T) {
+	m := NewMultiset[int]()
+	m.AddN(1, 3)
+	c := m.Clone()
+	c.Add(2)
+	if m.Count(2) != 0 {
+		t.Fatal("Clone is not independent of the original")
+	}
+	if c.Count(1) != 3 || c.Count(2) != 1 {
+		t.Fatal("Clone content wrong")
+	}
+}

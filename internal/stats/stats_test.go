@@ -1,0 +1,261 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestEntropyUniform(t *testing.T) {
+	for _, k := range []int{2, 4, 8, 600} {
+		probs := make([]float64, k)
+		for i := range probs {
+			probs[i] = 1
+		}
+		h := Entropy(probs)
+		if !almostEqual(h, math.Log2(float64(k)), 1e-9) {
+			t.Errorf("Entropy(uniform %d) = %v, want %v", k, h, math.Log2(float64(k)))
+		}
+	}
+}
+
+func TestEntropyDegenerate(t *testing.T) {
+	if h := Entropy([]float64{1, 0, 0}); h != 0 {
+		t.Fatalf("Entropy(point mass) = %v, want 0", h)
+	}
+	if h := Entropy(nil); h != 0 {
+		t.Fatalf("Entropy(nil) = %v, want 0", h)
+	}
+	if h := Entropy([]float64{0, 0}); h != 0 {
+		t.Fatalf("Entropy(zeros) = %v, want 0", h)
+	}
+	if !math.IsNaN(Entropy([]float64{-1, 2})) {
+		t.Fatal("Entropy with negative mass should be NaN")
+	}
+}
+
+func TestEntropyBoundsProperty(t *testing.T) {
+	// 0 <= H <= log2(k) for any distribution over k outcomes.
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		probs := make([]float64, len(raw))
+		var total float64
+		for i, r := range raw {
+			probs[i] = float64(r)
+			total += probs[i]
+		}
+		if total == 0 {
+			return Entropy(probs) == 0
+		}
+		h := Entropy(probs)
+		return h >= -1e-12 && h <= math.Log2(float64(len(raw)))+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEntropyOfCountsMatchesEntropy(t *testing.T) {
+	counts := []int{3, 1, 0, 4}
+	probs := []float64{3, 1, 0, 4}
+	if !almostEqual(EntropyOfCounts(counts), Entropy(probs), 1e-12) {
+		t.Fatal("EntropyOfCounts disagrees with Entropy")
+	}
+}
+
+func TestKLDivergence(t *testing.T) {
+	p := []float64{0.5, 0.5}
+	q := []float64{0.25, 0.75}
+	want := 0.5*math.Log2(0.5/0.25) + 0.5*math.Log2(0.5/0.75)
+	if got := KLDivergence(p, q); !almostEqual(got, want, 1e-12) {
+		t.Fatalf("KL = %v, want %v", got, want)
+	}
+	if got := KLDivergence(p, p); !almostEqual(got, 0, 1e-12) {
+		t.Fatalf("KL(p,p) = %v, want 0", got)
+	}
+	if !math.IsInf(KLDivergence([]float64{1, 0}, []float64{0, 1}), 1) {
+		t.Fatal("KL with unsupported mass should be +Inf")
+	}
+	if !math.IsNaN(KLDivergence([]float64{1}, []float64{1, 0})) {
+		t.Fatal("KL with mismatched lengths should be NaN")
+	}
+}
+
+func TestUniformKLIdentity(t *testing.T) {
+	// D(p ‖ uniform) == log2(k) − H(p), the identity behind the paper's
+	// entropy-threshold audit.
+	p := []float64{0.1, 0.2, 0.3, 0.4}
+	u := []float64{1, 1, 1, 1}
+	direct := KLDivergence(p, u)
+	viaEntropy := UniformKLFromEntropy(Entropy(p), 4)
+	if !almostEqual(direct, viaEntropy, 1e-12) {
+		t.Fatalf("KL from uniform = %v, via entropy = %v", direct, viaEntropy)
+	}
+}
+
+func TestMoments(t *testing.T) {
+	var m Moments
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	for _, x := range xs {
+		m.Add(x)
+	}
+	if m.N() != len(xs) {
+		t.Fatalf("N = %d", m.N())
+	}
+	if !almostEqual(m.Mean(), 5, 1e-12) {
+		t.Fatalf("Mean = %v, want 5", m.Mean())
+	}
+	if !almostEqual(m.Std(), 2, 1e-12) {
+		t.Fatalf("Std = %v, want 2", m.Std())
+	}
+	if m.Min() != 2 || m.Max() != 9 {
+		t.Fatalf("Min/Max = %v/%v, want 2/9", m.Min(), m.Max())
+	}
+}
+
+func TestMomentsEmpty(t *testing.T) {
+	var m Moments
+	if m.Mean() != 0 || m.Var() != 0 || m.Std() != 0 {
+		t.Fatal("empty Moments should report zeros")
+	}
+}
+
+func TestMomentsMatchesBatch(t *testing.T) {
+	f := func(raw []int8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		var m Moments
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+			m.Add(xs[i])
+		}
+		return almostEqual(m.Mean(), Mean(xs), 1e-9) && almostEqual(m.Std(), Std(xs), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestECDF(t *testing.T) {
+	e := NewECDF([]float64{1, 2, 3, 4})
+	cases := []struct {
+		x    float64
+		want float64
+	}{{0.5, 0}, {1, 0.25}, {2.5, 0.5}, {4, 1}, {10, 1}}
+	for _, c := range cases {
+		if got := e.At(c.x); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("At(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	if e.Min() != 1 || e.Max() != 4 || e.N() != 4 {
+		t.Fatal("ECDF Min/Max/N wrong")
+	}
+	if q := e.Quantile(0.5); q != 3 {
+		t.Fatalf("Quantile(0.5) = %v, want 3", q)
+	}
+	if q := e.Quantile(0); q != 1 {
+		t.Fatalf("Quantile(0) = %v, want 1", q)
+	}
+	if q := e.Quantile(1); q != 4 {
+		t.Fatalf("Quantile(1) = %v, want 4", q)
+	}
+}
+
+func TestECDFMonotoneProperty(t *testing.T) {
+	f := func(raw []int8, probes []int8) bool {
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		e := NewECDF(xs)
+		prev := -1.0
+		for _, pr := range probes {
+			// probe in increasing order
+			_ = pr
+		}
+		for x := -130.0; x <= 130; x += 5 {
+			v := e.At(x)
+			if v < prev-1e-12 || v < 0 || v > 1 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	for i := 0; i < 10; i++ {
+		if h.Counts[i] != 1 {
+			t.Fatalf("bin %d = %d, want 1", i, h.Counts[i])
+		}
+	}
+	h.Add(-5)  // clamps into first bin
+	h.Add(100) // clamps into last bin
+	if h.Counts[0] != 2 || h.Counts[9] != 2 {
+		t.Fatal("out-of-range samples were not clamped")
+	}
+	if h.Total() != 12 {
+		t.Fatalf("Total = %d, want 12", h.Total())
+	}
+	if !almostEqual(h.BinCenter(0), 0.5, 1e-12) {
+		t.Fatalf("BinCenter(0) = %v", h.BinCenter(0))
+	}
+	if !almostEqual(h.Fraction(0), 2.0/12, 1e-12) {
+		t.Fatalf("Fraction(0) = %v", h.Fraction(0))
+	}
+}
+
+func TestHistogramMode(t *testing.T) {
+	h := NewHistogram(0, 4, 4)
+	h.Add(2.5)
+	h.Add(2.2)
+	h.Add(0.1)
+	if m := h.Mode(); !almostEqual(m, 2.5, 1e-12) {
+		t.Fatalf("Mode = %v, want 2.5", m)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewHistogram with hi <= lo did not panic")
+		}
+	}()
+	NewHistogram(1, 1, 4)
+}
+
+func TestChiSquareUniform(t *testing.T) {
+	if chi := ChiSquareUniform([]int{10, 10, 10, 10}); chi != 0 {
+		t.Fatalf("chi-square of exactly uniform counts = %v, want 0", chi)
+	}
+	if chi := ChiSquareUniform([]int{40, 0, 0, 0}); chi <= 0 {
+		t.Fatal("chi-square of a point mass should be positive")
+	}
+	if chi := ChiSquareUniform(nil); chi != 0 {
+		t.Fatal("chi-square of empty input should be 0")
+	}
+}
+
+func TestMaxEntropy(t *testing.T) {
+	if MaxEntropy(1) != 0 || MaxEntropy(0) != 0 {
+		t.Fatal("MaxEntropy of degenerate sizes should be 0")
+	}
+	// The paper's bound for a history of nh·f = 600 entries: log2(600) = 9.23.
+	if !almostEqual(MaxEntropy(600), 9.2288, 1e-3) {
+		t.Fatalf("MaxEntropy(600) = %v, want ~9.23 (paper §6.3.2)", MaxEntropy(600))
+	}
+}

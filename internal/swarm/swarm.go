@@ -1,0 +1,489 @@
+// Package swarm implements the paper's stated future work (§1, §9):
+// coupling LiFTinG with a symmetric, tit-for-tat content exchange to secure
+// its opportunistic-unchoking mechanism.
+//
+// In TfT swarming (BitTorrent-style), reciprocal slots are safe — a node
+// that does not upload is choked — but the *optimistic* slot is an
+// asymmetric gift: it uploads to a random peer expecting nothing back.
+// Freeriders exploit exactly this ([23, 24]: "free riding in BitTorrent is
+// cheap"): by camping optimistic slots across many neighbours they download
+// without contributing.
+//
+// LiFTinG's coercive verification transfers directly: an optimistic push
+// creates the same obligation as a gossip push — the receiver must OFFER
+// the received pieces onward (in gossip terms: propose them; if nobody
+// requests, no upload is owed — a topological laggard is not a freerider).
+// The pusher later polls a random sample of the receiver's neighbours for
+// the offers they saw from it (cross-checking by testimony, random
+// witnesses preventing cover-up) and blames silent receivers. Blamed nodes
+// lose optimistic eligibility, which collapses the exploit.
+//
+// The exchange is modelled in rounds (a choke interval per round) rather
+// than packets: the phenomenon under study is slot allocation, not
+// transport.
+package swarm
+
+import (
+	"fmt"
+	"sort"
+
+	"lifting/internal/msg"
+	"lifting/internal/rng"
+)
+
+// Config parameterizes the swarm.
+type Config struct {
+	// Pieces is the number of pieces in the content.
+	Pieces int
+	// Neighbors is each node's neighbourhood size.
+	Neighbors int
+	// ReciprocalSlots is the number of TfT upload slots.
+	ReciprocalSlots int
+	// OptimisticSlots is the number of optimistic-unchoke slots.
+	OptimisticSlots int
+	// UploadPerSlot is the pieces a slot transfers per round.
+	UploadPerSlot int
+	// Window is the reciprocation-ranking window, in rounds.
+	Window int
+	// Guard enables the LiFTinG verification of optimistic pushes.
+	Guard GuardConfig
+}
+
+// GuardConfig tunes the LiFTinG guard on optimistic slots.
+type GuardConfig struct {
+	// Enabled turns the guard on.
+	Enabled bool
+	// Witnesses is how many of the receiver's neighbours are polled.
+	Witnesses int
+	// Lag is how many rounds after a push the obligation is checked.
+	Lag int
+	// MinForwardRatio is the fraction of the pushed pieces the receiver
+	// must have uploaded (to anyone) by the check.
+	MinForwardRatio float64
+	// MaxBlame is the accumulated-blame threshold beyond which a node
+	// loses optimistic eligibility (the swarm-side analogue of crossing η).
+	MaxBlame float64
+	// Decay is the per-round multiplicative blame decay. Bootstrap-phase
+	// wrongful blame (a freshly joined node may genuinely have nothing to
+	// forward) must heal with time, just as LiFTinG normalizes scores by
+	// the time spent in the system; a leech accrues faster than it decays.
+	Decay float64
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Pieces <= 0 || c.Neighbors <= 0 || c.UploadPerSlot <= 0 || c.Window <= 0 {
+		return fmt.Errorf("swarm: non-positive sizes in %+v", c)
+	}
+	if c.ReciprocalSlots < 0 || c.OptimisticSlots <= 0 {
+		return fmt.Errorf("swarm: need at least one optimistic slot")
+	}
+	return nil
+}
+
+// DefaultConfig returns a small, BitTorrent-flavoured setup.
+func DefaultConfig() Config {
+	return Config{
+		Pieces:          400,
+		Neighbors:       12,
+		ReciprocalSlots: 3,
+		OptimisticSlots: 1,
+		UploadPerSlot:   2,
+		Window:          8,
+		Guard: GuardConfig{
+			Witnesses:       8,
+			Lag:             6,
+			MinForwardRatio: 0.2,
+			MaxBlame:        25,
+			Decay:           0.98,
+		},
+	}
+}
+
+// Behavior is a node's upload policy.
+type Behavior int
+
+// Behaviors.
+const (
+	// Honest reciprocates and fills every slot.
+	Honest Behavior = iota + 1
+	// Leech uploads nothing and lives off optimistic slots (the large-view
+	// exploit of [24]).
+	Leech
+)
+
+type node struct {
+	id       msg.NodeID
+	behavior Behavior
+	have     []bool
+	haveN    int
+	// receivedFrom / uploadedTo / offersSeen are windowed ledgers (per
+	// round ring). offersSeen records how many pieces each neighbour
+	// advertised to this node — the witness evidence of the guard.
+	receivedFrom  []map[msg.NodeID]int
+	uploadedTo    []map[msg.NodeID]int
+	offersSeen    []map[msg.NodeID]int
+	recvLastRound int
+	neighbors     []msg.NodeID
+	// blame is the node's accumulated LiFTinG blame (guard mode); banned
+	// latches once blame crosses the threshold (LiFTinG expels, §5).
+	blame    float64
+	banned   bool
+	lastFail int // round of the last failed obligation check
+	// pushLog records optimistic pushes received: round → pieces.
+	pushLog map[int]int
+}
+
+func (n *node) window(cfg Config, round int) (recv, sent map[msg.NodeID]int) {
+	recv = make(map[msg.NodeID]int)
+	sent = make(map[msg.NodeID]int)
+	for i := 0; i < cfg.Window; i++ {
+		idx := (round - i + len(n.receivedFrom)*cfg.Window) % cfg.Window
+		for p, v := range n.receivedFrom[idx] {
+			recv[p] += v
+		}
+		for p, v := range n.uploadedTo[idx] {
+			sent[p] += v
+		}
+	}
+	return recv, sent
+}
+
+// offersFrom sums the offers this node saw from peer over the window.
+func (n *node) offersFrom(cfg Config, peer msg.NodeID) int {
+	total := 0
+	for i := 0; i < cfg.Window; i++ {
+		total += n.offersSeen[i][peer]
+	}
+	return total
+}
+
+// Swarm is a round-based symmetric exchange simulation.
+type Swarm struct {
+	cfg   Config
+	rand  *rng.Stream
+	nodes map[msg.NodeID]*node
+	order []msg.NodeID
+	round int
+	// pending guard checks: (checkRound, receiver, pieces pushed).
+	checks []guardCheck
+}
+
+type guardCheck struct {
+	due      int
+	pusher   msg.NodeID
+	receiver msg.NodeID
+	pieces   int
+}
+
+// New creates a swarm of n nodes; behaviorFor assigns policies (nil means
+// Honest). Node 0 is the seed: it starts with the full content and is
+// always honest.
+func New(nTotal int, cfg Config, seed uint64, behaviorFor func(msg.NodeID) Behavior) *Swarm {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	s := &Swarm{
+		cfg:   cfg,
+		rand:  rng.New(seed),
+		nodes: make(map[msg.NodeID]*node, nTotal),
+	}
+	for i := 0; i < nTotal; i++ {
+		id := msg.NodeID(i)
+		b := Honest
+		if behaviorFor != nil && i != 0 {
+			if bb := behaviorFor(id); bb != 0 {
+				b = bb
+			}
+		}
+		nd := &node{
+			id:           id,
+			behavior:     b,
+			have:         make([]bool, cfg.Pieces),
+			receivedFrom: ledger(cfg.Window),
+			uploadedTo:   ledger(cfg.Window),
+			offersSeen:   ledger(cfg.Window),
+			pushLog:      make(map[int]int),
+		}
+		if i == 0 {
+			for p := range nd.have {
+				nd.have[p] = true
+			}
+			nd.haveN = cfg.Pieces
+		}
+		s.nodes[id] = nd
+		s.order = append(s.order, id)
+	}
+	// Random (symmetric) neighbourhoods.
+	for _, id := range s.order {
+		nd := s.nodes[id]
+		for len(nd.neighbors) < cfg.Neighbors {
+			cand := s.order[s.rand.IntN(nTotal)]
+			if cand == id || contains(nd.neighbors, cand) {
+				continue
+			}
+			other := s.nodes[cand]
+			if len(other.neighbors) >= cfg.Neighbors*2 {
+				continue
+			}
+			nd.neighbors = append(nd.neighbors, cand)
+			if !contains(other.neighbors, id) {
+				other.neighbors = append(other.neighbors, id)
+			}
+		}
+	}
+	return s
+}
+
+func ledger(window int) []map[msg.NodeID]int {
+	out := make([]map[msg.NodeID]int, window)
+	for i := range out {
+		out[i] = make(map[msg.NodeID]int)
+	}
+	return out
+}
+
+func contains(xs []msg.NodeID, v msg.NodeID) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Round runs one choke interval: slot selection, transfers, guard checks.
+func (s *Swarm) Round() {
+	s.round++
+	slot := s.round % s.cfg.Window
+	for _, id := range s.order {
+		nd := s.nodes[id]
+		nd.receivedFrom[slot] = make(map[msg.NodeID]int)
+		nd.uploadedTo[slot] = make(map[msg.NodeID]int)
+		nd.offersSeen[slot] = make(map[msg.NodeID]int)
+	}
+
+	// Advertise: honest nodes offer the pieces they received last round to
+	// every neighbour (the propose phase of the gossip analogy). Leeches
+	// stay silent — advertising would invite requests they refuse to serve,
+	// and an unserved request is direct-verification blame anyway.
+	for _, id := range s.order {
+		nd := s.nodes[id]
+		if nd.behavior == Leech || nd.recvLastRound == 0 {
+			continue
+		}
+		for _, w := range nd.neighbors {
+			s.nodes[w].offersSeen[slot][id] += nd.recvLastRound
+		}
+	}
+	for _, id := range s.order {
+		s.nodes[id].recvLastRound = 0
+	}
+
+	for _, id := range s.order {
+		s.runNode(s.nodes[id], slot)
+	}
+	s.runGuardChecks()
+	if s.cfg.Guard.Enabled && s.cfg.Guard.Decay > 0 {
+		for _, id := range s.order {
+			s.nodes[id].blame *= s.cfg.Guard.Decay
+		}
+	}
+}
+
+func (s *Swarm) runNode(nd *node, slot int) {
+	if nd.behavior == Leech {
+		return // uploads nothing, ever
+	}
+	recv, _ := nd.window(s.cfg, slot)
+
+	// Reciprocal slots: the top uploaders to us, among interested
+	// neighbours.
+	type ranked struct {
+		id msg.NodeID
+		by int
+	}
+	var candidates []ranked
+	for _, p := range nd.neighbors {
+		if s.interested(p, nd) {
+			candidates = append(candidates, ranked{id: p, by: recv[p]})
+		}
+	}
+	sort.Slice(candidates, func(i, j int) bool {
+		if candidates[i].by != candidates[j].by {
+			return candidates[i].by > candidates[j].by
+		}
+		return candidates[i].id < candidates[j].id
+	})
+	// Tit-for-tat proper: reciprocal slots go only to peers that actually
+	// uploaded to us in the window. Zero-contributors can only hope for an
+	// optimistic slot — that is the entire point of TfT, and what makes the
+	// optimistic slot the sole attack surface (§1).
+	unchoked := make(map[msg.NodeID]bool)
+	for i := 0; i < len(candidates) && len(unchoked) < s.cfg.ReciprocalSlots; i++ {
+		if candidates[i].by == 0 {
+			break
+		}
+		unchoked[candidates[i].id] = true
+	}
+
+	// Optimistic slots: uniform random among the remaining interested
+	// neighbours — excluding, under the guard, peers whose blame crossed η.
+	var optPool []msg.NodeID
+	for _, c := range candidates {
+		if unchoked[c.id] {
+			continue
+		}
+		if s.cfg.Guard.Enabled && s.nodes[c.id].banned {
+			continue
+		}
+		optPool = append(optPool, c.id)
+	}
+	for i := 0; i < s.cfg.OptimisticSlots && len(optPool) > 0; i++ {
+		k := s.rand.IntN(len(optPool))
+		peer := optPool[k]
+		optPool = append(optPool[:k], optPool[k+1:]...)
+		moved := s.transfer(nd, s.nodes[peer], slot)
+		if moved > 0 && s.cfg.Guard.Enabled {
+			s.nodes[peer].pushLog[s.round] += moved
+			s.checks = append(s.checks, guardCheck{
+				due:      s.round + s.cfg.Guard.Lag,
+				pusher:   nd.id,
+				receiver: peer,
+				pieces:   moved,
+			})
+		}
+	}
+	// Serve reciprocal slots in rank order (deterministic).
+	for i := 0; i < len(candidates); i++ {
+		if unchoked[candidates[i].id] {
+			s.transfer(nd, s.nodes[candidates[i].id], slot)
+		}
+	}
+}
+
+// interested reports whether p wants pieces nd has.
+func (s *Swarm) interested(p msg.NodeID, nd *node) bool {
+	other := s.nodes[p]
+	return other.haveN < s.cfg.Pieces
+}
+
+// transfer moves up to UploadPerSlot needed pieces from src to dst. Pieces
+// are probed from a random offset (the round-based analogue of BitTorrent's
+// random-first/rarest-first selection): sequential selection would leave
+// every node holding a prefix of its neighbours' pieces, killing
+// reciprocation.
+func (s *Swarm) transfer(src, dst *node, slot int) int {
+	moved := 0
+	start := s.rand.IntN(s.cfg.Pieces)
+	for i := 0; i < s.cfg.Pieces && moved < s.cfg.UploadPerSlot; i++ {
+		p := (start + i) % s.cfg.Pieces
+		if src.have[p] && !dst.have[p] {
+			dst.have[p] = true
+			dst.haveN++
+			moved++
+		}
+	}
+	if moved > 0 {
+		dst.receivedFrom[slot][src.id] += moved
+		src.uploadedTo[slot][dst.id] += moved
+		dst.recvLastRound += moved
+	}
+	return moved
+}
+
+// runGuardChecks performs due obligations: the pusher polls a sample of the
+// receiver's neighbours for the bytes the receiver uploaded to them since
+// the push; too little onward contribution earns blame proportional to the
+// gift, exactly LiFTinG's "pushes must be paid forward" principle.
+func (s *Swarm) runGuardChecks() {
+	if !s.cfg.Guard.Enabled {
+		s.checks = nil
+		return
+	}
+	live := s.checks[:0]
+	for _, chk := range s.checks {
+		if chk.due > s.round {
+			live = append(live, chk)
+			continue
+		}
+		receiver := s.nodes[chk.receiver]
+		witnesses := s.sampleNeighbors(receiver, s.cfg.Guard.Witnesses)
+		reported := 0
+		for _, w := range witnesses {
+			reported += s.nodes[w].offersFrom(s.cfg, chk.receiver)
+		}
+		// Offers go to every neighbour, so any single truthful witness
+		// suffices; no sample scaling is needed.
+		if float64(reported) < s.cfg.Guard.MinForwardRatio*float64(chk.pieces) {
+			// Blame only repeated failures: a single missed obligation can
+			// be sampling noise or a node with momentarily nothing to
+			// offer; a leech fails every check.
+			if s.round-receiver.lastFail <= 3*s.cfg.Guard.Lag {
+				receiver.blame += float64(chk.pieces)
+				if receiver.blame > s.cfg.Guard.MaxBlame {
+					receiver.banned = true
+				}
+			}
+			receiver.lastFail = s.round
+		}
+	}
+	s.checks = live
+}
+
+func (s *Swarm) sampleNeighbors(nd *node, k int) []msg.NodeID {
+	if k > len(nd.neighbors) {
+		k = len(nd.neighbors)
+	}
+	if k <= 0 {
+		return nil
+	}
+	return rng.SampleKFrom(s.rand, nd.neighbors, k)
+}
+
+// Run executes rounds rounds.
+func (s *Swarm) Run(rounds int) {
+	for i := 0; i < rounds; i++ {
+		s.Round()
+	}
+}
+
+// Progress returns the fraction of the content node id holds.
+func (s *Swarm) Progress(id msg.NodeID) float64 {
+	nd := s.nodes[id]
+	return float64(nd.haveN) / float64(s.cfg.Pieces)
+}
+
+// Blame returns the accumulated guard blame of id.
+func (s *Swarm) Blame(id msg.NodeID) float64 { return s.nodes[id].blame }
+
+// Banned reports whether id has lost optimistic eligibility for good.
+func (s *Swarm) Banned(id msg.NodeID) bool { return s.nodes[id].banned }
+
+// Stats aggregates progress for a predicate-selected population.
+type Stats struct {
+	Mean float64
+	Min  float64
+	N    int
+}
+
+// ProgressStats summarizes progress over nodes matching keep.
+func (s *Swarm) ProgressStats(keep func(msg.NodeID) bool) Stats {
+	st := Stats{Min: 1}
+	var sum float64
+	for _, id := range s.order {
+		if id == 0 || !keep(id) {
+			continue
+		}
+		p := s.Progress(id)
+		sum += p
+		if p < st.Min {
+			st.Min = p
+		}
+		st.N++
+	}
+	if st.N > 0 {
+		st.Mean = sum / float64(st.N)
+	}
+	return st
+}

@@ -1,0 +1,141 @@
+package swarm
+
+import (
+	"testing"
+
+	"lifting/internal/msg"
+)
+
+func leechesAbove(n, firstLeech int) func(msg.NodeID) Behavior {
+	return func(id msg.NodeID) Behavior {
+		if int(id) >= firstLeech {
+			return Leech
+		}
+		return Honest
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := DefaultConfig()
+	bad.OptimisticSlots = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero optimistic slots accepted")
+	}
+	bad = DefaultConfig()
+	bad.Pieces = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero pieces accepted")
+	}
+}
+
+func TestHonestSwarmCompletes(t *testing.T) {
+	s := New(40, DefaultConfig(), 1, nil)
+	s.Run(600)
+	st := s.ProgressStats(func(msg.NodeID) bool { return true })
+	if st.Mean < 0.99 {
+		t.Fatalf("honest swarm mean progress = %v, want ≈1", st.Mean)
+	}
+	if st.Min < 0.95 {
+		t.Fatalf("honest swarm min progress = %v", st.Min)
+	}
+}
+
+func TestLeechExploitsOptimisticSlots(t *testing.T) {
+	// The large-view exploit: without the guard, leeches still make solid
+	// progress riding optimistic slots ("free riding in BitTorrent is
+	// cheap", [23, 24]).
+	cfg := DefaultConfig()
+	cfg.Guard.Enabled = false
+	s := New(40, cfg, 2, leechesAbove(40, 32))
+	s.Run(600)
+	leeches := s.ProgressStats(func(id msg.NodeID) bool { return id >= 32 })
+	honest := s.ProgressStats(func(id msg.NodeID) bool { return id < 32 })
+	if leeches.Mean < 0.5 {
+		t.Fatalf("unguarded leech progress = %v — exploit should be cheap", leeches.Mean)
+	}
+	if honest.Mean < 0.9 {
+		t.Fatalf("honest progress = %v", honest.Mean)
+	}
+}
+
+func TestGuardCollapsesTheExploit(t *testing.T) {
+	// Same swarm, guard on: leeches are blamed for unpaid gifts and lose
+	// optimistic eligibility; their progress collapses while honest nodes
+	// are unharmed.
+	run := func(guard bool) (leech, honest Stats) {
+		cfg := DefaultConfig()
+		cfg.Guard.Enabled = guard
+		s := New(40, cfg, 2, leechesAbove(40, 32))
+		s.Run(600)
+		return s.ProgressStats(func(id msg.NodeID) bool { return id >= 32 }),
+			s.ProgressStats(func(id msg.NodeID) bool { return id < 32 })
+	}
+	leechOff, honestOff := run(false)
+	leechOn, honestOn := run(true)
+
+	if leechOn.Mean > leechOff.Mean/2 {
+		t.Fatalf("guard did not collapse the exploit: %v (guarded) vs %v (unguarded)",
+			leechOn.Mean, leechOff.Mean)
+	}
+	if honestOn.Mean < honestOff.Mean-0.05 {
+		t.Fatalf("guard hurt honest nodes: %v vs %v", honestOn.Mean, honestOff.Mean)
+	}
+}
+
+func TestGuardBansLeechesNotHonest(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Guard.Enabled = true
+	s := New(40, cfg, 3, leechesAbove(40, 34))
+	s.Run(300)
+	for i := 1; i < 40; i++ {
+		banned := s.Banned(msg.NodeID(i))
+		if i >= 34 && !banned {
+			t.Fatalf("leech %d escaped the ban", i)
+		}
+		if i < 34 && banned {
+			t.Fatalf("honest node %d wrongfully banned", i)
+		}
+	}
+}
+
+func TestReciprocityRewardsUploaders(t *testing.T) {
+	// With the guard on, an honest node's download comes mostly through
+	// reciprocal slots; a leech's only through (eventually closed)
+	// optimistic ones — so honest progress must dominate early too.
+	cfg := DefaultConfig()
+	cfg.Guard.Enabled = true
+	s := New(40, cfg, 4, leechesAbove(40, 34))
+	s.Run(120)
+	leeches := s.ProgressStats(func(id msg.NodeID) bool { return id >= 34 })
+	honest := s.ProgressStats(func(id msg.NodeID) bool { return id < 34 })
+	if honest.Mean <= leeches.Mean {
+		t.Fatalf("honest progress %v not above leech progress %v", honest.Mean, leeches.Mean)
+	}
+}
+
+func TestDeterministicSwarm(t *testing.T) {
+	runOnce := func() float64 {
+		s := New(30, DefaultConfig(), 9, leechesAbove(30, 26))
+		s.Run(200)
+		var sum float64
+		for i := 1; i < 30; i++ {
+			sum += s.Progress(msg.NodeID(i))
+		}
+		return sum
+	}
+	if a, b := runOnce(), runOnce(); a != b {
+		t.Fatalf("identical swarm runs diverged: %v vs %v", a, b)
+	}
+}
+
+func TestNewPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid config did not panic")
+		}
+	}()
+	New(10, Config{}, 1, nil)
+}
