@@ -40,9 +40,21 @@ func BenchmarkFig1Health(b *testing.B) {
 
 // BenchmarkFig10WrongfulBlames regenerates Figure 10: compensated honest
 // scores after one period. Metrics: mean (paper ≈0) and σ (paper 25.6).
+// The Serial variant pins Workers=1; the parallel one fans the independent
+// per-node trials across GOMAXPROCS workers with bit-identical results —
+// compare ns/op between the two on a multi-core machine.
+func BenchmarkFig10WrongfulBlamesSerial(b *testing.B) {
+	benchFig10(b, 1)
+}
+
 func BenchmarkFig10WrongfulBlames(b *testing.B) {
+	benchFig10(b, 0) // 0 = GOMAXPROCS
+}
+
+func benchFig10(b *testing.B, workers int) {
 	cfg := experiment.DefaultScoreConfig()
 	cfg.N = 5000
+	cfg.Workers = workers
 	for i := 0; i < b.N; i++ {
 		_, res := experiment.Fig10(cfg)
 		b.ReportMetric(res.HonestM.Mean(), "mean-score")
@@ -52,16 +64,43 @@ func BenchmarkFig10WrongfulBlames(b *testing.B) {
 
 // BenchmarkFig11ScoreSeparation regenerates Figure 11: honest vs freerider
 // normalized scores after r = 50. Metrics: detection α (paper > 0.99) and
-// false positives β (paper < 0.01) at η = −9.75.
+// false positives β (paper < 0.01) at η = −9.75. Serial vs parallel as for
+// Figure 10; r = 50 periods per node makes this the heavier sweep, so the
+// parallel speedup is closer to linear here.
+func BenchmarkFig11ScoreSeparationSerial(b *testing.B) {
+	benchFig11(b, 1)
+}
+
 func BenchmarkFig11ScoreSeparation(b *testing.B) {
+	benchFig11(b, 0)
+}
+
+func benchFig11(b *testing.B, workers int) {
 	cfg := experiment.DefaultScoreConfig()
 	cfg.N = 4000
 	cfg.Freeriders = 400
+	cfg.Workers = workers
 	for i := 0; i < b.N; i++ {
 		_, res := experiment.Fig11(cfg)
 		b.ReportMetric(res.Detection, "alpha")
 		b.ReportMetric(res.FalsePositives, "beta")
 		b.ReportMetric(res.HonestM.Mean()-res.FreeriderM.Mean(), "mode-gap")
+	}
+}
+
+// BenchmarkChurn measures the churn workload end-to-end on the
+// discrete-event backend: joins/leaves mid-stream with manager handoff.
+// Metrics: arrival catch-up and the surviving score separation.
+func BenchmarkChurn(b *testing.B) {
+	cfg := experiment.DefaultChurnConfig()
+	cfg.N = 60
+	cfg.Joins = 8
+	cfg.Leaves = 8
+	cfg.Duration = 10 * time.Second
+	for i := 0; i < b.N; i++ {
+		_, res := experiment.Churn(cfg)
+		b.ReportMetric(res.CatchUp.Mean(), "arrival-catch-up")
+		b.ReportMetric(res.HonestMean-res.FreeriderMean, "score-gap")
 	}
 }
 

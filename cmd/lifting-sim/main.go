@@ -6,8 +6,10 @@
 //	lifting-sim [flags] <experiment>
 //
 // Experiments: fig1, fig10, fig11, fig12, fig13, fig14, eq7, table3,
-// table5, ablate, all. See EXPERIMENTS.md for the mapping to the paper and the
-// expected shapes.
+// table5, ablate, churn, all. See EXPERIMENTS.md for the mapping to the
+// paper and the expected shapes. churn is the beyond-the-paper workload:
+// nodes joining and leaving mid-stream; run it with -backend live to
+// execute on the goroutine runtime instead of the discrete-event engine.
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 
 	"lifting/internal/analysis"
 	"lifting/internal/experiment"
+	"lifting/internal/runtime"
 )
 
 func main() {
@@ -36,9 +39,11 @@ func run(args []string) int {
 		delta    = fs.Float64("delta", -1, "override degree of freeriding (fig11; -1 = default 0.1)")
 		noComp   = fs.Bool("no-compensation", false, "ablation: disable wrongful-blame compensation (fig10/fig11)")
 		quick    = fs.Bool("quick", false, "shrink paper-scale experiments for a fast pass")
+		workers  = fs.Int("workers", 0, "Monte-Carlo worker goroutines (0 = GOMAXPROCS, 1 = serial)")
+		backendF = fs.String("backend", "sim", "execution backend for churn: sim or live")
 	)
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: lifting-sim [flags] <fig1|fig10|fig11|fig12|fig13|fig14|eq7|ablate|table3|table5|all>\n")
+		fmt.Fprintf(fs.Output(), "usage: lifting-sim [flags] <fig1|fig10|fig11|fig12|fig13|fig14|eq7|ablate|table3|table5|churn|all>\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -49,6 +54,16 @@ func run(args []string) int {
 		return 2
 	}
 	name := strings.ToLower(fs.Arg(0))
+	var backend runtime.Kind
+	switch *backendF {
+	case "sim":
+		backend = runtime.KindSim
+	case "live":
+		backend = runtime.KindLive
+	default:
+		fmt.Fprintf(os.Stderr, "lifting-sim: unknown backend %q (want sim or live)\n", *backendF)
+		return 2
+	}
 
 	scoreCfg := func() experiment.ScoreConfig {
 		cfg := experiment.DefaultScoreConfig()
@@ -70,6 +85,7 @@ func run(args []string) int {
 			cfg.Delta = analysis.Uniform(*delta)
 		}
 		cfg.NoCompensation = *noComp
+		cfg.Workers = *workers
 		return cfg
 	}
 	plCfg := func() experiment.PlanetLabConfig {
@@ -164,6 +180,25 @@ func run(args []string) int {
 			experiment.Table3(plCfg(), nil).Render(os.Stdout)
 		case "table5":
 			experiment.Table5(plCfg(), nil, nil).Render(os.Stdout)
+		case "churn":
+			cfg := experiment.DefaultChurnConfig()
+			cfg.Backend = backend
+			if *quick {
+				cfg.N = 50
+				cfg.Joins, cfg.Leaves = 6, 6
+				cfg.Duration = 8 * time.Second
+			}
+			if *n > 0 {
+				cfg.N = *n
+			}
+			if *seed > 0 {
+				cfg.Seed = *seed
+			}
+			if *duration > 0 {
+				cfg.Duration = *duration
+			}
+			tab, _ := experiment.Churn(cfg)
+			tab.Render(os.Stdout)
 		default:
 			return false
 		}
@@ -174,7 +209,7 @@ func run(args []string) int {
 	if name == "all" {
 		for _, which := range []string{
 			"fig10", "fig11", "fig12", "fig13", "eq7", "ablate",
-			"table3", "table5", "fig14", "fig1",
+			"table3", "table5", "churn", "fig14", "fig1",
 		} {
 			if !runOne(which) {
 				fmt.Fprintf(os.Stderr, "lifting-sim: internal error running %s\n", which)

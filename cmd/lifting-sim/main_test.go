@@ -16,9 +16,24 @@ func TestRunFastExperiments(t *testing.T) {
 	}
 }
 
+func TestRunChurnAndWorkers(t *testing.T) {
+	for _, args := range [][]string{
+		{"-quick", "-duration", "4s", "-n", "30", "churn"},
+		{"-quick", "-workers", "4", "fig10"},
+		{"-quick", "-workers", "1", "fig10"},
+	} {
+		if code := run(args); code != 0 {
+			t.Fatalf("run(%v) = %d, want 0", args, code)
+		}
+	}
+}
+
 func TestRunRejectsBadInput(t *testing.T) {
 	if code := run([]string{"no-such-experiment"}); code == 0 {
 		t.Fatal("unknown experiment accepted")
+	}
+	if code := run([]string{"-backend", "quantum", "churn"}); code == 0 {
+		t.Fatal("unknown backend accepted")
 	}
 	if code := run([]string{}); code == 0 {
 		t.Fatal("missing experiment accepted")

@@ -1,0 +1,56 @@
+// Churn: nodes joining and leaving a LiFTinG-policed broadcast mid-stream.
+//
+// The paper deploys on a static membership; this example runs the natural
+// next workload. Twenty nodes join and twenty leave while the stream plays:
+// arrivals catch up on the chunks generated after their join (infect-and-die
+// gossip does not replay history), departures drop out of the sampling
+// population, and the Alliatrust-like reputation managers hand their score
+// copies off as the manager assignment shifts with the membership. Freerider
+// detection must survive all of it.
+//
+// The same wiring runs on the deterministic discrete-event engine (default)
+// or the goroutine-per-node live runtime (-backend live), through the
+// runtime seam.
+//
+// Run with: go run ./examples/churn [-backend live]
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"lifting/internal/experiment"
+	"lifting/internal/runtime"
+)
+
+func main() {
+	backend := runtime.KindSim
+	for _, arg := range os.Args[1:] {
+		if arg == "-backend=live" || arg == "live" {
+			backend = runtime.KindLive
+		}
+	}
+	cfg := experiment.DefaultChurnConfig()
+	cfg.Backend = backend
+	if backend == runtime.KindLive {
+		// The live backend runs in wall-clock time; keep the demo short.
+		cfg.N = 40
+		cfg.Joins, cfg.Leaves = 8, 8
+		cfg.Duration = 10 * time.Second
+	}
+	run(os.Stdout, cfg)
+}
+
+// run executes the churn scenario and returns its result.
+func run(w io.Writer, cfg experiment.ChurnConfig) *experiment.ChurnResult {
+	tab, res := experiment.Churn(cfg)
+	tab.Render(w)
+	fmt.Fprintf(w, "%d arrivals caught %.0f%% of the post-join stream; %d manager handoffs\n",
+		res.Joined, 100*res.CatchUp.Mean(), res.Handoffs)
+	fmt.Fprintf(w, "kept every replica set populated. Freeriders still score %.2f below the\n",
+		res.HonestMean-res.FreeriderMean)
+	fmt.Fprintln(w, "honest mean: detection is a property of the protocol, not of a frozen roster.")
+	return res
+}

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"lifting/internal/experiment"
+	"lifting/internal/runtime"
+)
+
+// TestChurnExampleCompletes runs the example at reduced scale on both
+// backends through the runtime seam.
+func TestChurnExampleCompletes(t *testing.T) {
+	cfg := experiment.DefaultChurnConfig()
+	cfg.N = 40
+	cfg.Joins, cfg.Leaves = 5, 5
+	cfg.Duration = 6 * time.Second
+	res := run(io.Discard, cfg)
+	if res.Joined != 5 || res.Departed != 5 {
+		t.Fatalf("churn incomplete: %+v", res)
+	}
+	if res.FreeriderMean >= res.HonestMean {
+		t.Fatalf("separation lost: honest %.2f, freeriders %.2f", res.HonestMean, res.FreeriderMean)
+	}
+}
+
+// TestChurnExampleLiveBackend is the live-runtime smoke test: a short
+// wall-clock run must complete with the same invariants.
+func TestChurnExampleLiveBackend(t *testing.T) {
+	cfg := experiment.DefaultChurnConfig()
+	cfg.Backend = runtime.KindLive
+	cfg.N = 20
+	cfg.Joins, cfg.Leaves = 3, 3
+	cfg.Duration = 3 * time.Second
+	res := run(io.Discard, cfg)
+	if res.Joined != 3 || res.Departed != 3 {
+		t.Fatalf("live churn incomplete: %+v", res)
+	}
+}

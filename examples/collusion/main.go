@@ -13,6 +13,8 @@ package main
 
 import (
 	"fmt"
+	"io"
+	"os"
 	"time"
 
 	"lifting/internal/analysis"
@@ -29,13 +31,23 @@ import (
 )
 
 func main() {
+	// gamma is scaled for a 100-node system: honest histories measure ≈6.3
+	// (max log2(99) ≈ 6.6).
+	run(os.Stdout, 100, 8, 5.5, 25*time.Second)
+}
+
+// run executes the collusion story at the given scale and returns how many
+// coalition members the audit expelled. gamma must be scaled to the system
+// size (honest entropies approach log2(n-1)).
+func run(w io.Writer, nodes, coalitionSize int, gamma float64, streamFor time.Duration) (expelled int) {
 	const (
-		nodes = 100
-		tg    = 500 * time.Millisecond
-		gamma = 5.5 // scaled for a 100-node system: honest histories measure ≈6.3 (max log2(99) ≈ 6.6)
-		bias  = 0.8
+		tg   = 500 * time.Millisecond
+		bias = 0.8
 	)
-	coalition := []msg.NodeID{92, 93, 94, 95, 96, 97, 98, 99}
+	coalition := make([]msg.NodeID, coalitionSize)
+	for i := range coalition {
+		coalition[i] = msg.NodeID(nodes - coalitionSize + i)
+	}
 
 	opts := cluster.Options{
 		N:    nodes,
@@ -69,11 +81,11 @@ func main() {
 	var outcomes []core.AuditOutcome
 	auditor := c.Auditor(func(out core.AuditOutcome) { outcomes = append(outcomes, out) })
 	c.Start()
-	c.StartStream(25 * time.Second)
+	c.StartStream(streamFor)
 
 	// Audit every coalition member and a few honest nodes once histories
 	// have filled (audits are sporadic and run over TCP, §5.3).
-	c.Engine.After(20*time.Second, func() {
+	c.After(streamFor*4/5, func() {
 		for _, m := range coalition {
 			auditor.Audit(m)
 		}
@@ -81,15 +93,15 @@ func main() {
 			auditor.Audit(honest)
 		}
 	})
-	c.Run(28 * time.Second)
+	c.Run(streamFor + 3*time.Second)
 
 	pm := analysis.MaxCollusionBias(gamma, len(coalition), 50*7)
-	fmt.Printf("coalition of %d, biasing %.0f%% of pushes toward itself.\n", len(coalition), bias*100)
-	fmt.Printf("Equation 7: at γ = %.2f a coalition this size could hide a bias of at most\n", gamma)
-	fmt.Printf("p*m = %.0f%%, so %.0f%% must fail the entropy check.\n\n", pm*100, bias*100)
+	fmt.Fprintf(w, "coalition of %d, biasing %.0f%% of pushes toward itself.\n", len(coalition), bias*100)
+	fmt.Fprintf(w, "Equation 7: at γ = %.2f a coalition this size could hide a bias of at most\n", gamma)
+	fmt.Fprintf(w, "p*m = %.0f%%, so %.0f%% must fail the entropy check.\n\n", pm*100, bias*100)
 
-	fmt.Println("audit outcomes:")
-	fmt.Println("node  role      fanout-H  fanin-H  unconfirmed  verdict")
+	fmt.Fprintln(w, "audit outcomes:")
+	fmt.Fprintln(w, "node  role      fanout-H  fanin-H  unconfirmed  verdict")
 	for _, out := range outcomes {
 		role := "honest"
 		for _, m := range coalition {
@@ -101,17 +113,17 @@ func main() {
 		if out.Expel {
 			verdict = "EXPEL"
 		}
-		fmt.Printf("%4d  %-8s  %8.2f  %7.2f  %11d  %s\n",
+		fmt.Fprintf(w, "%4d  %-8s  %8.2f  %7.2f  %11d  %s\n",
 			out.Target, role, out.FanoutEntropy, out.FaninEntropy, out.Unconfirmed, verdict)
 	}
 
-	expelled := 0
 	for _, m := range coalition {
 		if _, gone := c.Expelled[m]; gone {
 			expelled++
 		}
 	}
-	fmt.Printf("\nexpelled %d/%d colluders; honest audits passed: the randomness of partner\n",
+	fmt.Fprintf(w, "\nexpelled %d/%d colluders; honest audits passed: the randomness of partner\n",
 		expelled, len(coalition))
-	fmt.Println("selection is exactly what makes covering each other up statistically visible.")
+	fmt.Fprintln(w, "selection is exactly what makes covering each other up statistically visible.")
+	return expelled
 }

@@ -1,0 +1,17 @@
+package main
+
+import (
+	"io"
+	"testing"
+	"time"
+)
+
+// TestCollusionCompletes runs the example at reduced scale (γ rescaled for
+// the smaller membership, as in the package's own scenario tests) and
+// checks the audit catches at least part of the coalition.
+func TestCollusionCompletes(t *testing.T) {
+	expelled := run(io.Discard, 60, 5, 4.5, 8*time.Second)
+	if expelled == 0 {
+		t.Fatal("audit expelled no colluders at reduced scale")
+	}
+}

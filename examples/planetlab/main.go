@@ -9,6 +9,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -20,30 +21,39 @@ func main() {
 	n := flag.Int("n", 150, "system size (paper: 300)")
 	pdcc := flag.Float64("pdcc", 1, "cross-checking probability")
 	flag.Parse()
+	run(os.Stdout, *n, *pdcc, 35*time.Second)
+}
 
+// run executes the Figure 14 scenario at the given scale and returns the
+// snapshot results.
+func run(w io.Writer, n int, pdcc float64, duration time.Duration) *experiment.Fig14Result {
 	p := experiment.DefaultPlanetLabConfig()
-	p.N = *n
-	p.Pdcc = *pdcc
+	p.N = n
+	p.Pdcc = pdcc
 	// A harder ∆ than the paper's (1/7, 0.1, 0.1) keeps the demo short; see
 	// EXPERIMENTS.md for the full-length paper setting.
 	p.Delta = [3]float64{2.0 / 7, 0.2, 0.2}
-	p.Duration = 35 * time.Second
+	p.Duration = duration
 
-	snapshots := []time.Duration{25 * time.Second, 30 * time.Second, 35 * time.Second}
+	snapshots := []time.Duration{duration - 10*time.Second, duration - 5*time.Second, duration}
+	if snapshots[0] <= 0 {
+		snapshots = []time.Duration{duration / 2, duration}
+	}
 	tab, res := experiment.Fig14(p, snapshots)
-	tab.Render(os.Stdout)
+	tab.Render(w)
 
 	// Render a coarse CDF of the last snapshot, one line per population —
 	// the textual analogue of Figure 14's plots.
 	last := res.Snapshots[len(res.Snapshots)-1]
-	fmt.Printf("score CDFs after %v (threshold η = %.2f):\n\n", last.At, res.Eta)
-	printCDF("honest   ", last.Honest, res.Eta)
-	printCDF("freerider", last.Freerider, res.Eta)
-	fmt.Println("\nThe freerider CDF rises left of the threshold while the honest mass sits")
-	fmt.Println("right of it; the honest fraction below η is the poorly connected tail (§7.3).")
+	fmt.Fprintf(w, "score CDFs after %v (threshold η = %.2f):\n\n", last.At, res.Eta)
+	printCDF(w, "honest   ", last.Honest, res.Eta)
+	printCDF(w, "freerider", last.Freerider, res.Eta)
+	fmt.Fprintln(w, "\nThe freerider CDF rises left of the threshold while the honest mass sits")
+	fmt.Fprintln(w, "right of it; the honest fraction below η is the poorly connected tail (§7.3).")
+	return res
 }
 
-func printCDF(label string, scores []float64, eta float64) {
+func printCDF(w io.Writer, label string, scores []float64, eta float64) {
 	if len(scores) == 0 {
 		return
 	}
@@ -57,7 +67,7 @@ func printCDF(label string, scores []float64, eta float64) {
 		}
 	}
 	const cols = 11
-	fmt.Printf("%s ", label)
+	fmt.Fprintf(w, "%s ", label)
 	for i := 0; i < cols; i++ {
 		x := lo + (hi-lo)*float64(i)/float64(cols-1)
 		below := 0
@@ -71,8 +81,8 @@ func printCDF(label string, scores []float64, eta float64) {
 		if x < eta {
 			marker = "*" // below the expulsion threshold
 		}
-		fmt.Printf("%s%.2f@%.0f ", marker, frac, x)
+		fmt.Fprintf(w, "%s%.2f@%.0f ", marker, frac, x)
 	}
-	fmt.Println()
-	fmt.Printf("%s (%s = fraction of population at or below the score)\n", strings.Repeat(" ", len(label)), "f@s")
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%s (%s = fraction of population at or below the score)\n", strings.Repeat(" ", len(label)), "f@s")
 }

@@ -1,0 +1,21 @@
+package main
+
+import (
+	"io"
+	"testing"
+	"time"
+)
+
+// TestPlanetLabCompletes runs the Figure 14 scenario at reduced scale: the
+// run must finish and detect more freeriders than honest false positives at
+// the final snapshot.
+func TestPlanetLabCompletes(t *testing.T) {
+	res := run(io.Discard, 60, 1, 15*time.Second)
+	if len(res.Snapshots) == 0 {
+		t.Fatal("no snapshots produced")
+	}
+	last := res.Snapshots[len(res.Snapshots)-1]
+	if last.Detection <= last.FalsePositives {
+		t.Fatalf("detection %.2f not above false positives %.2f", last.Detection, last.FalsePositives)
+	}
+}

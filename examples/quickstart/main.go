@@ -9,6 +9,8 @@ package main
 
 import (
 	"fmt"
+	"io"
+	"os"
 	"time"
 
 	"lifting/internal/cluster"
@@ -24,11 +26,13 @@ import (
 )
 
 func main() {
-	const (
-		nodes      = 64
-		freeriders = 4
-		tg         = 500 * time.Millisecond
-	)
+	run(os.Stdout, 64, 4, 20*time.Second)
+}
+
+// run executes the scenario at the given scale and returns the two
+// populations' mean scores plus how many freeriders were expelled.
+func run(w io.Writer, nodes, freeriders int, duration time.Duration) (honestMean, riderMean float64, detected int) {
+	const tg = 500 * time.Millisecond
 	opts := cluster.Options{
 		N:    nodes,
 		Seed: 7,
@@ -60,19 +64,19 @@ func main() {
 
 	// Calibrate the wrongful-blame compensation from an honest pilot, then
 	// expel anyone whose normalized score drops below η.
-	cal := cluster.Calibrate(opts, 20*time.Second)
+	cal := cluster.Calibrate(opts, duration)
 	opts.Rep.Compensation = cal.Compensation
 	opts.Rep.Eta = -4 * cal.ScoreStd
 	opts.ExpelOnDetection = true
 
 	c := cluster.New(opts)
 	c.Start()
-	c.StartStream(20 * time.Second)
-	c.Run(22 * time.Second)
+	c.StartStream(duration)
+	c.Run(duration + 2*tg)
 
-	fmt.Printf("compensation b̃ = %.2f blame/period (calibrated), η = %.2f\n\n",
+	fmt.Fprintf(w, "compensation b̃ = %.2f blame/period (calibrated), η = %.2f\n\n",
 		cal.Compensation, opts.Rep.Eta)
-	fmt.Println("node  role       score     expelled")
+	fmt.Fprintln(w, "node  role       score     expelled")
 	scores := c.Scores()
 	var honestSum, riderSum float64
 	for i := 1; i < nodes; i++ {
@@ -89,21 +93,23 @@ func main() {
 			if at, ok := c.Expelled[id]; ok {
 				expelled = fmt.Sprintf("at %v", at.Round(time.Second))
 			}
-			fmt.Printf("%4d  %-9s  %8.2f  %s\n", i, role, scores[id], expelled)
+			fmt.Fprintf(w, "%4d  %-9s  %8.2f  %s\n", i, role, scores[id], expelled)
 		}
 	}
-	fmt.Printf("\nhonest mean score    %8.2f\n", honestSum/float64(nodes-1-freeriders))
-	fmt.Printf("freerider mean score %8.2f\n", riderSum/float64(freeriders))
+	honestMean = honestSum / float64(nodes-1-freeriders)
+	riderMean = riderSum / float64(freeriders)
+	fmt.Fprintf(w, "\nhonest mean score    %8.2f\n", honestMean)
+	fmt.Fprintf(w, "freerider mean score %8.2f\n", riderMean)
 
-	detected := 0
 	for id := range c.Expelled {
 		if c.Freeriders[id] {
 			detected++
 		}
 	}
-	fmt.Printf("\nexpelled %d/%d freeriders, %d honest nodes\n",
+	fmt.Fprintf(w, "\nexpelled %d/%d freeriders, %d honest nodes\n",
 		detected, freeriders, len(c.Expelled)-detected)
-	fmt.Println("(an expelled node's displayed score recovers over time: blaming stops")
-	fmt.Println(" once it is out — detection acts on the score at expulsion time; the")
-	fmt.Println(" few honest expulsions mirror the paper's §7.3 false positives)")
+	fmt.Fprintln(w, "(an expelled node's displayed score recovers over time: blaming stops")
+	fmt.Fprintln(w, " once it is out — detection acts on the score at expulsion time; the")
+	fmt.Fprintln(w, " few honest expulsions mirror the paper's §7.3 false positives)")
+	return honestMean, riderMean, detected
 }

@@ -1,0 +1,16 @@
+package main
+
+import (
+	"io"
+	"testing"
+	"time"
+)
+
+// TestQuickstartCompletes runs the example at reduced scale: it must finish
+// and still separate the populations.
+func TestQuickstartCompletes(t *testing.T) {
+	honest, riders, _ := run(io.Discard, 32, 3, 6*time.Second)
+	if riders >= honest {
+		t.Fatalf("freerider mean %.2f not below honest mean %.2f", riders, honest)
+	}
+}

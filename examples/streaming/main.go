@@ -11,6 +11,7 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -18,17 +19,23 @@ import (
 )
 
 func main() {
-	p := experiment.DefaultPlanetLabConfig()
-	p.N = 120
-	p.Duration = 30 * time.Second
-
 	lags := []time.Duration{
 		2 * time.Second, 5 * time.Second, 10 * time.Second,
 		20 * time.Second, 30 * time.Second,
 	}
+	run(os.Stdout, 120, 30*time.Second, lags)
+}
 
-	fmt.Println("Figure 1 — fraction of nodes viewing a clear stream vs stream lag")
-	fmt.Printf("(%d nodes, %d kbps, 25%% freeriders where applicable)\n\n", p.N, p.BitrateBps/1000)
+// run executes the three Figure 1 curves at the given scale and returns the
+// health series per scenario, in curve order (baseline, freeriders,
+// freeriders+LiFTinG).
+func run(w io.Writer, n int, duration time.Duration, lags []time.Duration) [][]float64 {
+	p := experiment.DefaultPlanetLabConfig()
+	p.N = n
+	p.Duration = duration
+
+	fmt.Fprintln(w, "Figure 1 — fraction of nodes viewing a clear stream vs stream lag")
+	fmt.Fprintf(w, "(%d nodes, %d kbps, 25%% freeriders where applicable)\n\n", p.N, p.BitrateBps/1000)
 
 	type curve struct {
 		name     string
@@ -40,22 +47,25 @@ func main() {
 		{"25% freeriders (LiFTinG)", experiment.Fig1FreeridersLiFTinG},
 	}
 
-	fmt.Printf("%-26s", "lag")
+	fmt.Fprintf(w, "%-26s", "lag")
 	for _, lag := range lags {
-		fmt.Printf("%8s", lag)
+		fmt.Fprintf(w, "%8s", lag)
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
+	healths := make([][]float64, 0, len(curves))
 	for _, cv := range curves {
 		_, res := experiment.Fig1(p, cv.scenario, lags)
-		fmt.Printf("%-26s", cv.name)
+		fmt.Fprintf(w, "%-26s", cv.name)
 		for _, h := range res.Health {
-			fmt.Printf("%8.2f", h)
+			fmt.Fprintf(w, "%8.2f", h)
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
+		healths = append(healths, res.Health)
 	}
 
-	fmt.Fprintln(os.Stdout, `
+	fmt.Fprintln(w, `
 Expected shape (paper Figure 1): without LiFTinG the freerider curve stays
 far below the baseline at every lag; with LiFTinG it returns close to the
 baseline because freeriding beyond ~3.5% is detected and expelled.`)
+	return healths
 }

@@ -1,0 +1,22 @@
+package main
+
+import (
+	"io"
+	"testing"
+	"time"
+)
+
+// TestStreamingCompletes runs the three Figure 1 curves at reduced scale:
+// unpoliced freeriding must degrade health below the honest baseline.
+func TestStreamingCompletes(t *testing.T) {
+	lags := []time.Duration{2 * time.Second, 5 * time.Second}
+	healths := run(io.Discard, 50, 10*time.Second, lags)
+	if len(healths) != 3 {
+		t.Fatalf("got %d curves, want 3", len(healths))
+	}
+	base := healths[0][len(healths[0])-1]
+	collapsed := healths[1][len(healths[1])-1]
+	if collapsed >= base {
+		t.Fatalf("freeriding did not degrade health: %.2f vs baseline %.2f", collapsed, base)
+	}
+}

@@ -1,0 +1,3 @@
+module lifting
+
+go 1.22

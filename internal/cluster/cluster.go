@@ -1,23 +1,32 @@
-// Package cluster assembles complete simulated LiFTinG systems: gossip
-// nodes with their verifiers, the reputation substrate, freerider behaviors,
-// a stream source and playout tracking — everything the experiments,
-// integration tests and examples need to run end-to-end scenarios under the
-// discrete-event engine.
+// Package cluster assembles complete LiFTinG systems: gossip nodes with
+// their verifiers, the reputation substrate, freerider behaviors, a stream
+// source and playout tracking — everything the experiments, integration
+// tests and examples need to run end-to-end scenarios.
+//
+// Assembly is written against the runtime.Runtime seam, so the same wiring
+// executes under the deterministic discrete-event engine (Options.Backend =
+// runtime.KindSim, the default) or under the goroutine-per-node live
+// runtime (runtime.KindLive). Scenarios — quickstart, collusion, PlanetLab
+// heterogeneity, churn — are therefore written once and run on either
+// backend.
 package cluster
 
 import (
 	"sort"
+	"sync"
 	"time"
 
 	"lifting/internal/analysis"
 	"lifting/internal/core"
 	"lifting/internal/gossip"
+	"lifting/internal/live"
 	"lifting/internal/membership"
 	"lifting/internal/metrics"
 	"lifting/internal/msg"
 	"lifting/internal/net"
 	"lifting/internal/reputation"
 	"lifting/internal/rng"
+	"lifting/internal/runtime"
 	"lifting/internal/sim"
 	"lifting/internal/stats"
 	"lifting/internal/stream"
@@ -40,10 +49,14 @@ const (
 // Options configures a cluster.
 type Options struct {
 	// N is the number of nodes (ids 0..N-1; node 0 is the stream source
-	// and is always honest).
+	// and is always honest). Churn may add nodes beyond N mid-run.
 	N int
 	// Seed roots all randomness.
 	Seed uint64
+	// Backend selects the execution backend: the deterministic
+	// discrete-event engine (runtime.KindSim, the zero value) or the
+	// goroutine-per-node live runtime (runtime.KindLive).
+	Backend runtime.Kind
 	// Gossip is the dissemination configuration.
 	Gossip gossip.Config
 	// Core is LiFTinG's configuration. Used when LiFTinG is enabled.
@@ -79,12 +92,19 @@ type Options struct {
 	TrackPlayout bool
 	// OnBlame, if non-nil, observes every blame emission (diagnostics and
 	// per-reason accounting in experiments). Only effective in direct mode.
+	// Under the live backend it is invoked concurrently from node
+	// goroutines with no lock held; synchronize externally if it mutates
+	// shared state.
 	OnBlame func(target msg.NodeID, value float64, reason msg.BlameReason)
 }
 
 // Cluster is an assembled system.
 type Cluster struct {
-	Opts      Options
+	Opts Options
+	// RT is the execution backend everything is wired to.
+	RT runtime.Runtime
+	// Engine and Net expose the discrete-event internals; both are nil
+	// under the live backend.
 	Engine    *sim.Engine
 	Net       *net.SimNet
 	Dir       *membership.Directory
@@ -96,13 +116,35 @@ type Cluster struct {
 	Playouts  map[msg.NodeID]*stream.Playout
 	// Expelled records when each node was expelled (virtual time).
 	Expelled map[msg.NodeID]time.Duration
+	// Joined records when each churn arrival entered the system.
+	Joined map[msg.NodeID]time.Duration
+	// Departed records when each node voluntarily left (churn).
+	Departed map[msg.NodeID]time.Duration
 	// Freeriders records which nodes got a non-honest behavior.
 	Freeriders map[msg.NodeID]bool
 
-	root    *rng.Stream
-	auditor *core.Auditor
-	period  msg.Period
-	clients []*reputation.Client // message-mode blame clients, flushed per period
+	// mu guards the mutable maps above plus period/clients/handoffs: under
+	// the live backend churn, expulsion and ticks run on separate
+	// goroutines. boardMu serializes all access to Board and OnBlame.
+	mu      sync.Mutex
+	boardMu sync.Mutex
+
+	root          *rng.Stream
+	repCfg        reputation.Config
+	auditor       *core.Auditor
+	period        msg.Period
+	clients       []ownedClient // message-mode blame clients, flushed per period
+	nextID        msg.NodeID
+	handoffs      int
+	rebalance     bool // a manager rebalance is scheduled
+	rebalanceFull bool // ...and must rescan every assignment (a join)
+}
+
+// ownedClient pairs a blame client with the node whose execution context
+// serializes it.
+type ownedClient struct {
+	owner  msg.NodeID
+	client *reputation.Client
 }
 
 // auxChain fans a message out to handlers until one claims it.
@@ -124,16 +166,17 @@ func (a managerAux) HandleAux(from msg.NodeID, mm msg.Message) bool {
 	return a.m.HandleMessage(from, mm)
 }
 
-// boardSink adapts a reputation.Board to core.BlameSink.
-type boardSink struct {
-	b  *reputation.Board
-	on func(target msg.NodeID, value float64, reason msg.BlameReason)
-}
+// boardSink routes blames onto the shared board under the board lock. The
+// observer callback runs outside it, so it may freely read cluster state
+// (Scores, the board) without self-deadlocking.
+type boardSink struct{ c *Cluster }
 
 func (s boardSink) Blame(target msg.NodeID, value float64, reason msg.BlameReason) {
-	s.b.AddBlame(target, value)
-	if s.on != nil {
-		s.on(target, value, reason)
+	s.c.boardMu.Lock()
+	s.c.Board.AddBlame(target, value)
+	s.c.boardMu.Unlock()
+	if s.c.Opts.OnBlame != nil {
+		s.c.Opts.OnBlame(target, value, reason)
 	}
 }
 
@@ -181,7 +224,6 @@ func New(opts Options) *Cluster {
 
 	c := &Cluster{
 		Opts:       opts,
-		Engine:     sim.NewEngine(),
 		Dir:        membership.Sequential(opts.N),
 		Collector:  metrics.NewCollector(),
 		Nodes:      make(map[msg.NodeID]*gossip.Node, opts.N),
@@ -189,89 +231,38 @@ func New(opts Options) *Cluster {
 		Managers:   make(map[msg.NodeID]*reputation.Manager, opts.N),
 		Playouts:   make(map[msg.NodeID]*stream.Playout, opts.N),
 		Expelled:   make(map[msg.NodeID]time.Duration),
+		Joined:     make(map[msg.NodeID]time.Duration),
+		Departed:   make(map[msg.NodeID]time.Duration),
 		Freeriders: make(map[msg.NodeID]bool),
 		root:       rng.New(opts.Seed),
+		nextID:     msg.NodeID(opts.N),
 	}
-	c.Net = net.NewSimNet(c.Engine, c.root.Derive("net"), c.Collector, opts.NetDefaults)
+
+	switch opts.Backend {
+	case runtime.KindLive:
+		c.RT = live.NewRuntime(c.root.Derive("net").Seed(), c.Collector, opts.NetDefaults)
+	default:
+		engine := sim.NewEngine()
+		simnet := net.NewSimNet(engine, c.root.Derive("net"), c.Collector, opts.NetDefaults)
+		c.Engine = engine
+		c.Net = simnet
+		c.RT = runtime.NewSim(engine, simnet)
+	}
 
 	if opts.BlameMode == BlameDirect {
 		c.Board = reputation.NewBoard(opts.Rep.Compensation)
 	}
-	repCfg := opts.Rep
-	repCfg.OnExpel = func(target msg.NodeID, reason msg.BlameReason) { c.expel(target) }
+	c.repCfg = opts.Rep
+	c.repCfg.OnExpel = func(target msg.NodeID, reason msg.BlameReason) { c.expel(target) }
 
 	for i := 0; i < opts.N; i++ {
-		id := msg.NodeID(i)
-		nodeRand := c.root.ForNode(uint32(i))
-
-		var behavior gossip.Behavior
-		if opts.BehaviorFor != nil && id != 0 {
-			behavior = opts.BehaviorFor(id, c.Dir, nodeRand.Derive("behavior"))
-		}
-		if behavior == nil {
-			behavior = gossip.Honest{}
-		} else {
-			c.Freeriders[id] = true
-		}
-
-		gcfg := opts.Gossip
-		gcfg.StartOffset = time.Duration(nodeRand.Derive("offset").Float64() * float64(gcfg.Period))
-
-		deps := gossip.Deps{
-			Ctx:      c.Engine,
-			Net:      c.Net,
-			Dir:      c.Dir,
-			Rand:     nodeRand.Derive("gossip"),
-			Behavior: behavior,
-		}
-
-		if opts.TrackPlayout {
-			p := stream.NewPlayout(opts.Stream)
-			c.Playouts[id] = p
-			deps.OnChunk = func(ch msg.ChunkID, at time.Duration) { p.Received(ch, at) }
-		}
-
-		var aux auxChain
-		if opts.LiFTinG {
-			var sink core.BlameSink
-			if opts.BlameMode == BlameDirect {
-				sink = boardSink{b: c.Board, on: opts.OnBlame}
-			} else {
-				client := reputation.NewClient(id, repCfg, c.Net, c.Dir)
-				c.clients = append(c.clients, client)
-				sink = client
-			}
-			node := gossip.NewNode(id, gcfg, deps) // create first to share its history
-			v := core.NewVerifier(id, opts.Core, c.Engine, c.Net, nodeRand.Derive("verify"), node.History(), behavior, sink)
-			c.Verifiers[id] = v
-			aux = append(aux, v)
-			if opts.BlameMode == BlameMessages {
-				mgr := reputation.NewManager(id, repCfg, c.Net, c.Dir)
-				c.Managers[id] = mgr
-				aux = append(aux, managerAux{mgr})
-			}
-			if id == 0 {
-				aux = append(aux, auditorProxy{c})
-			}
-			deps.Monitor = v
-			deps.Aux = aux
-			deps.History = node.History()
-			// Rebuild the node with the full wiring (cheap; state empty).
-			node = gossip.NewNode(id, gcfg, deps)
-			c.Nodes[id] = node
-			c.Net.Attach(id, node)
-			continue
-		}
-
-		node := gossip.NewNode(id, gcfg, deps)
-		c.Nodes[id] = node
-		c.Net.Attach(id, node)
+		c.buildNode(msg.NodeID(i))
 	}
 
 	if cf := opts.ConditionsFor; cf != nil {
 		for i := 0; i < opts.N; i++ {
 			if cond, ok := cf(msg.NodeID(i)); ok {
-				c.Net.SetConditions(msg.NodeID(i), cond)
+				c.RT.SetConditions(msg.NodeID(i), cond)
 			}
 		}
 	}
@@ -279,24 +270,122 @@ func New(opts Options) *Cluster {
 	// Pre-register every node with the scorekeepers at period 0 so r counts
 	// time in the system, not time since first blame.
 	if opts.LiFTinG {
-		switch opts.BlameMode {
-		case BlameDirect:
-			for i := 0; i < opts.N; i++ {
-				c.Board.Join(msg.NodeID(i))
-			}
-		case BlameMessages:
-			for i := 0; i < opts.N; i++ {
-				target := msg.NodeID(i)
-				for _, m := range c.Dir.Managers(target, opts.Rep.M) {
-					if mgr, ok := c.Managers[m]; ok {
-						mgr.Track(target, 0)
-					}
-				}
-			}
+		for i := 0; i < opts.N; i++ {
+			c.registerScorekeepers(msg.NodeID(i), 0)
 		}
 	}
 
 	return c
+}
+
+// buildNode assembles one node — gossip, verifier, manager duty, behavior —
+// and attaches it to the runtime. The caller registers scorekeepers and
+// per-node conditions.
+func (c *Cluster) buildNode(id msg.NodeID) {
+	opts := c.Opts
+	nodeRand := c.root.ForNode(uint32(id))
+	ctx := c.RT.Context(id)
+	netw := c.RT.Network()
+
+	var behavior gossip.Behavior
+	if opts.BehaviorFor != nil && id != 0 {
+		behavior = opts.BehaviorFor(id, c.Dir, nodeRand.Derive("behavior"))
+	}
+	isFreerider := behavior != nil
+	if behavior == nil {
+		behavior = gossip.Honest{}
+	}
+
+	gcfg := opts.Gossip
+	gcfg.StartOffset = time.Duration(nodeRand.Derive("offset").Float64() * float64(gcfg.Period))
+
+	deps := gossip.Deps{
+		Ctx:      ctx,
+		Net:      netw,
+		Dir:      c.Dir,
+		Rand:     nodeRand.Derive("gossip"),
+		Behavior: behavior,
+	}
+
+	var playout *stream.Playout
+	if opts.TrackPlayout {
+		playout = stream.NewPlayout(opts.Stream)
+		deps.OnChunk = func(ch msg.ChunkID, at time.Duration) { playout.Received(ch, at) }
+	}
+
+	node := gossip.NewNode(id, gcfg, deps)
+	var verifier *core.Verifier
+	var manager *reputation.Manager
+	if opts.LiFTinG {
+		var sink core.BlameSink
+		var client *reputation.Client
+		if opts.BlameMode == BlameDirect {
+			sink = boardSink{c}
+		} else {
+			client = reputation.NewClient(id, c.repCfg, netw, c.Dir)
+			sink = client
+		}
+		verifier = core.NewVerifier(id, opts.Core, ctx, netw, nodeRand.Derive("verify"), node.History(), behavior, sink)
+		var aux auxChain
+		aux = append(aux, verifier)
+		if opts.BlameMode == BlameMessages {
+			manager = reputation.NewManager(id, c.repCfg, netw, c.Dir)
+			aux = append(aux, managerAux{manager})
+		}
+		if id == 0 {
+			aux = append(aux, auditorProxy{c})
+		}
+		deps.Monitor = verifier
+		deps.Aux = aux
+		deps.History = node.History()
+		// Rebuild the node with the full wiring (cheap; state empty).
+		node = gossip.NewNode(id, gcfg, deps)
+		if client != nil {
+			c.mu.Lock()
+			c.clients = append(c.clients, ownedClient{owner: id, client: client})
+			c.mu.Unlock()
+		}
+	}
+
+	c.mu.Lock()
+	if isFreerider {
+		c.Freeriders[id] = true
+	}
+	c.Nodes[id] = node
+	if verifier != nil {
+		c.Verifiers[id] = verifier
+	}
+	if manager != nil {
+		c.Managers[id] = manager
+	}
+	if playout != nil {
+		c.Playouts[id] = playout
+	}
+	c.mu.Unlock()
+
+	c.RT.Attach(id, node)
+}
+
+// registerScorekeepers starts tracking id's score as of period p.
+func (c *Cluster) registerScorekeepers(id msg.NodeID, p msg.Period) {
+	switch c.Opts.BlameMode {
+	case BlameDirect:
+		c.boardMu.Lock()
+		c.Board.Join(id)
+		c.boardMu.Unlock()
+	case BlameMessages:
+		c.mu.Lock()
+		mgrs := make([]*reputation.Manager, 0, c.Opts.Rep.M)
+		for _, m := range c.Dir.Managers(id, c.Opts.Rep.M) {
+			if mgr, ok := c.Managers[m]; ok {
+				mgrs = append(mgrs, mgr)
+			}
+		}
+		c.mu.Unlock()
+		for _, mgr := range mgrs {
+			mgr.Track(id, p)
+		}
+	}
 }
 
 // CompensationFor returns the per-period compensation b̃ for the given loss,
@@ -333,11 +422,14 @@ type Calibration struct {
 }
 
 // Calibrate runs an all-honest pilot with the given options and returns the
-// empirical compensation and honest score spread. The pilot ignores
-// BehaviorFor, expulsion and playout tracking, and discards the first 25%
-// of the run as warmup (the dissemination ramp-up produces atypical blame).
+// empirical compensation and honest score spread. The pilot always runs on
+// the discrete-event backend (it is a Monte-Carlo measurement, not an
+// integration test), ignores BehaviorFor, expulsion and playout tracking,
+// and discards the first 25% of the run as warmup (the dissemination
+// ramp-up produces atypical blame).
 func Calibrate(opts Options, duration time.Duration) Calibration {
 	pilot := opts
+	pilot.Backend = runtime.KindSim
 	pilot.BehaviorFor = nil
 	pilot.ExpelOnDetection = false
 	pilot.TrackPlayout = false
@@ -392,63 +484,106 @@ func (c *Cluster) Start() {
 
 // scheduleTick advances the score period every Tg.
 func (c *Cluster) scheduleTick(p msg.Period) {
-	c.Engine.After(c.Opts.Gossip.Period, func() {
-		c.period = p
-		if c.Board != nil {
-			c.Board.SetPeriod(p)
-			if c.Opts.ExpelOnDetection {
-				c.detectOnBoard()
-			}
-		}
-		flushEvery := msg.Period(c.Opts.Rep.FlushEvery)
-		if flushEvery < 1 {
-			flushEvery = 1
-		}
-		if p%flushEvery == 0 {
-			for _, client := range c.clients {
-				client.Flush()
-			}
-		}
-		for i := 0; i < c.Opts.N; i++ {
-			if m, ok := c.Managers[msg.NodeID(i)]; ok {
-				m.Tick(p)
-			}
-		}
+	c.RT.After(c.Opts.Gossip.Period, func() {
+		c.tick(p)
 		c.scheduleTick(p + 1)
 	})
 }
 
-// detectOnBoard expels nodes whose board score crossed η.
-func (c *Cluster) detectOnBoard() {
-	var toExpel []msg.NodeID
-	c.Board.Each(func(id msg.NodeID, e reputation.Entry) {
-		if e.Expelled || c.Board.Periods(id) < c.Opts.Rep.GracePeriods {
-			return
+// tick runs one score-period advance: board clock, expulsion checks, blame
+// flushes and manager ticks. Under the live backend it runs on a harness
+// goroutine outside any node lock.
+func (c *Cluster) tick(p msg.Period) {
+	c.mu.Lock()
+	c.period = p
+	clients := make([]ownedClient, len(c.clients))
+	copy(clients, c.clients)
+	mgrIDs := make([]msg.NodeID, 0, len(c.Managers))
+	for id := range c.Managers {
+		mgrIDs = append(mgrIDs, id)
+	}
+	c.mu.Unlock()
+
+	if c.Board != nil {
+		c.boardMu.Lock()
+		c.Board.SetPeriod(p)
+		var toExpel []msg.NodeID
+		if c.Opts.ExpelOnDetection {
+			c.Board.Each(func(id msg.NodeID, e reputation.Entry) {
+				if e.Expelled || c.Board.Periods(id) < c.Opts.Rep.GracePeriods {
+					return
+				}
+				if c.Board.Score(id) < c.Opts.Rep.Eta {
+					toExpel = append(toExpel, id)
+				}
+			})
+			sort.Slice(toExpel, func(i, j int) bool { return toExpel[i] < toExpel[j] })
+			for _, id := range toExpel {
+				c.Board.MarkExpelled(id, msg.ReasonUnknown)
+			}
 		}
-		if c.Board.Score(id) < c.Opts.Rep.Eta {
-			toExpel = append(toExpel, id)
+		c.boardMu.Unlock()
+		for _, id := range toExpel {
+			c.expel(id)
 		}
-	})
-	sort.Slice(toExpel, func(i, j int) bool { return toExpel[i] < toExpel[j] })
-	for _, id := range toExpel {
-		c.Board.MarkExpelled(id, msg.ReasonUnknown)
-		c.expel(id)
+	}
+
+	flushEvery := msg.Period(c.Opts.Rep.FlushEvery)
+	if flushEvery < 1 {
+		flushEvery = 1
+	}
+	if p%flushEvery == 0 {
+		for _, oc := range clients {
+			client := oc.client
+			// Client state is written by the owner's verifier under the
+			// node's serialization; flush there too.
+			c.RT.Exec(oc.owner, client.Flush)
+		}
+	}
+
+	sort.Slice(mgrIDs, func(i, j int) bool { return mgrIDs[i] < mgrIDs[j] })
+	c.mu.Lock()
+	mgrs := make([]*reputation.Manager, 0, len(mgrIDs))
+	for _, id := range mgrIDs {
+		mgrs = append(mgrs, c.Managers[id])
+	}
+	c.mu.Unlock()
+	for _, m := range mgrs {
+		m.Tick(p)
 	}
 }
 
 // expel removes a node from the running system.
 func (c *Cluster) expel(id msg.NodeID) {
+	c.mu.Lock()
 	if _, done := c.Expelled[id]; done {
+		c.mu.Unlock()
 		return
 	}
-	c.Expelled[id] = c.Engine.Now()
-	if c.Opts.ExpelOnDetection {
-		c.Dir.Expel(id)
-		c.Net.SetDown(id, true)
-		if n, ok := c.Nodes[id]; ok {
-			n.Stop()
-		}
+	if _, gone := c.Departed[id]; gone {
+		c.mu.Unlock()
+		return
 	}
+	c.Expelled[id] = c.RT.Now()
+	node := c.Nodes[id]
+	c.mu.Unlock()
+	if c.Opts.ExpelOnDetection {
+		c.remove(id, node)
+	}
+}
+
+// remove takes a node out of the running system: out of the sampling
+// population, off the network, stopped.
+func (c *Cluster) remove(id msg.NodeID, node *gossip.Node) {
+	c.Dir.Expel(id)
+	c.RT.SetDown(id, true)
+	if node != nil {
+		c.RT.Exec(id, node.Stop)
+	}
+	// A removal only adds one replacement manager per affected target (the
+	// assignment probes over the unchanged registration set, skipping the
+	// departed node), so the cheap gains-only rebalance suffices.
+	c.scheduleRebalance(false)
 }
 
 // StartStream schedules chunk injections at the source (node 0) for the
@@ -456,21 +591,32 @@ func (c *Cluster) expel(id msg.NodeID) {
 func (c *Cluster) StartStream(duration time.Duration) {
 	total := c.Opts.Stream.ChunksBy(duration)
 	source := c.Nodes[0]
+	ctx := c.RT.Context(0)
 	for i := 0; i < total; i++ {
 		ch := msg.ChunkID(i)
 		at := c.Opts.Stream.GenTime(ch)
 		if at > duration {
 			break
 		}
-		c.Engine.After(at, func() { source.InjectChunk(ch) })
+		ctx.After(at, func() { source.InjectChunk(ch) })
 		if p, ok := c.Playouts[0]; ok {
 			p.Received(ch, at)
 		}
 	}
 }
 
-// Run advances the simulation to the given virtual time.
-func (c *Cluster) Run(until time.Duration) { c.Engine.Run(until) }
+// Run advances the cluster to the given time: virtual under the
+// discrete-event backend, wall-clock under the live one.
+func (c *Cluster) Run(until time.Duration) { c.RT.Run(until) }
+
+// After schedules a harness callback at d from now (audits, churn events,
+// mid-run probes), outside any node's serialization.
+func (c *Cluster) After(d time.Duration, fn func()) { c.RT.After(d, fn) }
+
+// Close shuts the backend down and waits for in-flight callbacks. Call it
+// before reading node state after a live run; it is a no-op under the
+// discrete-event backend.
+func (c *Cluster) Close() { c.RT.Close() }
 
 // Auditor lazily creates the system's auditor, hosted at the source node
 // (audits run sporadically from any node; one auditor keeps the experiments
@@ -482,13 +628,15 @@ func (c *Cluster) Auditor(onOutcome func(core.AuditOutcome)) *core.Auditor {
 	}
 	var sink core.BlameSink
 	if c.Board != nil {
-		sink = boardSink{b: c.Board, on: c.Opts.OnBlame}
+		sink = boardSink{c}
 	} else {
-		client := reputation.NewClient(0, c.Opts.Rep, c.Net, c.Dir)
-		c.clients = append(c.clients, client)
+		client := reputation.NewClient(0, c.repCfg, c.RT.Network(), c.Dir)
+		c.mu.Lock()
+		c.clients = append(c.clients, ownedClient{owner: 0, client: client})
+		c.mu.Unlock()
 		sink = client
 	}
-	c.auditor = core.NewAuditor(0, c.Opts.Core, c.Engine, c.Net, c.root.Derive("auditor"), sink,
+	c.auditor = core.NewAuditor(0, c.Opts.Core, c.RT.Context(0), c.RT.Network(), c.root.Derive("auditor"), sink,
 		func(out core.AuditOutcome) {
 			if out.Expel {
 				c.expel(out.Target)
@@ -500,22 +648,35 @@ func (c *Cluster) Auditor(onOutcome func(core.AuditOutcome)) *core.Auditor {
 	return c.auditor
 }
 
-// Scores returns every node's current score: the board score in direct
-// mode, or the min-vote over manager copies in message mode.
+// Scores returns every known node's current score: the board score in
+// direct mode, or the min-vote over manager copies in message mode. Under
+// the live backend call it after Close (or accept slightly stale reads).
 func (c *Cluster) Scores() map[msg.NodeID]float64 {
-	out := make(map[msg.NodeID]float64, c.Opts.N)
+	ids := c.Dir.All()
+	out := make(map[msg.NodeID]float64, len(ids))
 	if c.Board != nil {
-		for i := 0; i < c.Opts.N; i++ {
-			out[msg.NodeID(i)] = c.Board.Score(msg.NodeID(i))
+		c.boardMu.Lock()
+		for _, id := range ids {
+			out[id] = c.Board.Score(id)
 		}
+		c.boardMu.Unlock()
 		return out
 	}
-	for i := 0; i < c.Opts.N; i++ {
-		target := msg.NodeID(i)
+	c.mu.Lock()
+	mgrByID := make(map[msg.NodeID]*reputation.Manager, len(c.Managers))
+	for id, m := range c.Managers {
+		mgrByID[id] = m
+	}
+	c.mu.Unlock()
+	for _, target := range ids {
 		var copies []float64
 		for _, m := range c.Dir.Managers(target, c.Opts.Rep.M) {
-			if mgr, ok := c.Managers[m]; ok && mgr.Board().Tracked(target) {
-				copies = append(copies, mgr.Board().Score(target))
+			mgr, ok := mgrByID[m]
+			if !ok {
+				continue
+			}
+			if s, tracked := mgr.Score(target); tracked {
+				copies = append(copies, s)
 			}
 		}
 		score, _ := reputation.MinVoteScore(copies, nil)
@@ -525,4 +686,213 @@ func (c *Cluster) Scores() map[msg.NodeID]float64 {
 }
 
 // Period returns the current score period.
-func (c *Cluster) Period() msg.Period { return c.period }
+func (c *Cluster) Period() msg.Period {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.period
+}
+
+// Handoffs returns how many reputation-manager state transfers membership
+// changes have triggered so far.
+func (c *Cluster) Handoffs() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.handoffs
+}
+
+// --- churn ---
+
+// ScheduleJoin arranges for a fresh node to join the system at time at. The
+// node's id is allocated immediately (and returned); the node itself — with
+// its behavior from BehaviorFor, verifier and manager duty — is assembled
+// and started when the time comes. Scorekeepers pick it up at the
+// then-current period, and in message mode the manager assignment is
+// rebalanced with state handoff.
+func (c *Cluster) ScheduleJoin(at time.Duration) msg.NodeID {
+	c.mu.Lock()
+	id := c.nextID
+	c.nextID++
+	c.mu.Unlock()
+	c.RT.After(at, func() { c.join(id) })
+	return id
+}
+
+// ScheduleLeave arranges for id to leave the system voluntarily at time at:
+// it stops gossiping, drops off the network and exits the sampling
+// population. In message mode its manager duties are handed off.
+func (c *Cluster) ScheduleLeave(at time.Duration, id msg.NodeID) {
+	c.RT.After(at, func() { c.leave(id) })
+}
+
+// join brings a scheduled churn arrival into the running system.
+func (c *Cluster) join(id msg.NodeID) {
+	c.Dir.Join(id)
+	c.buildNode(id)
+	if cf := c.Opts.ConditionsFor; cf != nil {
+		if cond, ok := cf(id); ok {
+			c.RT.SetConditions(id, cond)
+		}
+	}
+	c.mu.Lock()
+	c.Joined[id] = c.RT.Now()
+	p := c.period
+	node := c.Nodes[id]
+	c.mu.Unlock()
+	if c.Opts.LiFTinG {
+		c.registerScorekeepers(id, p)
+	}
+	// The node starts inside its own serialization domain.
+	c.RT.Exec(id, node.Start)
+	// A join grows the registration set, which can reshuffle the manager
+	// assignment of every existing target: full rebalance.
+	c.scheduleRebalance(true)
+}
+
+// leave removes a voluntarily departing node.
+func (c *Cluster) leave(id msg.NodeID) {
+	c.mu.Lock()
+	if _, gone := c.Departed[id]; gone {
+		c.mu.Unlock()
+		return
+	}
+	if _, done := c.Expelled[id]; done {
+		c.mu.Unlock()
+		return
+	}
+	c.Departed[id] = c.RT.Now()
+	node := c.Nodes[id]
+	c.mu.Unlock()
+	c.remove(id, node)
+}
+
+// scheduleRebalance queues a manager-assignment rebalance (message mode
+// only). It runs as a harness event so no manager locks are held when it
+// starts, and coalesces bursts of membership changes (a full request
+// upgrades a pending cheap one).
+func (c *Cluster) scheduleRebalance(full bool) {
+	if c.Opts.BlameMode != BlameMessages || !c.Opts.LiFTinG {
+		return
+	}
+	c.mu.Lock()
+	c.rebalanceFull = c.rebalanceFull || full
+	if c.rebalance {
+		c.mu.Unlock()
+		return
+	}
+	c.rebalance = true
+	c.mu.Unlock()
+	c.RT.After(0, c.rebalanceManagers)
+}
+
+// rebalanceManagers recomputes the manager set of every known target after
+// a membership change and performs the state handoff: a manager that became
+// responsible for a target adopts the most pessimistic replica (largest
+// accumulated blame — consistent with min-vote reads), and managers no
+// longer responsible drop their copy. Deterministic under the simulator:
+// targets in registration order, managers in id order.
+func (c *Cluster) rebalanceManagers() {
+	c.mu.Lock()
+	c.rebalance = false
+	full := c.rebalanceFull
+	c.rebalanceFull = false
+	p := c.period
+	mgrByID := make(map[msg.NodeID]*reputation.Manager, len(c.Managers))
+	ids := make([]msg.NodeID, 0, len(c.Managers))
+	for id, m := range c.Managers {
+		mgrByID[id] = m
+		ids = append(ids, id)
+	}
+	c.mu.Unlock()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	// A replica's pessimism is its per-period blame rate — the score is
+	// comp − blame/r, so the lowest score is the highest rate, not the
+	// largest raw blame (a freshly joined entry with little blame but tiny
+	// r can be the most damning copy). Expulsion verdicts trump rates.
+	rate := func(e reputation.Entry) float64 {
+		r := int(p) - int(e.JoinPeriod)
+		if r < 1 {
+			r = 1
+		}
+		return e.TotalBlame / float64(r)
+	}
+	worse := func(a, b reputation.Entry) bool { // is a more pessimistic than b?
+		if a.Expelled != b.Expelled {
+			return a.Expelled
+		}
+		return rate(a) > rate(b)
+	}
+	transfers := 0
+	for _, target := range c.Dir.All() {
+		newSet := c.Dir.Managers(target, c.Opts.Rep.M)
+		if !full {
+			// A removal never strips an alive manager of responsibility, so
+			// only targets with a gaining (responsible but not yet
+			// tracking) manager need any work — and no drops are needed.
+			gaining := false
+			for _, m := range newSet {
+				if mgr, ok := mgrByID[m]; ok {
+					if _, tracked := mgr.Snapshot(target); !tracked {
+						gaining = true
+						break
+					}
+				}
+			}
+			if !gaining {
+				continue
+			}
+		}
+		responsible := make(map[msg.NodeID]bool, len(newSet))
+		for _, m := range newSet {
+			responsible[m] = true
+		}
+		// The most pessimistic replica seeds (or upgrades) the responsible
+		// managers, so the min-vote score cannot jump up through a handoff.
+		var best reputation.Entry
+		bestOK := false
+		for _, id := range ids {
+			if e, ok := mgrByID[id].Snapshot(target); ok {
+				if !bestOK || worse(e, best) {
+					best, bestOK = e, true
+				}
+			}
+		}
+		for _, m := range newSet {
+			mgr, ok := mgrByID[m]
+			if !ok {
+				continue
+			}
+			if e, tracked := mgr.Snapshot(target); tracked {
+				// Already tracking, but perhaps only a near-empty entry from
+				// an in-flight blame: adopt the historical copy if it is
+				// more pessimistic, or the outgoing managers would discard
+				// the target's record.
+				if full && bestOK && worse(best, e) {
+					mgr.Adopt(target, best, p)
+					transfers++
+				}
+				continue
+			}
+			if bestOK {
+				mgr.Adopt(target, best, p)
+				transfers++
+			} else {
+				mgr.Track(target, p)
+			}
+		}
+		if !full {
+			continue
+		}
+		for _, id := range ids {
+			if responsible[id] {
+				continue
+			}
+			if _, tracked := mgrByID[id].Snapshot(target); tracked {
+				mgrByID[id].Drop(target)
+			}
+		}
+	}
+	c.mu.Lock()
+	c.handoffs += transfers
+	c.mu.Unlock()
+}

@@ -285,7 +285,7 @@ func TestAuditExpelsColluders(t *testing.T) {
 	c.Start()
 	c.StartStream(6 * time.Second)
 	// Audit a colluder and an honest node after histories accumulate.
-	c.Engine.After(5*time.Second, func() {
+	c.After(5*time.Second, func() {
 		auditor.Audit(54)
 		auditor.Audit(10)
 	})

@@ -37,7 +37,7 @@ func TestMITMColluderCaughtByAudit(t *testing.T) {
 	auditor := c.Auditor(func(out core.AuditOutcome) { outcomes = append(outcomes, out) })
 	c.Start()
 	c.StartStream(8 * time.Second)
-	c.Engine.After(7*time.Second, func() {
+	c.After(7*time.Second, func() {
 		auditor.Audit(55)
 		auditor.Audit(20)
 	})
@@ -86,7 +86,7 @@ func TestForgedAuditBlamed(t *testing.T) {
 	auditor := c.Auditor(func(out core.AuditOutcome) { outcomes = append(outcomes, out) })
 	c.Start()
 	c.StartStream(8 * time.Second)
-	c.Engine.After(7*time.Second, func() {
+	c.After(7*time.Second, func() {
 		auditor.Audit(55)
 		auditor.Audit(20)
 	})
@@ -131,7 +131,7 @@ func TestPeriodStretcherAudited(t *testing.T) {
 	auditor := c.Auditor(func(out core.AuditOutcome) { outcomes = append(outcomes, out) })
 	c.Start()
 	c.StartStream(12 * time.Second)
-	c.Engine.After(11*time.Second, func() {
+	c.After(11*time.Second, func() {
 		auditor.Audit(30)
 		auditor.Audit(10)
 	})

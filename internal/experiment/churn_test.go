@@ -1,0 +1,44 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+)
+
+func quickChurnConfig() ChurnConfig {
+	cfg := DefaultChurnConfig()
+	cfg.N = 50
+	cfg.Joins = 6
+	cfg.Leaves = 6
+	cfg.Duration = 8 * time.Second
+	return cfg
+}
+
+func TestChurnSeparationSurvives(t *testing.T) {
+	_, res := Churn(quickChurnConfig())
+	if res.Joined != 6 || res.Departed != 6 {
+		t.Fatalf("churn events incomplete: joined %d, departed %d", res.Joined, res.Departed)
+	}
+	if res.AliveEnd != 50 {
+		t.Errorf("alive at end = %d, want 50 (6 in, 6 out)", res.AliveEnd)
+	}
+	if res.Handoffs == 0 {
+		t.Error("no manager handoffs under churn")
+	}
+	if res.CatchUp.Mean() < 0.5 {
+		t.Errorf("arrivals caught only %.0f%% of the post-join stream", 100*res.CatchUp.Mean())
+	}
+	if res.FreeriderMean >= res.HonestMean {
+		t.Errorf("separation lost under churn: honest %.2f vs freeriders %.2f",
+			res.HonestMean, res.FreeriderMean)
+	}
+}
+
+func TestChurnDeterministic(t *testing.T) {
+	_, a := Churn(quickChurnConfig())
+	_, b := Churn(quickChurnConfig())
+	if a.HonestMean != b.HonestMean || a.FreeriderMean != b.FreeriderMean ||
+		a.Handoffs != b.Handoffs || a.CatchUp.Mean() != b.CatchUp.Mean() {
+		t.Fatalf("two identical churn runs diverged: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,50 @@
+package experiment
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a worker-count setting: non-positive means one worker
+// per available CPU (GOMAXPROCS).
+func Workers(w int) int {
+	if w <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return w
+}
+
+// parallelRange splits [0, n) into one contiguous chunk per worker and runs
+// fn(lo, hi) on each concurrently, blocking until all complete. With one
+// worker it degenerates to a plain call — the serial baseline.
+//
+// Determinism contract: callers write results into preallocated slots
+// indexed by item (never append from workers) and derive per-item rng
+// streams from a shared root by item index (rng.Stream derivation reads the
+// parent seed without mutating it), so the outcome is bit-identical for any
+// worker count. Aggregation happens serially afterwards, in index order:
+// float addition is not associative.
+func parallelRange(workers, n int, fn func(lo, hi int)) {
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -23,6 +23,11 @@ type ScoreConfig struct {
 	// NoCompensation disables wrongful-blame compensation (ablation: shows
 	// why Figure 10's centering matters).
 	NoCompensation bool
+	// Workers fans independent per-node trials across this many goroutines
+	// (0 = GOMAXPROCS, 1 = the serial baseline). Results are bit-identical
+	// for any worker count: every node's blame process draws from its own
+	// seed-derived stream, and aggregation stays serial in node order.
+	Workers int
 }
 
 // DefaultScoreConfig returns the paper's parameters.
@@ -52,7 +57,10 @@ type ScoreResult struct {
 }
 
 // RunScores samples the normalized score of every node under the
-// blame-process model and classifies against η.
+// blame-process model and classifies against η. The per-node trials are
+// independent Monte-Carlo draws, fanned across cfg.Workers goroutines;
+// aggregation is serial in node order, so the result does not depend on the
+// worker count.
 func RunScores(cfg ScoreConfig) *ScoreResult {
 	start := time.Now()
 	comp := cfg.Params.WrongfulBlame()
@@ -62,20 +70,27 @@ func RunScores(cfg ScoreConfig) *ScoreResult {
 	root := rng.New(cfg.Seed)
 	res := &ScoreResult{}
 
+	scores := make([]float64, cfg.N)
+	parallelRange(cfg.Workers, cfg.N, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			bp := BlameProcess{P: cfg.Params, Rand: root.ForNode(uint32(i))}
+			if i < cfg.Freeriders {
+				bp.Delta = cfg.Delta
+			}
+			scores[i] = bp.SampleScore(cfg.Periods, comp)
+		}
+	})
+
 	honest := make([]float64, 0, cfg.N-cfg.Freeriders)
 	riders := make([]float64, 0, cfg.Freeriders)
-	for i := 0; i < cfg.N; i++ {
-		bp := BlameProcess{P: cfg.Params, Rand: root.ForNode(uint32(i))}
+	for i, s := range scores {
 		if i < cfg.Freeriders {
-			bp.Delta = cfg.Delta
-			s := bp.SampleScore(cfg.Periods, comp)
 			riders = append(riders, s)
 			res.FreeriderM.Add(s)
 			if s < cfg.Eta {
 				res.Detection++
 			}
 		} else {
-			s := bp.SampleScore(cfg.Periods, comp)
 			honest = append(honest, s)
 			res.HonestM.Add(s)
 			if s < cfg.Eta {
@@ -160,7 +175,9 @@ type Fig12Point struct {
 // Fig12 reproduces Figure 12: detection probability α and upload-bandwidth
 // gain as functions of the degree of freeriding δ (δ1=δ2=δ3=δ). The paper's
 // anchors: α ≈ 0.65 at δ = 0.05; α > 0.99 beyond δ = 0.1; gain 10% at
-// δ = 0.035 where α ≈ 0.5.
+// δ = 0.035 where α ≈ 0.5. Each sweep point is an independent Monte-Carlo
+// trial batch with its own delta-derived stream, so the sweep parallelizes
+// across cfg.Workers without changing any number.
 func Fig12(cfg ScoreConfig, deltas []float64, samplesPerDelta int) (*Table, []Fig12Point) {
 	if len(deltas) == 0 {
 		for d := 0.0; d <= 0.201; d += 0.01 {
@@ -173,24 +190,28 @@ func Fig12(cfg ScoreConfig, deltas []float64, samplesPerDelta int) (*Table, []Fi
 		Title:   "Figure 12 — detection and gain vs degree of freeriding δ",
 		Columns: []string{"delta", "detection α", "gain", "Chebyshev bound"},
 	}
-	points := make([]Fig12Point, 0, len(deltas))
-	for _, d := range deltas {
-		delta := analysis.Uniform(d)
-		detected := 0
-		bp := BlameProcess{P: cfg.Params, Delta: delta, Rand: root.Derive(F(d, 3))}
-		for s := 0; s < samplesPerDelta; s++ {
-			if bp.SampleScore(cfg.Periods, comp) < cfg.Eta {
-				detected++
+	points := make([]Fig12Point, len(deltas))
+	parallelRange(cfg.Workers, len(deltas), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			d := deltas[i]
+			delta := analysis.Uniform(d)
+			detected := 0
+			bp := BlameProcess{P: cfg.Params, Delta: delta, Rand: root.Derive(F(d, 3))}
+			for s := 0; s < samplesPerDelta; s++ {
+				if bp.SampleScore(cfg.Periods, comp) < cfg.Eta {
+					detected++
+				}
+			}
+			points[i] = Fig12Point{
+				Delta:     d,
+				Detection: float64(detected) / float64(samplesPerDelta),
+				Gain:      delta.Gain(),
+				BoundLow:  cfg.Params.DetectionBound(delta, cfg.Periods, cfg.Eta),
 			}
 		}
-		p := Fig12Point{
-			Delta:     d,
-			Detection: float64(detected) / float64(samplesPerDelta),
-			Gain:      delta.Gain(),
-			BoundLow:  cfg.Params.DetectionBound(delta, cfg.Periods, cfg.Eta),
-		}
-		points = append(points, p)
-		t.AddRow(F(d, 3), Pct(p.Detection), Pct(p.Gain), Pct(p.BoundLow))
+	})
+	for _, p := range points {
+		t.AddRow(F(p.Delta, 3), Pct(p.Detection), Pct(p.Gain), Pct(p.BoundLow))
 	}
 	return t, points
 }

@@ -19,6 +19,7 @@ import (
 	"lifting/internal/msg"
 	"lifting/internal/net"
 	"lifting/internal/rng"
+	"lifting/internal/runtime"
 	"lifting/internal/sim"
 )
 
@@ -37,7 +38,10 @@ type Runtime struct {
 	inflight sync.WaitGroup
 }
 
-var _ net.Network = (*Runtime)(nil)
+var (
+	_ net.Network     = (*Runtime)(nil)
+	_ runtime.Runtime = (*Runtime)(nil)
+)
 
 // NewRuntime creates a live runtime. collector may be nil.
 func NewRuntime(seed uint64, collector *metrics.Collector, defaults net.Conditions) *Runtime {
@@ -83,19 +87,26 @@ func (n *nodeCtx) After(d time.Duration, fn func()) {
 	})
 }
 
-// Attach registers a node and returns its execution context. The handler
-// receives all messages addressed to id.
-func (r *Runtime) Attach(id msg.NodeID, h net.Handler) sim.Context {
+// Attach registers the message handler for a node; a nil handler detaches
+// it. Use Context for the node's execution context. Attaching mid-run is
+// allowed (churn): the handler is installed under the node's lock, after
+// releasing the runtime lock — handlers send while holding the node lock,
+// so nesting the other way would deadlock.
+func (r *Runtime) Attach(id msg.NodeID, h net.Handler) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	ctx, ok := r.nodes[id]
 	if !ok {
 		ctx = &nodeCtx{rt: r, id: id}
 		r.nodes[id] = ctx
 	}
+	r.mu.Unlock()
+	ctx.mu.Lock()
 	ctx.h = h
-	return ctx
+	ctx.mu.Unlock()
 }
+
+// Network implements runtime.Runtime: the runtime is its own network.
+func (r *Runtime) Network() net.Network { return r }
 
 // Context returns the execution context for a node attached earlier, or a
 // fresh detached one.
@@ -115,6 +126,53 @@ func (r *Runtime) SetConditions(id msg.NodeID, c net.Conditions) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.conds[id] = c
+}
+
+// SetDown marks a node as departed (true) or alive (false), preserving its
+// other conditions.
+func (r *Runtime) SetDown(id msg.NodeID, down bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.conds[id]
+	if !ok {
+		c = r.defaults
+	}
+	c.Down = down
+	r.conds[id] = c
+}
+
+// After schedules a harness callback d from now. It runs on a timer
+// goroutine outside any node's lock, unless the runtime has been closed.
+func (r *Runtime) After(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	r.inflight.Add(1)
+	time.AfterFunc(d, func() {
+		defer r.inflight.Done()
+		if r.isStopped() {
+			return
+		}
+		fn()
+	})
+}
+
+// Exec schedules fn to run under node id's lock, serialized with its
+// message handlers and timers.
+func (r *Runtime) Exec(id msg.NodeID, fn func()) {
+	r.Context(id).After(0, fn)
+}
+
+// Now returns the wall-clock time elapsed since the runtime started.
+func (r *Runtime) Now() time.Duration { return time.Since(r.start) }
+
+// Run blocks until the runtime is `until` old: the live analogue of
+// advancing virtual time. Message handling continues on the node goroutines
+// while the caller sleeps.
+func (r *Runtime) Run(until time.Duration) {
+	if d := until - r.Now(); d > 0 {
+		time.Sleep(d)
+	}
 }
 
 func (r *Runtime) conditionsOf(id msg.NodeID) net.Conditions {

@@ -8,19 +8,24 @@ package membership
 import (
 	"fmt"
 	"hash/fnv"
+	"sync"
 
 	"lifting/internal/msg"
 	"lifting/internal/rng"
 )
 
 // Directory is the full-membership view of the system. Nodes that are
-// expelled (or crash) are removed from the sampling population but remain
-// known, so manager assignment stays stable.
+// expelled (or depart) are removed from the sampling population but remain
+// known, so manager assignment stays stable; nodes may also join mid-run
+// (churn).
 //
-// Directory is not safe for concurrent use; the live runtime wraps it in
-// a lock of its own.
+// Directory is safe for concurrent use: the live runtime samples from many
+// node goroutines while churn events mutate the view. Under the
+// single-threaded simulator the lock is uncontended.
 type Directory struct {
+	mu      sync.RWMutex
 	all     []msg.NodeID
+	known   map[msg.NodeID]bool
 	alive   []msg.NodeID
 	aliveAt map[msg.NodeID]int // index into alive, for O(1) removal
 }
@@ -30,15 +35,17 @@ type Directory struct {
 func NewDirectory(ids []msg.NodeID) *Directory {
 	d := &Directory{
 		all:     make([]msg.NodeID, len(ids)),
+		known:   make(map[msg.NodeID]bool, len(ids)),
 		alive:   make([]msg.NodeID, len(ids)),
 		aliveAt: make(map[msg.NodeID]int, len(ids)),
 	}
 	copy(d.all, ids)
 	copy(d.alive, ids)
 	for i, id := range ids {
-		if _, dup := d.aliveAt[id]; dup {
+		if d.known[id] {
 			panic(fmt.Sprintf("membership: duplicate node id %d", id))
 		}
+		d.known[id] = true
 		d.aliveAt[id] = i
 	}
 	return d
@@ -54,24 +61,59 @@ func Sequential(n int) *Directory {
 }
 
 // N returns the total number of nodes ever registered.
-func (d *Directory) N() int { return len(d.all) }
+func (d *Directory) N() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.all)
+}
 
-// NAlive returns the number of live (non-expelled) nodes.
-func (d *Directory) NAlive() int { return len(d.alive) }
+// NAlive returns the number of live (non-expelled, non-departed) nodes.
+func (d *Directory) NAlive() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.alive)
+}
 
-// All returns all node ids ever registered, in registration order. The
-// caller must not modify the returned slice.
-func (d *Directory) All() []msg.NodeID { return d.all }
+// All returns a copy of all node ids ever registered, in registration order.
+func (d *Directory) All() []msg.NodeID {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]msg.NodeID, len(d.all))
+	copy(out, d.all)
+	return out
+}
 
 // Alive reports whether id is currently live.
 func (d *Directory) Alive(id msg.NodeID) bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	_, ok := d.aliveAt[id]
 	return ok
 }
 
-// Expel removes id from the sampling population. It reports whether the
-// node was live. Expelling is idempotent.
+// Join adds id to the directory as a live node: a fresh registration for a
+// new id, a revival for a previously departed one. It reports whether the
+// membership changed (joining an already-live node is a no-op).
+func (d *Directory) Join(id msg.NodeID) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, live := d.aliveAt[id]; live {
+		return false
+	}
+	if !d.known[id] {
+		d.known[id] = true
+		d.all = append(d.all, id)
+	}
+	d.aliveAt[id] = len(d.alive)
+	d.alive = append(d.alive, id)
+	return true
+}
+
+// Expel removes id from the sampling population (expulsion or voluntary
+// departure). It reports whether the node was live. Expelling is idempotent.
 func (d *Directory) Expel(id msg.NodeID) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	i, ok := d.aliveAt[id]
 	if !ok {
 		return false
@@ -89,8 +131,10 @@ func (d *Directory) Expel(id msg.NodeID) bool {
 // including self. If fewer than k candidates exist, all of them are
 // returned. The result order is random.
 func (d *Directory) Sample(s *rng.Stream, k int, self msg.NodeID) []msg.NodeID {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	candidates := len(d.alive)
-	if d.Alive(self) {
+	if _, selfAlive := d.aliveAt[self]; selfAlive {
 		candidates--
 	}
 	if k > candidates {
@@ -119,16 +163,27 @@ func (d *Directory) Sample(s *rng.Stream, k int, self msg.NodeID) []msg.NodeID {
 }
 
 // Managers returns the M managers of target: a deterministic pseudo-random
-// set of nodes derived by hashing the target id, excluding the target
-// itself. The assignment is over the full registration set so every node
-// computes the same managers without coordination (§5.1).
+// set of live nodes derived by hashing the target id, excluding the target
+// itself. Every node with the same membership view computes the same
+// managers without coordination (§5.1). Departed nodes are skipped, so a
+// manager's duties migrate when it leaves — the caller performs the state
+// handoff.
 func (d *Directory) Managers(target msg.NodeID, m int) []msg.NodeID {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	n := len(d.all)
 	if n <= 1 {
 		return nil
 	}
-	if m > n-1 {
-		m = n - 1
+	alive := len(d.alive)
+	if _, selfAlive := d.aliveAt[target]; selfAlive {
+		alive--
+	}
+	if m > alive {
+		m = alive
+	}
+	if m <= 0 {
+		return nil
 	}
 	out := make([]msg.NodeID, 0, m)
 	used := map[msg.NodeID]struct{}{target: {}}
@@ -146,6 +201,10 @@ func (d *Directory) Managers(target msg.NodeID, m int) []msg.NodeID {
 		_, _ = h.Write(buf[:])
 		id := d.all[h.Sum64()%uint64(n)]
 		if _, dup := used[id]; dup {
+			continue
+		}
+		if _, live := d.aliveAt[id]; !live {
+			used[id] = struct{}{}
 			continue
 		}
 		used[id] = struct{}{}

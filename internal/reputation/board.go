@@ -138,6 +138,20 @@ func (b *Board) Expelled(target msg.NodeID) bool {
 	return false
 }
 
+// Adopt installs a copy of a replica's entry for target, overwriting any
+// local state. It is the state-transfer half of a reputation-manager
+// handoff: the join period, accumulated blame and expulsion verdict all
+// migrate with the entry.
+func (b *Board) Adopt(target msg.NodeID, e Entry) {
+	ee := e
+	b.entries[target] = &ee
+}
+
+// Drop stops tracking target, discarding its entry.
+func (b *Board) Drop(target msg.NodeID) {
+	delete(b.entries, target)
+}
+
 // Entry returns a copy of target's entry and whether it is tracked.
 func (b *Board) Entry(target msg.NodeID) (Entry, bool) {
 	if e, ok := b.entries[target]; ok {

@@ -2,6 +2,7 @@ package reputation
 
 import (
 	"sort"
+	"sync"
 
 	"lifting/internal/membership"
 	"lifting/internal/msg"
@@ -34,9 +35,14 @@ type Config struct {
 
 // Manager is the manager-side duty of one node: it holds score copies for
 // the targets it manages and serves blame/score/expel traffic.
+//
+// A Manager's board operations are guarded by an internal mutex: under the
+// live runtime its messages arrive on the owning node's goroutine while the
+// harness ticks periods and hands off state from other goroutines.
 type Manager struct {
 	self  msg.NodeID
 	cfg   Config
+	mu    sync.Mutex
 	board *Board
 	netw  net.Network
 	dir   *membership.Directory
@@ -54,12 +60,14 @@ func NewManager(self msg.NodeID, cfg Config, netw net.Network, dir *membership.D
 }
 
 // Board exposes the manager's local score copies (read-mostly; used by the
-// harness for min-vote reads without extra message traffic).
+// harness for min-vote reads without extra message traffic). Callers must
+// not use it while the manager is live on another goroutine.
 func (m *Manager) Board() *Board { return m.board }
 
 // Tick advances the manager's period clock and re-evaluates expulsion for
 // every tracked node: scores change with r even without new blames.
 func (m *Manager) Tick(p msg.Period) {
+	m.mu.Lock()
 	m.board.SetPeriod(p)
 	var toExpel []msg.NodeID
 	m.board.Each(func(id msg.NodeID, e Entry) {
@@ -70,6 +78,7 @@ func (m *Manager) Tick(p msg.Period) {
 			toExpel = append(toExpel, id)
 		}
 	})
+	m.mu.Unlock()
 	sort.Slice(toExpel, func(i, j int) bool { return toExpel[i] < toExpel[j] })
 	for _, id := range toExpel {
 		m.expel(id, msg.ReasonUnknown)
@@ -78,8 +87,46 @@ func (m *Manager) Tick(p msg.Period) {
 
 // Track registers target with this manager as of period p.
 func (m *Manager) Track(target msg.NodeID, p msg.Period) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.board.SetPeriod(p)
 	m.board.Join(target)
+}
+
+// Snapshot returns a copy of the manager's entry for target, and whether
+// the target is tracked here.
+func (m *Manager) Snapshot(target msg.NodeID) (Entry, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.board.Entry(target)
+}
+
+// Adopt installs a replica's entry for target as of period p, overwriting
+// local state. The harness uses it to hand score state to a manager that
+// became responsible for target after a membership change.
+func (m *Manager) Adopt(target msg.NodeID, e Entry, p msg.Period) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.board.SetPeriod(p)
+	m.board.Adopt(target, e)
+}
+
+// Drop stops tracking target (the manager is no longer responsible for it).
+func (m *Manager) Drop(target msg.NodeID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.board.Drop(target)
+}
+
+// Score returns the manager's current normalized score copy for target and
+// whether the target is tracked here.
+func (m *Manager) Score(target msg.NodeID) (float64, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.board.Tracked(target) {
+		return 0, false
+	}
+	return m.board.Score(target), true
 }
 
 // HandleMessage processes reputation traffic addressed to this node. It
@@ -87,26 +134,34 @@ func (m *Manager) Track(target msg.NodeID, p msg.Period) {
 func (m *Manager) HandleMessage(from msg.NodeID, mm msg.Message) bool {
 	switch v := mm.(type) {
 	case *msg.Blame:
+		m.mu.Lock()
 		m.board.AddBlame(v.Target, v.Value)
-		if !m.board.Expelled(v.Target) &&
+		doomed := !m.board.Expelled(v.Target) &&
 			m.board.Periods(v.Target) >= m.cfg.GracePeriods &&
-			m.board.Score(v.Target) < m.cfg.Eta {
+			m.board.Score(v.Target) < m.cfg.Eta
+		m.mu.Unlock()
+		if doomed {
 			m.expel(v.Target, v.Reason)
 		}
 		return true
 	case *msg.ScoreReq:
+		m.mu.Lock()
 		resp := &msg.ScoreResp{
 			Sender:   m.self,
 			Target:   v.Target,
 			Score:    m.board.Score(v.Target),
 			Expelled: m.board.Expelled(v.Target),
 		}
+		m.mu.Unlock()
 		m.netw.Send(m.self, from, resp, net.Unreliable)
 		return true
 	case *msg.Expel:
 		// Another manager of the target decided to expel: adopt the verdict
 		// so reads from this manager agree.
-		if m.board.MarkExpelled(v.Target, v.Reason) && m.cfg.OnExpel != nil {
+		m.mu.Lock()
+		first := m.board.MarkExpelled(v.Target, v.Reason)
+		m.mu.Unlock()
+		if first && m.cfg.OnExpel != nil {
 			m.cfg.OnExpel(v.Target, v.Reason)
 		}
 		return true
@@ -116,9 +171,14 @@ func (m *Manager) HandleMessage(from msg.NodeID, mm msg.Message) bool {
 }
 
 // expel marks the target expelled, notifies the harness and informs the
-// target's other managers so their copies converge.
+// target's other managers so their copies converge. Side effects run
+// outside the manager lock: OnExpel re-enters the harness, which may call
+// back into managers.
 func (m *Manager) expel(target msg.NodeID, reason msg.BlameReason) {
-	if !m.board.MarkExpelled(target, reason) {
+	m.mu.Lock()
+	first := m.board.MarkExpelled(target, reason)
+	m.mu.Unlock()
+	if !first {
 		return
 	}
 	if m.cfg.OnExpel != nil {

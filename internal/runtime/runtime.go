@@ -1,0 +1,146 @@
+// Package runtime defines the execution seam between protocol assembly and
+// protocol execution. A Runtime bundles everything a running LiFTinG system
+// needs from its host — a clock, per-node timers, a message-passing network
+// and node lifecycle control — without fixing how any of it is implemented.
+//
+// Two backends implement the interface:
+//
+//   - the deterministic discrete-event pair sim.Engine + net.SimNet, wrapped
+//     by SimBackend in this package (virtual time, single-threaded,
+//     bit-reproducible — the Monte-Carlo workhorse of §6);
+//   - the goroutine-per-node live.Runtime (wall-clock time, real
+//     concurrency, messages round-tripped through the binary codec — the
+//     integration-realism backend of §7).
+//
+// internal/cluster assembles gossip nodes, verifiers, reputation and
+// freerider behaviors against this interface only, so every end-to-end
+// scenario — quickstart, collusion, PlanetLab heterogeneity, churn — runs
+// identically under either backend.
+package runtime
+
+import (
+	"time"
+
+	"lifting/internal/msg"
+	"lifting/internal/net"
+	"lifting/internal/sim"
+)
+
+// Kind selects an execution backend.
+type Kind int
+
+// Available backends. KindSim is the zero value: deterministic simulation is
+// the default everywhere.
+const (
+	// KindSim is the single-threaded discrete-event engine over virtual
+	// time.
+	KindSim Kind = iota
+	// KindLive is the goroutine-per-node runtime over wall-clock time.
+	KindLive
+)
+
+// String returns the backend name.
+func (k Kind) String() string {
+	switch k {
+	case KindSim:
+		return "sim"
+	case KindLive:
+		return "live"
+	default:
+		return "unknown"
+	}
+}
+
+// Runtime is the execution environment a protocol deployment runs on.
+//
+// The concurrency contract mirrors sim.Context: all callbacks for one node
+// (message handling, timers, Exec functions) are serialized; callbacks for
+// different nodes may run concurrently under a live backend. Harness
+// callbacks scheduled with After run outside any node's serialization.
+type Runtime interface {
+	// Context returns the execution context (clock + one-shot timers) for a
+	// node. Contexts may be requested before the node's handler is attached.
+	Context(id msg.NodeID) sim.Context
+	// Attach registers the message handler for a node; a nil handler
+	// detaches it.
+	Attach(id msg.NodeID, h net.Handler)
+	// Network returns the sending side shared by all nodes.
+	Network() net.Network
+	// SetConditions overrides a node's connection quality.
+	SetConditions(id msg.NodeID, c net.Conditions)
+	// SetDown marks a node as departed (true) or alive (false), preserving
+	// its other conditions.
+	SetDown(id msg.NodeID, down bool)
+	// After schedules a harness callback d from now, outside any node's
+	// serialization. Used for global events: score-period ticks, stream
+	// injections, churn arrivals.
+	After(d time.Duration, fn func())
+	// Exec runs fn serialized with node id's callbacks. Under the
+	// discrete-event backend it runs inline (the whole simulation is one
+	// goroutine); under a live backend it is scheduled asynchronously under
+	// the node's lock. Do not call Exec from a callback already running
+	// under a node's serialization if that could form a lock cycle.
+	Exec(id msg.NodeID, fn func())
+	// Now returns the time elapsed since the runtime started.
+	Now() time.Duration
+	// Run advances the runtime to time until: the discrete-event backend
+	// drains its queue up to that virtual instant, the live backend blocks
+	// until that much wall-clock time has elapsed.
+	Run(until time.Duration)
+	// Close stops the runtime and waits for in-flight callbacks. Closing a
+	// discrete-event backend is a no-op (nothing runs between events).
+	Close()
+}
+
+// SimBackend adapts the deterministic sim.Engine + net.SimNet pair to the
+// Runtime interface.
+type SimBackend struct {
+	engine *sim.Engine
+	netw   *net.SimNet
+}
+
+var _ Runtime = (*SimBackend)(nil)
+
+// NewSim wraps an engine and its simulated network as a Runtime.
+func NewSim(engine *sim.Engine, netw *net.SimNet) *SimBackend {
+	return &SimBackend{engine: engine, netw: netw}
+}
+
+// Engine exposes the underlying discrete-event engine (event-queue
+// inspection, direct scheduling in tests).
+func (s *SimBackend) Engine() *sim.Engine { return s.engine }
+
+// SimNet exposes the underlying simulated network.
+func (s *SimBackend) SimNet() *net.SimNet { return s.netw }
+
+// Context implements Runtime: every simulated node shares the engine, which
+// serializes the whole run on one goroutine.
+func (s *SimBackend) Context(msg.NodeID) sim.Context { return s.engine }
+
+// Attach implements Runtime.
+func (s *SimBackend) Attach(id msg.NodeID, h net.Handler) { s.netw.Attach(id, h) }
+
+// Network implements Runtime.
+func (s *SimBackend) Network() net.Network { return s.netw }
+
+// SetConditions implements Runtime.
+func (s *SimBackend) SetConditions(id msg.NodeID, c net.Conditions) { s.netw.SetConditions(id, c) }
+
+// SetDown implements Runtime.
+func (s *SimBackend) SetDown(id msg.NodeID, down bool) { s.netw.SetDown(id, down) }
+
+// After implements Runtime.
+func (s *SimBackend) After(d time.Duration, fn func()) { s.engine.After(d, fn) }
+
+// Exec implements Runtime: the simulation is single-threaded, so fn runs
+// inline, preserving the exact event ordering of a direct call.
+func (s *SimBackend) Exec(_ msg.NodeID, fn func()) { fn() }
+
+// Now implements Runtime.
+func (s *SimBackend) Now() time.Duration { return s.engine.Now() }
+
+// Run implements Runtime.
+func (s *SimBackend) Run(until time.Duration) { s.engine.Run(until) }
+
+// Close implements Runtime: a no-op, nothing runs between events.
+func (s *SimBackend) Close() {}

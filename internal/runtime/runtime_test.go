@@ -1,0 +1,88 @@
+package runtime_test
+
+import (
+	"testing"
+	"time"
+
+	"lifting/internal/live"
+	"lifting/internal/metrics"
+	"lifting/internal/msg"
+	"lifting/internal/net"
+	"lifting/internal/rng"
+	"lifting/internal/runtime"
+	"lifting/internal/sim"
+)
+
+func newSimBackend() *runtime.SimBackend {
+	engine := sim.NewEngine()
+	simnet := net.NewSimNet(engine, rng.New(1), metrics.NewCollector(), net.Conditions{})
+	return runtime.NewSim(engine, simnet)
+}
+
+// TestSimBackendContract exercises the Runtime interface on the
+// discrete-event backend: global scheduling, inline Exec, virtual time.
+func TestSimBackendContract(t *testing.T) {
+	var rt runtime.Runtime = newSimBackend()
+
+	var order []string
+	rt.After(10*time.Millisecond, func() { order = append(order, "after") })
+	rt.Exec(3, func() { order = append(order, "exec") }) // inline, before any event
+	if len(order) != 1 || order[0] != "exec" {
+		t.Fatalf("sim Exec not inline: %v", order)
+	}
+	rt.Run(20 * time.Millisecond)
+	if len(order) != 2 || order[1] != "after" {
+		t.Fatalf("After callback did not run: %v", order)
+	}
+	if rt.Now() != 20*time.Millisecond {
+		t.Fatalf("Now() = %v after Run(20ms)", rt.Now())
+	}
+	rt.Close() // no-op, must not panic
+}
+
+type recordingHandler struct {
+	got []msg.Message
+}
+
+func (h *recordingHandler) HandleMessage(_ msg.NodeID, m msg.Message) { h.got = append(h.got, m) }
+
+// TestSimBackendDelivery checks Attach/Network/SetDown through the seam.
+func TestSimBackendDelivery(t *testing.T) {
+	b := newSimBackend()
+	var rt runtime.Runtime = b
+	h := &recordingHandler{}
+	rt.Attach(2, h)
+
+	rt.Network().Send(1, 2, &msg.ScoreReq{Sender: 1, Target: 2}, net.Reliable)
+	rt.Run(time.Second)
+	if len(h.got) != 1 {
+		t.Fatalf("delivered %d messages, want 1", len(h.got))
+	}
+
+	rt.SetDown(2, true)
+	rt.Network().Send(1, 2, &msg.ScoreReq{Sender: 1, Target: 2}, net.Reliable)
+	rt.Run(2 * time.Second)
+	if len(h.got) != 1 {
+		t.Fatal("down node received a message")
+	}
+}
+
+// TestLiveImplementsRuntime pins that the live runtime satisfies the seam
+// and honors the per-node Exec serialization path.
+func TestLiveImplementsRuntime(t *testing.T) {
+	var rt runtime.Runtime = live.NewRuntime(1, nil, net.Conditions{})
+	done := make(chan struct{})
+	rt.Exec(5, func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("live Exec never ran")
+	}
+	rt.Close()
+}
+
+func TestKindString(t *testing.T) {
+	if runtime.KindSim.String() != "sim" || runtime.KindLive.String() != "live" {
+		t.Fatalf("kind names wrong: %v %v", runtime.KindSim, runtime.KindLive)
+	}
+}
