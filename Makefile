@@ -1,0 +1,29 @@
+# Developer entry points. CI runs the same commands (see
+# .github/workflows/ci.yml).
+
+GO ?= go
+
+.PHONY: test race bench fuzz fmt vet
+
+test:
+	$(GO) build ./...
+	$(GO) test -timeout 600s ./...
+
+# The concurrent halves of the runtime seam under the race detector.
+race:
+	$(GO) test -race -timeout 600s ./internal/live/ ./internal/cluster/ ./internal/transport/
+
+# Regenerate the perf trajectory document for this PR.
+bench:
+	$(GO) run ./cmd/lifting-bench -out BENCH_PR2.json
+
+# Extended fuzzing of the network-facing decoder (the committed seed corpus
+# replays on every plain `go test`).
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzDecode -fuzztime 60s ./internal/msg/
+
+fmt:
+	gofmt -l .
+
+vet:
+	$(GO) vet ./...

@@ -1,0 +1,178 @@
+// Command lifting-bench runs the repository's performance benchmarks and
+// writes the results as one JSON document, so successive PRs leave a
+// machine-readable perf trajectory in the repo (BENCH_PR2.json and
+// onwards). It shells out to `go test -bench` and parses the standard
+// benchmark output format.
+//
+// Usage:
+//
+//	go run ./cmd/lifting-bench -out BENCH_PR2.json
+//
+// or, equivalently, `make bench`.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name       string             `json:"name"`
+	Package    string             `json:"package"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the document written to -out.
+type Report struct {
+	GeneratedAt string   `json:"generated_at"`
+	GoVersion   string   `json:"go_version"`
+	GOOS        string   `json:"goos"`
+	GOARCH      string   `json:"goarch"`
+	CPU         string   `json:"cpu,omitempty"`
+	Suites      []string `json:"suites"`
+	Benchmarks  []Result `json:"benchmarks"`
+}
+
+// suite is one `go test -bench` invocation.
+type suite struct {
+	pkg       string
+	pattern   string
+	benchtime string
+}
+
+// suites covers the perf trajectory the roadmap tracks: the codec hot path,
+// the two Monte-Carlo workhorses (serial and parallel), and the
+// cluster-scale churn workload.
+var suites = []suite{
+	{pkg: "./internal/msg/", pattern: "BenchmarkEncode$|BenchmarkEncodeFresh$|BenchmarkDecode$|BenchmarkFrameRoundTrip$", benchtime: "200000x"},
+	{pkg: "./", pattern: "BenchmarkFig10WrongfulBlames$|BenchmarkFig10WrongfulBlamesSerial$|BenchmarkFig11ScoreSeparation$|BenchmarkFig11ScoreSeparationSerial$|BenchmarkChurn$", benchtime: "1x"},
+}
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("lifting-bench", flag.ContinueOnError)
+	out := fs.String("out", "BENCH_PR2.json", "output JSON path")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	report := Report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+	}
+	for _, s := range suites {
+		report.Suites = append(report.Suites, fmt.Sprintf("go test -run ^$ -bench '%s' -benchtime %s %s", s.pattern, s.benchtime, s.pkg))
+		cmd := exec.Command("go", "test", "-run", "^$", "-bench", s.pattern, "-benchtime", s.benchtime, "-benchmem", s.pkg)
+		output, err := cmd.CombinedOutput()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lifting-bench: %s: %v\n%s", s.pkg, err, output)
+			return 1
+		}
+		results, cpu := parseBenchOutput(string(output))
+		if cpu != "" {
+			report.CPU = cpu
+		}
+		report.Benchmarks = append(report.Benchmarks, results...)
+	}
+
+	if len(report.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "lifting-bench: no benchmark results parsed")
+		return 1
+	}
+	doc, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lifting-bench: %v\n", err)
+		return 1
+	}
+	doc = append(doc, '\n')
+	if err := os.WriteFile(*out, doc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "lifting-bench: %v\n", err)
+		return 1
+	}
+	fmt.Printf("wrote %d benchmark results to %s\n", len(report.Benchmarks), *out)
+	return 0
+}
+
+// stripCPUSuffix removes the trailing "-N" GOMAXPROCS suffix from a
+// benchmark name — only the final one, so hyphens inside the name (or in
+// sub-benchmark paths) survive.
+func stripCPUSuffix(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// parseBenchOutput extracts benchmark lines from `go test -bench` output.
+// The format per line is
+//
+//	BenchmarkName-8   100   12.5 ns/op   3 B/op   1 allocs/op   0.97 custom-metric
+//
+// with "pkg:" and "cpu:" header lines preceding them.
+func parseBenchOutput(out string) ([]Result, string) {
+	var results []Result
+	var pkg, cpu string
+	for _, line := range strings.Split(out, "\n") {
+		line = strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			cpu = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		r := Result{
+			Name:       stripCPUSuffix(fields[0]),
+			Package:    pkg,
+			Iterations: iters,
+			Metrics:    make(map[string]float64),
+		}
+		ok := true
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				ok = false
+				break
+			}
+			if fields[i+1] == "ns/op" {
+				r.NsPerOp = v
+			} else {
+				r.Metrics[fields[i+1]] = v
+			}
+		}
+		if ok {
+			results = append(results, r)
+		}
+	}
+	return results, cpu
+}

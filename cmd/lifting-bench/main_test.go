@@ -1,0 +1,52 @@
+package main
+
+import "testing"
+
+func TestParseBenchOutput(t *testing.T) {
+	out := `goos: linux
+goarch: amd64
+pkg: lifting/internal/msg
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkEncode-8         	  200000	        14.14 ns/op	       0 B/op	       0 allocs/op
+BenchmarkFig10-8          	       1	  10580911 ns/op	    -0.1969 mean-score	      25.24 sigma-b
+garbage line
+BenchmarkBroken-8         	     one	        oops
+PASS
+`
+	results, cpu := parseBenchOutput(out)
+	if cpu != "Intel(R) Xeon(R) Processor @ 2.10GHz" {
+		t.Errorf("cpu = %q", cpu)
+	}
+	if len(results) != 2 {
+		t.Fatalf("parsed %d results, want 2: %+v", len(results), results)
+	}
+	enc := results[0]
+	if enc.Name != "BenchmarkEncode" || enc.Package != "lifting/internal/msg" ||
+		enc.Iterations != 200000 || enc.NsPerOp != 14.14 || enc.Metrics["allocs/op"] != 0 {
+		t.Errorf("encode result wrong: %+v", enc)
+	}
+	fig := results[1]
+	if fig.Metrics["mean-score"] != -0.1969 || fig.Metrics["sigma-b"] != 25.24 {
+		t.Errorf("custom metrics wrong: %+v", fig)
+	}
+}
+
+func TestStripCPUSuffix(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkEncode-8":          "BenchmarkEncode",
+		"BenchmarkEncode":            "BenchmarkEncode",
+		"BenchmarkEncode/kind-ack-8": "BenchmarkEncode/kind-ack",
+		"BenchmarkEncode/kind-ack":   "BenchmarkEncode/kind-ack",
+	}
+	for in, want := range cases {
+		if got := stripCPUSuffix(in); got != want {
+			t.Errorf("stripCPUSuffix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if code := run([]string{"-nope"}); code != 2 {
+		t.Errorf("run(-nope) = %d, want 2", code)
+	}
+}

@@ -1,0 +1,193 @@
+// Command lifting-node runs ONE LiFTinG gossip node as an OS process over
+// real UDP sockets: the deployment unit of the reproduction. A scenario
+// becomes N processes on loopback or N machines on a LAN, each started as
+//
+//	lifting-node -id 3 -listen 127.0.0.1:9003 \
+//	    -peers "0=127.0.0.1:9000,1=127.0.0.1:9001,2=127.0.0.1:9002" \
+//	    -duration 30s -seed 7
+//
+// Every process of a deployment must agree on -seed, -period, -f, -m, -eta
+// and the membership implied by -peers: the manager assignment, the
+// per-node random streams and the score thresholds are all derived from
+// them. Node 0 is the source by convention; start it with -source and it
+// injects the stream, which then reaches everyone else only over the wire.
+//
+// On completion a process started with -report performs decentralized
+// min-vote score reads of the whole membership over UDP and prints one
+//
+//	SCORE <id> <score> <expelled> <replies>
+//
+// line per node, then exits 0. SIGINT/SIGTERM shut the node down early but
+// cleanly (sockets closed, in-flight callbacks drained).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"sort"
+	"syscall"
+	"time"
+
+	"lifting/internal/cluster"
+	"lifting/internal/core"
+	"lifting/internal/freerider"
+	"lifting/internal/gossip"
+	"lifting/internal/msg"
+	"lifting/internal/net"
+	"lifting/internal/reputation"
+	"lifting/internal/stream"
+	"lifting/internal/transport"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, nil))
+}
+
+// run executes the daemon; interrupt, if non-nil, triggers early shutdown
+// when closed (tests use it in place of a signal).
+func run(args []string, stdout, stderr io.Writer, interrupt <-chan struct{}) int {
+	fs := flag.NewFlagSet("lifting-node", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		id       = fs.Uint("id", 0, "this node's id")
+		listen   = fs.String("listen", "127.0.0.1:0", "UDP address to bind")
+		peers    = fs.String("peers", "", "bootstrap peer addresses: comma-separated id=host:port")
+		source   = fs.Bool("source", false, "this node injects the stream (node 0 by convention)")
+		duration = fs.Duration("duration", 30*time.Second, "how long to stream/run before reporting")
+		warmup   = fs.Duration("warmup", 500*time.Millisecond, "delay before the stream starts, so peers can bind")
+		seed     = fs.Uint64("seed", 7, "deployment-wide random seed (must match on every process)")
+		f        = fs.Int("f", 7, "gossip fanout")
+		period   = fs.Duration("period", 500*time.Millisecond, "gossip period Tg")
+		m        = fs.Int("m", 10, "reputation managers per node")
+		eta      = fs.Float64("eta", -1e9, "expulsion threshold on normalized scores")
+		grace    = fs.Int("grace", 8, "periods before eta applies")
+		pdcc     = fs.Float64("pdcc", 1, "direct cross-check probability")
+		loss     = fs.Float64("loss", 0, "modelled extra UDP loss on top of the real network")
+		bitrate  = fs.Int("bitrate", 674_000, "stream bitrate, bits per second")
+		payload  = fs.Int("payload", 1316, "chunk payload size, bytes")
+		freeride = fs.Float64("freeride", 0, "degree of freeriding in all three dimensions (0 = honest)")
+		report   = fs.Bool("report", false, "after the run, read every node's score over the wire and print SCORE lines")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(stderr, "lifting-node: unexpected arguments %v\n", fs.Args())
+		return 2
+	}
+
+	peerAddrs, err := transport.ParsePeers(*peers)
+	if err != nil {
+		fmt.Fprintf(stderr, "lifting-node: %v\n", err)
+		return 2
+	}
+	self := msg.NodeID(*id)
+	if _, dup := peerAddrs[self]; dup {
+		// A full membership file may include ourselves; our own address
+		// comes from -listen.
+		delete(peerAddrs, self)
+	}
+	if len(peerAddrs) == 0 {
+		fmt.Fprintf(stderr, "lifting-node: -peers must name at least one other node\n")
+		return 2
+	}
+
+	book := transport.NewBook()
+	members := []msg.NodeID{self}
+	for pid, addr := range peerAddrs {
+		if err := book.Set(pid, addr); err != nil {
+			fmt.Fprintf(stderr, "lifting-node: %v\n", err)
+			return 2
+		}
+		members = append(members, pid)
+	}
+	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+
+	rt := transport.New(transport.Options{
+		Seed: *seed ^ uint64(self), // per-process loss/jitter draws
+		Book: book,
+	})
+	if *loss > 0 {
+		rt.SetConditions(self, net.Uniform(*loss, 0))
+	}
+	bound, err := rt.AddNode(self, *listen)
+	if err != nil {
+		fmt.Fprintf(stderr, "lifting-node: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "LISTEN %d %s\n", self, bound)
+
+	var behavior gossip.Behavior
+	if *freeride > 0 {
+		behavior = freerider.Degree{Delta1: *freeride, Delta2: *freeride, Delta3: *freeride}
+	}
+	host := cluster.NewNodeHost(rt, cluster.NodeOptions{
+		ID:      self,
+		Members: members,
+		Seed:    *seed,
+		Gossip: gossip.Config{
+			F:              *f,
+			Period:         *period,
+			ChunkPayload:   *payload,
+			HistoryPeriods: 50,
+		},
+		Core: core.Config{
+			F:              *f,
+			Period:         *period,
+			Pdcc:           *pdcc,
+			HistoryPeriods: 50,
+			Gamma:          8.95,
+			Eta:            *eta,
+		},
+		Rep:          reputation.Config{M: *m, Eta: *eta, GracePeriods: *grace},
+		Stream:       stream.Config{BitrateBps: *bitrate, ChunkPayload: *payload},
+		LiFTinG:      true,
+		Source:       *source,
+		Behavior:     behavior,
+		ExpectedLoss: *loss,
+		OnExpel: func(target msg.NodeID, reason msg.BlameReason) {
+			fmt.Fprintf(stdout, "EXPEL %d %s\n", target, reason)
+		},
+	})
+
+	host.Start()
+	if *source {
+		rt.After(*warmup, func() { host.StartStream(*duration) })
+	}
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	defer signal.Stop(sigs)
+
+	deadline := time.NewTimer(*warmup + *duration + 2**period)
+	defer deadline.Stop()
+	interrupted := false
+	select {
+	case <-deadline.C:
+	case s := <-sigs:
+		fmt.Fprintf(stderr, "lifting-node: %v, shutting down\n", s)
+		interrupted = true
+	case <-interrupt:
+		interrupted = true
+	}
+
+	if *report && !interrupted {
+		reads := host.ReadScores(members)
+		ids := make([]msg.NodeID, 0, len(reads))
+		for rid := range reads {
+			ids = append(ids, rid)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, rid := range ids {
+			r := reads[rid]
+			fmt.Fprintf(stdout, "SCORE %d %.6f %t %d\n", rid, r.Score, r.Expelled, r.Replies)
+		}
+	}
+
+	rt.Close()
+	fmt.Fprintf(stdout, "DONE %d\n", self)
+	return 0
+}

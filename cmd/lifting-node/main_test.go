@@ -1,0 +1,267 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	gonet "net"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"lifting/internal/cluster"
+	"lifting/internal/core"
+	"lifting/internal/freerider"
+	"lifting/internal/gossip"
+	"lifting/internal/membership"
+	"lifting/internal/msg"
+	"lifting/internal/net"
+	"lifting/internal/reputation"
+	"lifting/internal/rng"
+	"lifting/internal/runtime"
+	"lifting/internal/stream"
+)
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-badflag"},
+		{"-peers", "nonsense"},
+		{"-peers", ""},                  // no peers at all
+		{"-id", "1", "-peers", "1=a:1"}, // only ourselves
+		{"-peers", "0=127.0.0.1:1", "extra-arg"},
+	}
+	for _, args := range cases {
+		var out, errOut bytes.Buffer
+		if code := run(args, &out, &errOut, nil); code != 2 {
+			t.Errorf("run(%v) = %d, want 2 (stderr: %s)", args, code, errOut.String())
+		}
+	}
+}
+
+// scenario is the shared shape of the multi-process deployment and its
+// in-process sim twin: 5 nodes, node 0 the source, node 4 freeriding hard,
+// an expulsion threshold the freerider must cross and honest nodes must not.
+const (
+	scenN     = 5
+	scenRider = msg.NodeID(4)
+	scenSeed  = 7
+	scenF     = scenN - 1
+	scenTg    = 100 * time.Millisecond
+	scenDelta = 0.6
+	scenEta   = -2.5
+	scenGrace = 8
+	scenDur   = 4 * time.Second
+)
+
+// simVerdict runs the scenario on the deterministic discrete-event backend
+// with blames travelling as messages — the exact reputation wiring the
+// daemons deploy — and returns the verdict the UDP deployment must
+// reproduce.
+func simVerdict(t *testing.T) (honestMean, riderScore float64, expelled map[msg.NodeID]bool) {
+	t.Helper()
+	opts := cluster.Options{
+		N:       scenN,
+		Seed:    scenSeed,
+		Backend: runtime.KindSim,
+		Gossip: gossip.Config{
+			F:              scenF,
+			Period:         scenTg,
+			ChunkPayload:   1316,
+			HistoryPeriods: 50,
+		},
+		Core: core.Config{
+			F:              scenF,
+			Period:         scenTg,
+			Pdcc:           1,
+			HistoryPeriods: 50,
+			Gamma:          8.95,
+			Eta:            scenEta,
+		},
+		Rep:              reputation.Config{M: scenN, Eta: scenEta, GracePeriods: scenGrace},
+		Stream:           stream.Config{BitrateBps: 674_000, ChunkPayload: 1316},
+		NetDefaults:      net.Uniform(0, 2*time.Millisecond),
+		LiFTinG:          true,
+		BlameMode:        cluster.BlameMessages,
+		ExpelOnDetection: false, // verdict only: managers mark, nobody is removed
+		BehaviorFor: func(id msg.NodeID, _ *membership.Directory, _ *rng.Stream) gossip.Behavior {
+			if id == scenRider {
+				return freerider.Degree{Delta1: scenDelta, Delta2: scenDelta, Delta3: scenDelta}
+			}
+			return nil
+		},
+	}
+	c := cluster.New(opts)
+	c.Start()
+	c.StartStream(scenDur)
+	c.Run(scenDur + 2*scenTg)
+	c.Close()
+
+	scores := c.Scores()
+	expelled = make(map[msg.NodeID]bool)
+	var honest float64
+	for i := 1; i < scenN; i++ {
+		id := msg.NodeID(i)
+		if id == scenRider {
+			riderScore = scores[id]
+		} else {
+			honest += scores[id]
+		}
+	}
+	// Expulsion verdict: min-vote over the managers' marks.
+	for i := 1; i < scenN; i++ {
+		id := msg.NodeID(i)
+		for _, mgr := range c.Managers {
+			if _, tracked := mgr.Snapshot(id); !tracked {
+				continue
+			}
+			if e, _ := mgr.Snapshot(id); e.Expelled {
+				expelled[id] = true
+			}
+		}
+	}
+	return honest / float64(scenN-2), riderScore, expelled
+}
+
+// TestMultiProcessDeployment is the acceptance harness for the deployment
+// layer: it builds the daemon, launches the quickstart-scale scenario as 5
+// OS processes exchanging UDP datagrams on loopback, and asserts the same
+// freerider verdict the sim backend produces — the freerider is marked
+// expelled with its min-vote score below the honest mean, and no honest node
+// is expelled on either backend.
+func TestMultiProcessDeployment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process deployment test is slow")
+	}
+
+	simHonest, simRider, simExpelled := simVerdict(t)
+	t.Logf("sim verdict: honest mean %.2f, rider %.2f, expelled %v", simHonest, simRider, simExpelled)
+	if simRider >= simHonest {
+		t.Fatalf("sim scenario did not separate the freerider (%.2f vs %.2f)", simRider, simHonest)
+	}
+	if !simExpelled[scenRider] {
+		t.Fatal("sim scenario did not expel the freerider; the harness needs a stronger scenario")
+	}
+	for id := range simExpelled {
+		if id != scenRider {
+			t.Fatalf("sim scenario expelled honest node %d", id)
+		}
+	}
+
+	bin := filepath.Join(t.TempDir(), "lifting-node")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building lifting-node: %v\n%s", err, out)
+	}
+
+	// Reserve one loopback port per node so every process can be given the
+	// full membership up front.
+	ports := make([]int, scenN)
+	for i := range ports {
+		c, err := gonet.ListenUDP("udp", &gonet.UDPAddr{IP: gonet.IPv4(127, 0, 0, 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ports[i] = c.LocalAddr().(*gonet.UDPAddr).Port
+		c.Close()
+	}
+	var peerSpecs []string
+	for i, p := range ports {
+		peerSpecs = append(peerSpecs, fmt.Sprintf("%d=127.0.0.1:%d", i, p))
+	}
+	peers := strings.Join(peerSpecs, ",")
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	warmup := 700 * time.Millisecond
+	outs := make([]bytes.Buffer, scenN)
+	cmds := make([]*exec.Cmd, scenN)
+	for i := scenN - 1; i >= 0; i-- { // source last: its peers should be listening
+		args := []string{
+			"-id", strconv.Itoa(i),
+			"-listen", fmt.Sprintf("127.0.0.1:%d", ports[i]),
+			"-peers", peers,
+			"-seed", strconv.Itoa(scenSeed),
+			"-f", strconv.Itoa(scenF),
+			"-period", scenTg.String(),
+			"-m", strconv.Itoa(scenN),
+			"-eta", fmt.Sprintf("%g", scenEta),
+			"-grace", strconv.Itoa(scenGrace),
+			"-warmup", warmup.String(),
+		}
+		if i == 0 {
+			// The source reports; it finishes first so every peer is still
+			// up to answer its score reads.
+			args = append(args, "-source", "-report", "-duration", scenDur.String())
+		} else {
+			args = append(args, "-duration", (scenDur + 1500*time.Millisecond).String())
+		}
+		if msg.NodeID(i) == scenRider {
+			args = append(args, "-freeride", fmt.Sprintf("%g", scenDelta))
+		}
+		cmd := exec.CommandContext(ctx, bin, args...)
+		cmd.Stdout = &outs[i]
+		cmd.Stderr = &outs[i]
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("starting node %d: %v", i, err)
+		}
+		cmds[i] = cmd
+	}
+	for i, cmd := range cmds {
+		if err := cmd.Wait(); err != nil {
+			t.Errorf("node %d exited with %v:\n%s", i, err, outs[i].String())
+		}
+	}
+	report := outs[0].String()
+	t.Logf("source output:\n%s", report)
+
+	// Parse the source's over-the-wire score reads.
+	scores := make(map[msg.NodeID]float64)
+	expelled := make(map[msg.NodeID]bool)
+	for _, line := range strings.Split(report, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) != 5 || fields[0] != "SCORE" {
+			continue
+		}
+		id, _ := strconv.Atoi(fields[1])
+		score, _ := strconv.ParseFloat(fields[2], 64)
+		exp, _ := strconv.ParseBool(fields[3])
+		replies, _ := strconv.Atoi(fields[4])
+		if replies == 0 {
+			t.Errorf("score read of node %d got no manager replies", id)
+		}
+		scores[msg.NodeID(id)] = score
+		expelled[msg.NodeID(id)] = exp
+	}
+	if len(scores) != scenN {
+		t.Fatalf("source reported %d scores, want %d:\n%s", len(scores), scenN, report)
+	}
+
+	// The deployment's verdict must match the sim backend's.
+	var honest float64
+	for i := 1; i < scenN; i++ {
+		id := msg.NodeID(i)
+		if id != scenRider {
+			honest += scores[id]
+		}
+	}
+	honestMean := honest / float64(scenN-2)
+	t.Logf("udp verdict: honest mean %.2f, rider %.2f, expelled rider=%t",
+		honestMean, scores[scenRider], expelled[scenRider])
+	if scores[scenRider] >= honestMean {
+		t.Errorf("deployment did not separate the freerider: %.2f vs honest mean %.2f",
+			scores[scenRider], honestMean)
+	}
+	if !expelled[scenRider] {
+		t.Error("sim expelled the freerider, the UDP deployment did not")
+	}
+	for i := 0; i < scenN; i++ {
+		id := msg.NodeID(i)
+		if id != scenRider && expelled[id] {
+			t.Errorf("honest node %d marked expelled in the deployment (sim expelled none)", id)
+		}
+	}
+}

@@ -9,7 +9,9 @@
 // table5, ablate, churn, all. See EXPERIMENTS.md for the mapping to the
 // paper and the expected shapes. churn is the beyond-the-paper workload:
 // nodes joining and leaving mid-stream; run it with -backend live to
-// execute on the goroutine runtime instead of the discrete-event engine.
+// execute on the goroutine runtime instead of the discrete-event engine, or
+// with -backend udp to run every node on its own real UDP socket (loopback,
+// single process). For one-node-per-process deployments see lifting-node.
 package main
 
 import (
@@ -40,7 +42,7 @@ func run(args []string) int {
 		noComp   = fs.Bool("no-compensation", false, "ablation: disable wrongful-blame compensation (fig10/fig11)")
 		quick    = fs.Bool("quick", false, "shrink paper-scale experiments for a fast pass")
 		workers  = fs.Int("workers", 0, "Monte-Carlo worker goroutines (0 = GOMAXPROCS, 1 = serial)")
-		backendF = fs.String("backend", "sim", "execution backend for churn: sim or live")
+		backendF = fs.String("backend", "sim", "execution backend for churn: sim, live or udp")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: lifting-sim [flags] <fig1|fig10|fig11|fig12|fig13|fig14|eq7|ablate|table3|table5|churn|all>\n")
@@ -54,14 +56,9 @@ func run(args []string) int {
 		return 2
 	}
 	name := strings.ToLower(fs.Arg(0))
-	var backend runtime.Kind
-	switch *backendF {
-	case "sim":
-		backend = runtime.KindSim
-	case "live":
-		backend = runtime.KindLive
-	default:
-		fmt.Fprintf(os.Stderr, "lifting-sim: unknown backend %q (want sim or live)\n", *backendF)
+	backend, err := runtime.ParseKind(*backendF)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lifting-sim: %v\n", err)
 		return 2
 	}
 

@@ -28,6 +28,20 @@ func TestRunChurnAndWorkers(t *testing.T) {
 	}
 }
 
+// TestRunChurnOverUDP runs the churn workload end-to-end on the UDP backend:
+// every node gets its own loopback socket in this process, and joins bind
+// new sockets mid-run. Duration is wall-clock here, so the scenario is kept
+// small.
+func TestRunChurnOverUDP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("udp churn streams in wall-clock time")
+	}
+	args := []string{"-quick", "-backend", "udp", "-duration", "3s", "-n", "24", "churn"}
+	if code := run(args); code != 0 {
+		t.Fatalf("run(%v) = %d, want 0", args, code)
+	}
+}
+
 func TestRunRejectsBadInput(t *testing.T) {
 	if code := run([]string{"no-such-experiment"}); code == 0 {
 		t.Fatal("unknown experiment accepted")

@@ -50,9 +50,10 @@ func fastOptions(backend runtime.Kind, n int) Options {
 }
 
 // TestScenarioAgreesAcrossBackends is the acceptance check for the runtime
-// seam: one cluster-assembled freerider scenario executes under BOTH the
-// discrete-event and the live backend, and LiFTinG's verdict — freeriders
-// score below honest nodes — agrees.
+// seam: one cluster-assembled freerider scenario executes under the
+// discrete-event engine, the goroutine live runtime AND the UDP socket
+// transport, and LiFTinG's verdict — freeriders score below honest nodes —
+// agrees.
 func TestScenarioAgreesAcrossBackends(t *testing.T) {
 	const (
 		n         = 24
@@ -88,7 +89,7 @@ func TestScenarioAgreesAcrossBackends(t *testing.T) {
 		return honest / float64(nh), riders / float64(nr)
 	}
 
-	for _, backend := range []runtime.Kind{runtime.KindSim, runtime.KindLive} {
+	for _, backend := range []runtime.Kind{runtime.KindSim, runtime.KindLive, runtime.KindUDP} {
 		h, r := verdict(backend)
 		t.Logf("backend %v: honest mean %.2f, freerider mean %.2f", backend, h, r)
 		if r >= h {

@@ -5,13 +5,16 @@
 //
 // Assembly is written against the runtime.Runtime seam, so the same wiring
 // executes under the deterministic discrete-event engine (Options.Backend =
-// runtime.KindSim, the default) or under the goroutine-per-node live
-// runtime (runtime.KindLive). Scenarios — quickstart, collusion, PlanetLab
-// heterogeneity, churn — are therefore written once and run on either
-// backend.
+// runtime.KindSim, the default), under the goroutine-per-node live runtime
+// (runtime.KindLive), or over real UDP sockets on loopback
+// (runtime.KindUDP, one socket per node). Scenarios — quickstart,
+// collusion, PlanetLab heterogeneity, churn — are therefore written once
+// and run on any backend. For deployments where each node is its own OS
+// process, see NodeHost.
 package cluster
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 	"time"
@@ -19,7 +22,6 @@ import (
 	"lifting/internal/analysis"
 	"lifting/internal/core"
 	"lifting/internal/gossip"
-	"lifting/internal/live"
 	"lifting/internal/membership"
 	"lifting/internal/metrics"
 	"lifting/internal/msg"
@@ -30,6 +32,11 @@ import (
 	"lifting/internal/sim"
 	"lifting/internal/stats"
 	"lifting/internal/stream"
+
+	// Execution backends register themselves with the runtime registry;
+	// importing them here makes every Options.Backend constructible.
+	_ "lifting/internal/live"
+	_ "lifting/internal/transport"
 )
 
 // BlameMode selects how blames reach the scores.
@@ -54,8 +61,10 @@ type Options struct {
 	// Seed roots all randomness.
 	Seed uint64
 	// Backend selects the execution backend: the deterministic
-	// discrete-event engine (runtime.KindSim, the zero value) or the
-	// goroutine-per-node live runtime (runtime.KindLive).
+	// discrete-event engine (runtime.KindSim, the zero value), the
+	// goroutine-per-node live runtime (runtime.KindLive), or the UDP
+	// socket transport in single-process-many-sockets mode
+	// (runtime.KindUDP).
 	Backend runtime.Kind
 	// Gossip is the dissemination configuration.
 	Gossip gossip.Config
@@ -238,15 +247,22 @@ func New(opts Options) *Cluster {
 		nextID:     msg.NodeID(opts.N),
 	}
 
-	switch opts.Backend {
-	case runtime.KindLive:
-		c.RT = live.NewRuntime(c.root.Derive("net").Seed(), c.Collector, opts.NetDefaults)
-	default:
+	if opts.Backend == runtime.KindSim {
 		engine := sim.NewEngine()
 		simnet := net.NewSimNet(engine, c.root.Derive("net"), c.Collector, opts.NetDefaults)
 		c.Engine = engine
 		c.Net = simnet
 		c.RT = runtime.NewSim(engine, simnet)
+	} else {
+		rt, err := runtime.New(opts.Backend, runtime.BackendOptions{
+			Seed:      c.root.Derive("net").Seed(),
+			Collector: c.Collector,
+			Defaults:  opts.NetDefaults,
+		})
+		if err != nil {
+			panic(fmt.Sprintf("cluster: backend %v: %v", opts.Backend, err))
+		}
+		c.RT = rt
 	}
 
 	if opts.BlameMode == BlameDirect {

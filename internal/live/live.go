@@ -23,6 +23,12 @@ import (
 	"lifting/internal/sim"
 )
 
+func init() {
+	runtime.Register(runtime.KindLive, func(o runtime.BackendOptions) (runtime.Runtime, error) {
+		return NewRuntime(o.Seed, o.Collector, o.Defaults), nil
+	})
+}
+
 // Runtime hosts a set of live nodes.
 type Runtime struct {
 	start     time.Time
@@ -75,7 +81,9 @@ func (n *nodeCtx) After(d time.Duration, fn func()) {
 	if d < 0 {
 		d = 0
 	}
-	n.rt.inflight.Add(1)
+	if !n.rt.addInflight() {
+		return
+	}
 	time.AfterFunc(d, func() {
 		defer n.rt.inflight.Done()
 		if n.rt.isStopped() {
@@ -147,7 +155,9 @@ func (r *Runtime) After(d time.Duration, fn func()) {
 	if d < 0 {
 		d = 0
 	}
-	r.inflight.Add(1)
+	if !r.addInflight() {
+		return
+	}
 	time.AfterFunc(d, func() {
 		defer r.inflight.Done()
 		if r.isStopped() {
@@ -186,6 +196,20 @@ func (r *Runtime) isStopped() bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.stopped
+}
+
+// addInflight registers one in-flight callback unless the runtime has
+// stopped. The counter must only grow under the runtime lock: Close flips
+// stopped under the same lock before waiting, so no Add can start once the
+// Wait is reachable — the misuse the WaitGroup contract forbids.
+func (r *Runtime) addInflight() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.stopped {
+		return false
+	}
+	r.inflight.Add(1)
+	return true
 }
 
 // Send implements net.Network. The message round-trips through the binary
@@ -231,7 +255,12 @@ func (r *Runtime) Send(from, to msg.NodeID, m msg.Message, mode net.Mode) {
 		return
 	}
 
-	r.inflight.Add(1)
+	if !r.addInflight() {
+		if r.collector != nil {
+			r.collector.OnDrop(m)
+		}
+		return
+	}
 	time.AfterFunc(latency, func() {
 		defer r.inflight.Done()
 		if r.isStopped() {
@@ -255,7 +284,9 @@ func (r *Runtime) Send(from, to msg.NodeID, m msg.Message, mode net.Mode) {
 	})
 }
 
-// Close stops delivery and waits for in-flight callbacks to finish.
+// Close stops delivery and waits for in-flight callbacks to finish. It is
+// idempotent and safe to call from several goroutines: every caller returns
+// only after the drain completes.
 func (r *Runtime) Close() {
 	r.mu.Lock()
 	r.stopped = true

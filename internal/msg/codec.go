@@ -20,7 +20,14 @@ const maxListLen = 1<<16 - 1
 // Encode serializes m into a fresh byte slice. The layout is
 // kind(1) | sender(4) | kind-specific body, all big-endian.
 func Encode(m Message) ([]byte, error) {
-	w := &writer{buf: make([]byte, 0, 64)}
+	return AppendEncode(make([]byte, 0, 64), m)
+}
+
+// AppendEncode serializes m onto the end of dst and returns the extended
+// slice. The hot send paths pass a reused buffer (dst[:0]) so steady-state
+// encoding allocates nothing.
+func AppendEncode(dst []byte, m Message) ([]byte, error) {
+	w := &writer{buf: dst}
 	w.u8(uint8(m.Kind()))
 	w.u32(uint32(m.From()))
 	switch v := m.(type) {

@@ -1,0 +1,104 @@
+package msg
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Datagram framing for the UDP transport backend. Every datagram carries
+// exactly one frame:
+//
+//	offset  size  field
+//	0       2     magic "LF"
+//	2       1     frame version (FrameVersion)
+//	3       1     flags (bit 0: reliable-class traffic; rest reserved)
+//	4       2     payload length, big-endian
+//	6       4     CRC-32 (IEEE) of the payload
+//	10      —     payload: one codec message (see Encode)
+//
+// The magic and version reject foreign traffic on a reused port, the length
+// rejects truncated or concatenated reads, and the checksum rejects
+// corruption that UDP's 16-bit checksum missed. DecodeFrame never panics on
+// arbitrary input; anything malformed yields an error.
+
+// Frame constants. Part of the wire format.
+const (
+	frameMagic0  = 'L'
+	frameMagic1  = 'F'
+	FrameVersion = 1
+	// FrameHeaderSize is the number of bytes preceding the payload.
+	FrameHeaderSize = 10
+	// MaxFramePayload is the largest payload that fits a single IPv4 UDP
+	// datagram alongside the frame header.
+	MaxFramePayload = 65507 - FrameHeaderSize
+)
+
+// FlagReliable marks traffic the protocol would send over a reliable
+// transport (audits); the UDP backend still ships it as a datagram but keeps
+// the class visible on the wire.
+const FlagReliable = 0x01
+
+// Framing errors.
+var (
+	ErrFrameTooShort   = errors.New("msg: frame shorter than header")
+	ErrBadMagic        = errors.New("msg: bad frame magic")
+	ErrBadVersion      = errors.New("msg: unsupported frame version")
+	ErrFrameLength     = errors.New("msg: frame length mismatch")
+	ErrBadChecksum     = errors.New("msg: frame checksum mismatch")
+	ErrPayloadTooLarge = errors.New("msg: payload exceeds max datagram size")
+)
+
+// AppendFrame appends a framed encoding of m to dst and returns the extended
+// slice. Passing a reused dst[:0] avoids per-message allocations on the send
+// path.
+func AppendFrame(dst []byte, m Message, flags uint8) ([]byte, error) {
+	start := len(dst)
+	dst = append(dst, frameMagic0, frameMagic1, FrameVersion, flags, 0, 0, 0, 0, 0, 0)
+	out, err := AppendEncode(dst, m)
+	if err != nil {
+		return nil, err
+	}
+	payload := out[start+FrameHeaderSize:]
+	if len(payload) > MaxFramePayload {
+		return nil, fmt.Errorf("%w: %T is %d bytes", ErrPayloadTooLarge, m, len(payload))
+	}
+	binary.BigEndian.PutUint16(out[start+4:], uint16(len(payload)))
+	binary.BigEndian.PutUint32(out[start+6:], crc32.ChecksumIEEE(payload))
+	return out, nil
+}
+
+// EncodeFrame frames m into a fresh byte slice ready to ship as one UDP
+// datagram.
+func EncodeFrame(m Message, flags uint8) ([]byte, error) {
+	return AppendFrame(make([]byte, 0, FrameHeaderSize+64), m, flags)
+}
+
+// DecodeFrame parses one datagram previously produced by AppendFrame,
+// returning the decoded message and the frame flags.
+func DecodeFrame(b []byte) (Message, uint8, error) {
+	if len(b) < FrameHeaderSize {
+		return nil, 0, ErrFrameTooShort
+	}
+	if b[0] != frameMagic0 || b[1] != frameMagic1 {
+		return nil, 0, ErrBadMagic
+	}
+	if b[2] != FrameVersion {
+		return nil, 0, fmt.Errorf("%w: %d", ErrBadVersion, b[2])
+	}
+	flags := b[3]
+	payload := b[FrameHeaderSize:]
+	if int(binary.BigEndian.Uint16(b[4:])) != len(payload) {
+		return nil, 0, fmt.Errorf("%w: header says %d, datagram carries %d",
+			ErrFrameLength, binary.BigEndian.Uint16(b[4:]), len(payload))
+	}
+	if binary.BigEndian.Uint32(b[6:]) != crc32.ChecksumIEEE(payload) {
+		return nil, 0, ErrBadChecksum
+	}
+	m, err := Decode(payload)
+	if err != nil {
+		return nil, 0, err
+	}
+	return m, flags, nil
+}

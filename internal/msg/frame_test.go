@@ -1,0 +1,111 @@
+package msg
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"reflect"
+	"testing"
+)
+
+func TestFrameRoundTripAllKinds(t *testing.T) {
+	for _, m := range allMessages() {
+		for _, flags := range []uint8{0, FlagReliable} {
+			b, err := EncodeFrame(m, flags)
+			if err != nil {
+				t.Fatalf("EncodeFrame(%T): %v", m, err)
+			}
+			got, gotFlags, err := DecodeFrame(b)
+			if err != nil {
+				t.Fatalf("DecodeFrame(%T): %v", m, err)
+			}
+			if gotFlags != flags {
+				t.Errorf("%T: flags %d, want %d", m, gotFlags, flags)
+			}
+			if !reflect.DeepEqual(m, got) {
+				t.Errorf("frame round trip mismatch for %T:\n  sent %+v\n  got  %+v", m, m, got)
+			}
+		}
+	}
+}
+
+func TestAppendFrameReusesBuffer(t *testing.T) {
+	m := &Propose{Sender: 1, Period: 9, Chunks: []ChunkID{3, 7, 9}}
+	buf, err := AppendFrame(nil, m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap0 := cap(buf)
+	allocs := testing.AllocsPerRun(100, func() {
+		var err error
+		buf, err = AppendFrame(buf[:0], m, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if cap(buf) != cap0 {
+		t.Fatalf("buffer reallocated: cap %d → %d", cap0, cap(buf))
+	}
+	if allocs > 1 {
+		t.Errorf("AppendFrame with a reused buffer allocates %.0f times per message", allocs)
+	}
+}
+
+func TestDecodeFrameRejectsCorruption(t *testing.T) {
+	valid, err := EncodeFrame(&Blame{Sender: 8, Target: 5, Value: 3.5, Reason: ReasonPartialServe}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutate := func(fn func(b []byte)) []byte {
+		b := append([]byte(nil), valid...)
+		fn(b)
+		return b
+	}
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"empty", nil, ErrFrameTooShort},
+		{"short", valid[:FrameHeaderSize-1], ErrFrameTooShort},
+		{"magic", mutate(func(b []byte) { b[0] = 'X' }), ErrBadMagic},
+		{"version", mutate(func(b []byte) { b[2] = 99 }), ErrBadVersion},
+		{"length-over", mutate(func(b []byte) { binary.BigEndian.PutUint16(b[4:], 9999) }), ErrFrameLength},
+		{"length-under", mutate(func(b []byte) { binary.BigEndian.PutUint16(b[4:], 1) }), ErrFrameLength},
+		{"checksum", mutate(func(b []byte) { b[len(b)-1] ^= 0x40 }), ErrBadChecksum},
+		{"truncated-payload", valid[:len(valid)-2], ErrFrameLength},
+	}
+	for _, tc := range cases {
+		if _, _, err := DecodeFrame(tc.data); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestDecodeFrameRejectsBadPayload(t *testing.T) {
+	// A well-formed frame around a truncated message must surface the codec
+	// error, not panic.
+	b, err := AppendFrame(nil, &ScoreReq{Sender: 1, Target: 2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := b[:len(b)-1]
+	binary.BigEndian.PutUint16(cut[4:], uint16(len(cut)-FrameHeaderSize))
+	// Recompute the checksum so only the payload is wrong.
+	binary.BigEndian.PutUint32(cut[6:], crc32.ChecksumIEEE(cut[FrameHeaderSize:]))
+	if _, _, err := DecodeFrame(cut); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestAppendFrameRejectsOversizedPayload(t *testing.T) {
+	huge := &AuditResp{Sender: 1}
+	for i := 0; i < 3000; i++ {
+		huge.Proposals = append(huge.Proposals, ProposalRecord{
+			Period: Period(i), Partner: 2, Chunks: []ChunkID{1, 2, 3, 4},
+		})
+	}
+	if _, err := AppendFrame(nil, huge, 0); !errors.Is(err, ErrPayloadTooLarge) {
+		t.Fatalf("err = %v, want ErrPayloadTooLarge", err)
+	}
+}

@@ -19,6 +19,7 @@
 package runtime
 
 import (
+	"fmt"
 	"time"
 
 	"lifting/internal/msg"
@@ -37,6 +38,11 @@ const (
 	KindSim Kind = iota
 	// KindLive is the goroutine-per-node runtime over wall-clock time.
 	KindLive
+	// KindUDP is the socket-backed runtime in internal/transport: one UDP
+	// socket per locally hosted node, messages framed through the binary
+	// codec, wall-clock time. It is the deployment backend — a scenario
+	// becomes N sockets in one process or N OS processes on a network.
+	KindUDP
 )
 
 // String returns the backend name.
@@ -46,8 +52,24 @@ func (k Kind) String() string {
 		return "sim"
 	case KindLive:
 		return "live"
+	case KindUDP:
+		return "udp"
 	default:
 		return "unknown"
+	}
+}
+
+// ParseKind maps a backend name ("sim", "live", "udp") to its Kind.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "sim":
+		return KindSim, nil
+	case "live":
+		return KindLive, nil
+	case "udp":
+		return KindUDP, nil
+	default:
+		return 0, fmt.Errorf("runtime: unknown backend %q (want sim, live or udp)", s)
 	}
 }
 

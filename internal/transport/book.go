@@ -1,0 +1,102 @@
+package transport
+
+import (
+	"fmt"
+	gonet "net"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"lifting/internal/msg"
+)
+
+// Book is the peer address book: it maps node ids to UDP addresses. A
+// deployment seeds it from bootstrap peer specs (-peers on the daemon);
+// the runtime adds every socket it binds and learns the addresses of peers
+// it hears from, so a book only needs enough seeds to reach the rest of the
+// membership. A Book is safe for concurrent use and may be shared by
+// several runtimes in one process (the single-process-many-sockets mode).
+type Book struct {
+	mu    sync.RWMutex
+	addrs map[msg.NodeID]*gonet.UDPAddr
+}
+
+// NewBook returns an empty address book.
+func NewBook() *Book {
+	return &Book{addrs: make(map[msg.NodeID]*gonet.UDPAddr)}
+}
+
+// Set resolves addr ("host:port") and records it as id's address,
+// overwriting any previous entry.
+func (b *Book) Set(id msg.NodeID, addr string) error {
+	u, err := gonet.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return fmt.Errorf("transport: resolving %q for node %d: %w", addr, id, err)
+	}
+	b.SetAddr(id, u)
+	return nil
+}
+
+// SetAddr records a resolved address for id, overwriting any previous entry.
+func (b *Book) SetAddr(id msg.NodeID, addr *gonet.UDPAddr) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.addrs[id] = addr
+}
+
+// Learn records an address for id only if none is known — the passive path
+// fed by inbound datagrams, which must never clobber a bootstrap seed.
+func (b *Book) Learn(id msg.NodeID, addr *gonet.UDPAddr) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, known := b.addrs[id]; !known {
+		b.addrs[id] = addr
+	}
+}
+
+// Lookup returns id's address.
+func (b *Book) Lookup(id msg.NodeID) (*gonet.UDPAddr, bool) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	a, ok := b.addrs[id]
+	return a, ok
+}
+
+// IDs returns every node with a known address, in id order.
+func (b *Book) IDs() []msg.NodeID {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	ids := make([]msg.NodeID, 0, len(b.addrs))
+	for id := range b.addrs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// ParsePeers parses a bootstrap peer spec: comma-separated "id=host:port"
+// entries, e.g. "0=127.0.0.1:9000,1=127.0.0.1:9001". Empty entries are
+// skipped so trailing commas are harmless.
+func ParsePeers(spec string) (map[msg.NodeID]string, error) {
+	out := make(map[msg.NodeID]string)
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		id, addr, ok := strings.Cut(entry, "=")
+		if !ok {
+			return nil, fmt.Errorf("transport: peer %q is not id=host:port", entry)
+		}
+		n, err := strconv.ParseUint(strings.TrimSpace(id), 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("transport: peer %q: bad node id: %w", entry, err)
+		}
+		if _, dup := out[msg.NodeID(n)]; dup {
+			return nil, fmt.Errorf("transport: node %d appears twice in peer spec", n)
+		}
+		out[msg.NodeID(n)] = strings.TrimSpace(addr)
+	}
+	return out, nil
+}

@@ -1,0 +1,365 @@
+package transport
+
+import (
+	gonet "net"
+	"sync"
+	"testing"
+	"time"
+
+	"lifting/internal/metrics"
+	"lifting/internal/msg"
+	"lifting/internal/net"
+	"lifting/internal/runtime"
+)
+
+// collect is a handler that records everything delivered to a node.
+type collect struct {
+	mu   sync.Mutex
+	got  []msg.Message
+	from []msg.NodeID
+}
+
+func (c *collect) HandleMessage(from msg.NodeID, m msg.Message) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.got = append(c.got, m)
+	c.from = append(c.from, from)
+}
+
+func (c *collect) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.got)
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestSendReceiveOverRealSockets(t *testing.T) {
+	coll := metrics.NewCollector()
+	rt := New(Options{Seed: 1, Collector: coll})
+	defer rt.Close()
+
+	sink := &collect{}
+	rt.Attach(1, nil) // binds node 1's socket
+	rt.Attach(2, sink)
+
+	sent := &msg.Propose{Sender: 1, Period: 3, Chunks: []msg.ChunkID{7, 8}}
+	rt.Send(1, 2, sent, net.Unreliable)
+	waitFor(t, "delivery", func() bool { return sink.count() > 0 })
+
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	if sink.from[0] != 1 {
+		t.Errorf("delivered from %d, want 1", sink.from[0])
+	}
+	got, ok := sink.got[0].(*msg.Propose)
+	if !ok || got.Period != sent.Period || len(got.Chunks) != 2 {
+		t.Errorf("delivered %#v, want %#v", sink.got[0], sent)
+	}
+	if coll.SentMsgs(msg.KindPropose) != 1 {
+		t.Errorf("collector counted %d proposes", coll.SentMsgs(msg.KindPropose))
+	}
+}
+
+// TestCrossRuntimeDelivery is the daemon shape: two runtimes in this process
+// (standing in for two OS processes), a bootstrap seed for one direction,
+// and address learning for the reply path.
+func TestCrossRuntimeDelivery(t *testing.T) {
+	a := New(Options{Seed: 1})
+	b := New(Options{Seed: 2})
+	defer a.Close()
+	defer b.Close()
+
+	addrB, err := b.AddNode(2, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.AddNode(1, "127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	// a only knows b through a bootstrap seed; b has no seed for a at all.
+	a.Book().SetAddr(2, addrB)
+
+	sinkA, sinkB := &collect{}, &collect{}
+	a.Attach(1, sinkA)
+	b.Attach(2, sinkB)
+
+	a.Send(1, 2, &msg.ScoreReq{Sender: 1, Target: 9}, net.Unreliable)
+	waitFor(t, "forward delivery", func() bool { return sinkB.count() > 0 })
+
+	// b learned a's address from the inbound datagram: the reply needs no
+	// seed.
+	b.Send(2, 1, &msg.ScoreResp{Sender: 2, Target: 9, Score: -1.5}, net.Unreliable)
+	waitFor(t, "reply via learned address", func() bool { return sinkA.count() > 0 })
+}
+
+// TestSharedBook is the single-process cluster shape: many runtimes (or one)
+// sharing an address book discover each other with no explicit seeding.
+func TestSharedBook(t *testing.T) {
+	book := NewBook()
+	a := New(Options{Seed: 1, Book: book})
+	b := New(Options{Seed: 2, Book: book})
+	defer a.Close()
+	defer b.Close()
+
+	sink := &collect{}
+	a.Attach(1, nil)
+	b.Attach(2, sink)
+
+	a.Send(1, 2, &msg.Blame{Sender: 1, Target: 3, Value: 2}, net.Unreliable)
+	waitFor(t, "delivery through shared book", func() bool { return sink.count() > 0 })
+}
+
+// TestMalformedDatagramsIgnored blasts garbage at a node's socket: nothing
+// may crash, and real traffic must keep flowing afterwards.
+func TestMalformedDatagramsIgnored(t *testing.T) {
+	rt := New(Options{Seed: 1})
+	defer rt.Close()
+	sink := &collect{}
+	rt.Attach(1, nil)
+	rt.Attach(2, sink)
+	addr, _ := rt.Book().Lookup(2)
+
+	raw, err := gonet.DialUDP("udp", nil, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	payloads := [][]byte{
+		{},
+		{0x00},
+		[]byte("not a frame at all, definitely longer than a header"),
+		{'L', 'F', 99, 0, 0, 0, 0, 0, 0, 0},                    // bad version
+		{'L', 'F', 1, 0, 0xFF, 0xFF, 0, 0, 0, 0},               // length lies
+		{'L', 'F', 1, 0, 0, 1, 0, 0, 0, 0, 0xEE},               // checksum lies
+		append([]byte{'L', 'F', 1, 0, 0, 2, 0, 0, 0, 0}, 1, 2), // valid-ish frame, garbage payload
+	}
+	for _, p := range payloads {
+		if _, err := raw.Write(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	rt.Send(1, 2, &msg.ScoreReq{Sender: 1, Target: 4}, net.Unreliable)
+	waitFor(t, "valid message after garbage", func() bool { return sink.count() > 0 })
+	if got := sink.count(); got != 1 {
+		t.Errorf("delivered %d messages, want exactly the valid one", got)
+	}
+}
+
+func TestSetDownDropsTraffic(t *testing.T) {
+	coll := metrics.NewCollector()
+	rt := New(Options{Seed: 1, Collector: coll})
+	defer rt.Close()
+	sink := &collect{}
+	rt.Attach(1, nil)
+	rt.Attach(2, sink)
+
+	rt.SetDown(2, true)
+	rt.Send(1, 2, &msg.ScoreReq{Sender: 1, Target: 4}, net.Unreliable)
+	time.Sleep(50 * time.Millisecond)
+	if sink.count() != 0 {
+		t.Fatal("down node received traffic")
+	}
+	if coll.Dropped(msg.KindScoreReq) == 0 {
+		t.Error("drop not accounted")
+	}
+
+	rt.SetDown(2, false)
+	rt.Send(1, 2, &msg.ScoreReq{Sender: 1, Target: 4}, net.Unreliable)
+	waitFor(t, "delivery after coming back up", func() bool { return sink.count() > 0 })
+}
+
+// TestInboundLossAppliedAtReceiver pins the cross-process loss contract:
+// LossIn is drawn by the receiving runtime, so a node's conditions take
+// effect even when the sender is another process that knows nothing about
+// them. Reliable-class traffic is exempt, as in the other backends.
+func TestInboundLossAppliedAtReceiver(t *testing.T) {
+	book := NewBook()
+	a := New(Options{Seed: 1, Book: book})
+	b := New(Options{Seed: 2, Book: book})
+	defer a.Close()
+	defer b.Close()
+
+	sink := &collect{}
+	a.Attach(1, nil)
+	b.Attach(2, sink)
+	// Only the receiving process knows node 2 is fully lossy inbound.
+	b.SetConditions(2, net.Conditions{LossIn: 1})
+
+	for i := 0; i < 20; i++ {
+		a.Send(1, 2, &msg.ScoreReq{Sender: 1, Target: 4}, net.Unreliable)
+	}
+	time.Sleep(80 * time.Millisecond)
+	if got := sink.count(); got != 0 {
+		t.Fatalf("lossy receiver delivered %d unreliable messages, want 0", got)
+	}
+
+	a.Send(1, 2, &msg.AuditReq{Sender: 1, Horizon: time.Second}, net.Reliable)
+	waitFor(t, "reliable-class delivery through inbound loss", func() bool { return sink.count() > 0 })
+}
+
+func TestModelledLatency(t *testing.T) {
+	rt := New(Options{Seed: 1, Defaults: net.Conditions{LatencyBase: 80 * time.Millisecond}})
+	defer rt.Close()
+	sink := &collect{}
+	rt.Attach(1, nil)
+	rt.Attach(2, sink)
+
+	start := time.Now()
+	rt.Send(1, 2, &msg.ScoreReq{Sender: 1, Target: 4}, net.Unreliable)
+	waitFor(t, "delayed delivery", func() bool { return sink.count() > 0 })
+	if elapsed := time.Since(start); elapsed < 60*time.Millisecond {
+		t.Errorf("delivered after %v, want the modelled ~80ms latency", elapsed)
+	}
+
+	// Reliable-class traffic pays the 3x connection-setup factor on both
+	// halves of the link, as under the sim and live backends.
+	start = time.Now()
+	rt.Send(1, 2, &msg.AuditReq{Sender: 1, Horizon: time.Second}, net.Reliable)
+	waitFor(t, "reliable delayed delivery", func() bool { return sink.count() > 1 })
+	if elapsed := time.Since(start); elapsed < 200*time.Millisecond {
+		t.Errorf("reliable delivered after %v, want the modelled ~240ms (3x) latency", elapsed)
+	}
+}
+
+func TestTimersAndExecSerialized(t *testing.T) {
+	rt := New(Options{Seed: 1})
+	defer rt.Close()
+	ctx := rt.Context(5)
+
+	var mu sync.Mutex
+	var order []int
+	fired := make(chan struct{})
+	ctx.After(20*time.Millisecond, func() {
+		mu.Lock()
+		order = append(order, 2)
+		mu.Unlock()
+		close(fired)
+	})
+	rt.Exec(5, func() {
+		mu.Lock()
+		order = append(order, 1)
+		mu.Unlock()
+	})
+	<-fired
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("callback order %v, want [1 2]", order)
+	}
+}
+
+func TestCloseIdempotentAndConcurrent(t *testing.T) {
+	rt := New(Options{Seed: 1})
+	rt.Attach(1, &collect{})
+	rt.Attach(2, &collect{})
+	for i := 0; i < 50; i++ {
+		rt.Send(1, 2, &msg.ScoreReq{Sender: 1, Target: 4}, net.Unreliable)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rt.Close()
+		}()
+	}
+	wg.Wait()
+	rt.Close() // and once more after the drain
+
+	// Post-close operations are safe no-ops.
+	rt.Send(1, 2, &msg.ScoreReq{Sender: 1, Target: 4}, net.Unreliable)
+	rt.After(time.Millisecond, func() { t.Error("callback ran after Close") })
+	if _, err := rt.AddNode(9, "127.0.0.1:0"); err == nil {
+		t.Error("AddNode succeeded on a closed runtime")
+	}
+	time.Sleep(20 * time.Millisecond)
+}
+
+func TestRegistryBuildsUDP(t *testing.T) {
+	rt, err := runtime.New(runtime.KindUDP, runtime.BackendOptions{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	sink := &collect{}
+	rt.Attach(1, nil)
+	rt.Attach(2, sink)
+	rt.Network().Send(1, 2, &msg.ScoreReq{Sender: 1, Target: 4}, net.Unreliable)
+	waitFor(t, "delivery via registry-built runtime", func() bool { return sink.count() > 0 })
+}
+
+func TestAddNodeRejectsDuplicate(t *testing.T) {
+	rt := New(Options{Seed: 1})
+	defer rt.Close()
+	if _, err := rt.AddNode(1, "127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.AddNode(1, "127.0.0.1:0"); err == nil {
+		t.Fatal("duplicate AddNode succeeded")
+	}
+}
+
+func TestOversizedMessageDroppedNotPanic(t *testing.T) {
+	coll := metrics.NewCollector()
+	rt := New(Options{Seed: 1, Collector: coll})
+	defer rt.Close()
+	rt.Attach(1, nil)
+	rt.Attach(2, &collect{})
+
+	huge := &msg.AuditResp{Sender: 1}
+	for i := 0; i < 5000; i++ {
+		huge.Proposals = append(huge.Proposals, msg.ProposalRecord{
+			Period: msg.Period(i), Partner: 2, Chunks: []msg.ChunkID{1, 2, 3, 4},
+		})
+	}
+	rt.Send(1, 2, huge, net.Reliable)
+	if coll.Dropped(msg.KindAuditResp) != 1 {
+		t.Fatal("oversized datagram not accounted as a drop")
+	}
+}
+
+func TestParsePeers(t *testing.T) {
+	got, err := ParsePeers("0=127.0.0.1:9000, 3=host.example:9003,")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "127.0.0.1:9000" || got[3] != "host.example:9003" {
+		t.Fatalf("ParsePeers = %v", got)
+	}
+	for _, bad := range []string{"nope", "x=1:2", "1=a:1,1=b:2"} {
+		if _, err := ParsePeers(bad); err == nil {
+			t.Errorf("ParsePeers(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestBookLearnDoesNotClobberSeeds(t *testing.T) {
+	b := NewBook()
+	if err := b.Set(1, "127.0.0.1:9000"); err != nil {
+		t.Fatal(err)
+	}
+	learned := &gonet.UDPAddr{IP: gonet.IPv4(127, 0, 0, 1), Port: 1234}
+	b.Learn(1, learned)
+	if a, _ := b.Lookup(1); a.Port != 9000 {
+		t.Fatalf("Learn overwrote a seed: %v", a)
+	}
+	b.Learn(2, learned)
+	if a, ok := b.Lookup(2); !ok || a.Port != 1234 {
+		t.Fatalf("Learn did not record a new peer: %v %v", a, ok)
+	}
+	if ids := b.IDs(); len(ids) != 2 || ids[0] != 1 || ids[1] != 2 {
+		t.Fatalf("IDs = %v", ids)
+	}
+}
