@@ -9,13 +9,15 @@ test:
 	$(GO) build ./...
 	$(GO) test -timeout 600s ./...
 
-# The concurrent halves of the runtime seam under the race detector.
+# The concurrent halves of the runtime seam under the race detector, plus
+# the reputation substrate (manager boards are hit from node goroutines
+# while the harness ticks periods and hands state off).
 race:
-	$(GO) test -race -timeout 600s ./internal/live/ ./internal/cluster/ ./internal/transport/
+	$(GO) test -race -timeout 600s ./internal/live/ ./internal/cluster/ ./internal/transport/ ./internal/reputation/ ./internal/membership/
 
 # Regenerate the perf trajectory document for this PR.
 bench:
-	$(GO) run ./cmd/lifting-bench -out BENCH_PR2.json
+	$(GO) run ./cmd/lifting-bench -out BENCH_PR3.json
 
 # Extended fuzzing of the network-facing decoder (the committed seed corpus
 # replays on every plain `go test`).

@@ -6,12 +6,15 @@
 //	lifting-sim [flags] <experiment>
 //
 // Experiments: fig1, fig10, fig11, fig12, fig13, fig14, eq7, table3,
-// table5, ablate, churn, all. See EXPERIMENTS.md for the mapping to the
-// paper and the expected shapes. churn is the beyond-the-paper workload:
-// nodes joining and leaving mid-stream; run it with -backend live to
-// execute on the goroutine runtime instead of the discrete-event engine, or
-// with -backend udp to run every node on its own real UDP socket (loopback,
-// single process). For one-node-per-process deployments see lifting-node.
+// table5, ablate, churn, scale, all. See EXPERIMENTS.md for the mapping to
+// the paper and the expected shapes. churn is the beyond-the-paper
+// workload: nodes joining and leaving mid-stream; run it with -backend live
+// to execute on the goroutine runtime instead of the discrete-event engine,
+// or with -backend udp to run every node on its own real UDP socket
+// (loopback, single process). scale runs the freerider-expulsion scenario
+// at a 10k-node population (`lifting-sim scale -n 10000`, the default n)
+// and asserts the 300-node baseline's verdict; exits nonzero on a verdict
+// mismatch. For one-node-per-process deployments see lifting-node.
 package main
 
 import (
@@ -45,17 +48,28 @@ func run(args []string) int {
 		backendF = fs.String("backend", "sim", "execution backend for churn: sim, live or udp")
 	)
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: lifting-sim [flags] <fig1|fig10|fig11|fig12|fig13|fig14|eq7|ablate|table3|table5|churn|all>\n")
+		fmt.Fprintf(fs.Output(), "usage: lifting-sim [flags] <fig1|fig10|fig11|fig12|fig13|fig14|eq7|ablate|table3|table5|churn|scale|all> [flags]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if fs.NArg() != 1 {
+	if fs.NArg() < 1 {
 		fs.Usage()
 		return 2
 	}
 	name := strings.ToLower(fs.Arg(0))
+	// Flags may also follow the experiment name (`lifting-sim scale -n
+	// 10000`): re-parse the remainder with the same flag set.
+	if rest := fs.Args()[1:]; len(rest) > 0 {
+		if err := fs.Parse(rest); err != nil {
+			return 2
+		}
+		if fs.NArg() != 0 {
+			fs.Usage()
+			return 2
+		}
+	}
 	backend, err := runtime.ParseKind(*backendF)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lifting-sim: %v\n", err)
@@ -106,6 +120,7 @@ func run(args []string) int {
 		return p
 	}
 
+	verdictFailed := false
 	runOne := func(which string) bool {
 		start := time.Now()
 		switch which {
@@ -177,6 +192,36 @@ func run(args []string) int {
 			experiment.Table3(plCfg(), nil).Render(os.Stdout)
 		case "table5":
 			experiment.Table5(plCfg(), nil, nil).Render(os.Stdout)
+		case "scale":
+			cfg := experiment.DefaultScaleConfig()
+			if *quick {
+				cfg.N = 1000
+			}
+			if *n > 0 {
+				cfg.N = *n
+			}
+			if *seed > 0 {
+				cfg.Seed = *seed
+			}
+			if *duration > 0 {
+				cfg.Duration = *duration
+			}
+			tab, res := experiment.Scale(cfg)
+			tab.Render(os.Stdout)
+			// The gate is the expected verdict at BOTH populations, not mere
+			// agreement: two identically-broken runs must still fail.
+			for _, r := range []experiment.ScaleRun{res.Baseline, res.Target} {
+				if !r.CohortExpelled() || !r.HonestClean() {
+					fmt.Fprintf(os.Stderr, "lifting-sim: scale N=%d verdict %q, want cohort expelled and honest clean\n",
+						r.N, r.Verdict())
+					verdictFailed = true
+				}
+			}
+			if !res.Agree {
+				fmt.Fprintf(os.Stderr, "lifting-sim: scale verdict mismatch: baseline %q vs N=%d %q\n",
+					res.Baseline.Verdict(), res.Target.N, res.Target.Verdict())
+				verdictFailed = true
+			}
 		case "churn":
 			cfg := experiment.DefaultChurnConfig()
 			cfg.Backend = backend
@@ -206,12 +251,15 @@ func run(args []string) int {
 	if name == "all" {
 		for _, which := range []string{
 			"fig10", "fig11", "fig12", "fig13", "eq7", "ablate",
-			"table3", "table5", "churn", "fig14", "fig1",
+			"table3", "table5", "churn", "scale", "fig14", "fig1",
 		} {
 			if !runOne(which) {
 				fmt.Fprintf(os.Stderr, "lifting-sim: internal error running %s\n", which)
 				return 1
 			}
+		}
+		if verdictFailed {
+			return 1
 		}
 		return 0
 	}
@@ -219,6 +267,9 @@ func run(args []string) int {
 		fmt.Fprintf(os.Stderr, "lifting-sim: unknown experiment %q\n", name)
 		fs.Usage()
 		return 2
+	}
+	if verdictFailed {
+		return 1
 	}
 	return 0
 }

@@ -42,6 +42,23 @@ func TestRunChurnOverUDP(t *testing.T) {
 	}
 }
 
+// TestRunScale runs the scale workload end-to-end at a reduced target
+// population, in both flag orders (`-n 600 scale` and `scale -n 600` — the
+// documented invocation is `lifting-sim scale -n 10000`).
+func TestRunScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale runs a full baseline + target simulation")
+	}
+	for _, args := range [][]string{
+		{"-n", "600", "scale"},
+		{"scale", "-n", "600"},
+	} {
+		if code := run(args); code != 0 {
+			t.Fatalf("run(%v) = %d, want 0", args, code)
+		}
+	}
+}
+
 func TestRunRejectsBadInput(t *testing.T) {
 	if code := run([]string{"no-such-experiment"}); code == 0 {
 		t.Fatal("unknown experiment accepted")

@@ -1,0 +1,53 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+)
+
+// TestScaleVerdictScaleInvariant runs the scale workload at a reduced
+// target population: the expulsion verdict — whole freerider cohort out,
+// no honest casualties — must match the 300-node baseline's. The 10k-node
+// target is exercised by `lifting-sim scale` and the CI smoke step; here it
+// would dominate the package's test time.
+func TestScaleVerdictScaleInvariant(t *testing.T) {
+	cfg := DefaultScaleConfig()
+	cfg.N = 1000
+	if testing.Short() {
+		cfg.N = 600
+	}
+	_, res := Scale(cfg)
+	if !res.Agree {
+		t.Fatalf("verdicts disagree: baseline %q vs target %q", res.Baseline.Verdict(), res.Target.Verdict())
+	}
+	for _, run := range []ScaleRun{res.Baseline, res.Target} {
+		if !run.CohortExpelled() {
+			t.Errorf("N=%d: %d/%d freeriders expelled", run.N, run.FreeridersExpelled, run.Freeriders)
+		}
+		if !run.HonestClean() {
+			t.Errorf("N=%d: %d honest nodes expelled", run.N, run.HonestExpelled)
+		}
+	}
+	if res.Eta >= 0 {
+		t.Fatalf("calibrated η = %v, want negative", res.Eta)
+	}
+	if res.Target.DetectionMean <= 0 || res.Target.DetectionMean > cfg.Duration {
+		t.Fatalf("mean detection %v outside the run", res.Target.DetectionMean)
+	}
+}
+
+// TestScaleShortDuration pins the configuration the CI 10k smoke uses: a
+// 15-second stream still leaves room for the 24-period grace plus detection
+// slack, so shrinking the smoke's duration must not shrink the verdict.
+func TestScaleShortDuration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("covered by TestScaleVerdictScaleInvariant in short mode")
+	}
+	cfg := DefaultScaleConfig()
+	cfg.N = 800
+	cfg.Duration = 15 * time.Second
+	_, res := Scale(cfg)
+	if !res.Agree || !res.Target.CohortExpelled() || !res.Target.HonestClean() {
+		t.Fatalf("15s run verdict broke: agree=%v target=%q", res.Agree, res.Target.Verdict())
+	}
+}

@@ -1,0 +1,176 @@
+package membership
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"lifting/internal/msg"
+	"lifting/internal/rng"
+)
+
+// managersFresh recomputes the assignment from scratch, bypassing the epoch
+// cache — the reference the cache is tested against.
+func (d *Directory) managersFresh(target msg.NodeID, m int) []msg.NodeID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.managersLocked(target, m)
+}
+
+// TestManagersCachedMatchesFreshUnderChurn is the cache-correctness property
+// test: across a random Join/Expel sequence, the cached result must be
+// bit-identical to a from-scratch computation at every epoch.
+func TestManagersCachedMatchesFreshUnderChurn(t *testing.T) {
+	d := Sequential(80)
+	r := rng.New(99).Derive("churn")
+	next := msg.NodeID(80)
+	check := func() {
+		for _, m := range []int{1, 5, 25} {
+			for _, target := range d.All() {
+				cached := d.Managers(target, m)
+				fresh := d.managersFresh(target, m)
+				if !reflect.DeepEqual(cached, fresh) {
+					t.Fatalf("epoch %d: Managers(%d, %d) cached %v != fresh %v",
+						d.Epoch(), target, m, cached, fresh)
+				}
+			}
+		}
+	}
+	check()
+	for step := 0; step < 60; step++ {
+		switch r.IntN(3) {
+		case 0: // brand-new join
+			d.Join(next)
+			next++
+		case 1: // revival of a possibly-departed node
+			d.Join(d.All()[r.IntN(d.N())])
+		default: // departure
+			d.Expel(d.All()[r.IntN(d.N())])
+		}
+		check()
+	}
+}
+
+// TestManagersStableAcrossExpel pins the assignment-stability property churn
+// relies on: expelling a node never reassigns the surviving managers of any
+// target — the probe sequence runs over the unchanged registration set, so
+// the new set is the old set minus the departed node (order preserved) plus
+// replacements appended at the tail.
+func TestManagersStableAcrossExpel(t *testing.T) {
+	d := Sequential(200)
+	const m = 25
+	before := make(map[msg.NodeID][]msg.NodeID)
+	for _, target := range d.All() {
+		before[target] = d.Managers(target, m)
+	}
+	victim := d.Managers(7, m)[3] // a manager of target 7, so both cases occur
+	d.Expel(victim)
+	for _, target := range d.All() {
+		after := d.Managers(target, m)
+		kept := make([]msg.NodeID, 0, m)
+		for _, id := range before[target] {
+			if id != victim {
+				kept = append(kept, id)
+			}
+		}
+		if len(after) < len(kept) {
+			t.Fatalf("target %d lost managers beyond the expelled one: %v -> %v", target, before[target], after)
+		}
+		if !reflect.DeepEqual(after[:len(kept)], kept) {
+			t.Fatalf("target %d: surviving managers reshuffled: %v -> %v", target, kept, after[:len(kept)])
+		}
+		for _, id := range after {
+			if id == victim {
+				t.Fatalf("target %d still assigned the expelled manager %d", target, victim)
+			}
+		}
+	}
+}
+
+// TestManagersCacheInvalidatedOnJoin ensures a stale cache entry never
+// survives a membership change: a join grows the registration set, which can
+// reshuffle assignments, and the post-join result must match a fresh
+// computation (not the pre-join cached one).
+func TestManagersCacheInvalidatedOnJoin(t *testing.T) {
+	d := Sequential(50)
+	stale := d.Managers(9, 10) // populate the cache
+	d.Join(500)
+	got := d.Managers(9, 10)
+	want := d.managersFresh(9, 10)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("post-join Managers = %v, want fresh %v (stale: %v)", got, want, stale)
+	}
+}
+
+// TestManagersHitAllocsZero is the hot-path guarantee the 10k-node scale
+// workload rests on: a cache hit performs no allocation.
+func TestManagersHitAllocsZero(t *testing.T) {
+	d := Sequential(1000)
+	d.Managers(42, 25) // warm
+	avg := testing.AllocsPerRun(100, func() {
+		d.Managers(42, 25)
+	})
+	if avg != 0 {
+		t.Fatalf("cache hit allocates %.1f/op, want 0", avg)
+	}
+}
+
+// TestManagersConcurrentWithChurn drives lookups from several goroutines
+// while the membership shifts — the shape the live and UDP backends produce.
+// Run with -race to check the cache's locking.
+func TestManagersConcurrentWithChurn(t *testing.T) {
+	d := Sequential(100)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				out := d.Managers(msg.NodeID(i%100), 10)
+				for _, id := range out {
+					if id == msg.NodeID(i%100) {
+						t.Error("target assigned as its own manager")
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			d.Expel(msg.NodeID(i % 100))
+			d.Join(msg.NodeID(i % 100))
+		}
+	}()
+	wg.Wait()
+}
+
+// BenchmarkManagers measures the steady-state manager lookup at 10k nodes —
+// the per-blame/per-read/per-rebalance hot path. All lookups after the first
+// epoch-warming pass are cache hits: 0 allocs/op.
+func BenchmarkManagers(b *testing.B) {
+	const n, m = 10000, 25
+	d := Sequential(n)
+	for i := 0; i < n; i++ {
+		d.Managers(msg.NodeID(i), m)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Managers(msg.NodeID(i%n), m)
+	}
+}
+
+// BenchmarkManagersUncached measures the from-scratch computation the cache
+// amortizes (the pre-cache cost of every lookup).
+func BenchmarkManagersUncached(b *testing.B) {
+	const n, m = 10000, 25
+	d := Sequential(n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.managersFresh(msg.NodeID(i%n), m)
+	}
+}

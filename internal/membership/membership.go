@@ -7,7 +7,6 @@ package membership
 
 import (
 	"fmt"
-	"hash/fnv"
 	"sync"
 
 	"lifting/internal/msg"
@@ -28,16 +27,33 @@ type Directory struct {
 	known   map[msg.NodeID]bool
 	alive   []msg.NodeID
 	aliveAt map[msg.NodeID]int // index into alive, for O(1) removal
+
+	// epoch counts membership changes (Join/Expel that actually changed the
+	// view). The manager-assignment cache below is valid for exactly one
+	// epoch: Managers is the hot path of every blame flush, score read and
+	// rebalance, and at 10k nodes recomputing the probe sequence (plus its
+	// dedup map) on every call dominated those paths.
+	epoch      uint64
+	mgrCache   map[mgrKey][]msg.NodeID
+	cacheEpoch uint64
+}
+
+// mgrKey indexes the manager cache: the assignment depends on the target and
+// the requested set size only (given the membership view of one epoch).
+type mgrKey struct {
+	target msg.NodeID
+	m      int
 }
 
 // NewDirectory creates a directory over the given node ids, all alive.
 // It panics on duplicate ids.
 func NewDirectory(ids []msg.NodeID) *Directory {
 	d := &Directory{
-		all:     make([]msg.NodeID, len(ids)),
-		known:   make(map[msg.NodeID]bool, len(ids)),
-		alive:   make([]msg.NodeID, len(ids)),
-		aliveAt: make(map[msg.NodeID]int, len(ids)),
+		all:      make([]msg.NodeID, len(ids)),
+		known:    make(map[msg.NodeID]bool, len(ids)),
+		alive:    make([]msg.NodeID, len(ids)),
+		aliveAt:  make(map[msg.NodeID]int, len(ids)),
+		mgrCache: make(map[mgrKey][]msg.NodeID),
 	}
 	copy(d.all, ids)
 	copy(d.alive, ids)
@@ -106,6 +122,7 @@ func (d *Directory) Join(id msg.NodeID) bool {
 	}
 	d.aliveAt[id] = len(d.alive)
 	d.alive = append(d.alive, id)
+	d.epoch++
 	return true
 }
 
@@ -124,7 +141,16 @@ func (d *Directory) Expel(id msg.NodeID) bool {
 	d.aliveAt[moved] = i
 	d.alive = d.alive[:last]
 	delete(d.aliveAt, id)
+	d.epoch++
 	return true
+}
+
+// Epoch returns the membership epoch: a counter of effective Join/Expel
+// events. Two calls observing the same epoch observed the same view.
+func (d *Directory) Epoch() uint64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.epoch
 }
 
 // Sample returns k distinct live nodes chosen uniformly at random, never
@@ -168,9 +194,59 @@ func (d *Directory) Sample(s *rng.Stream, k int, self msg.NodeID) []msg.NodeID {
 // managers without coordination (§5.1). Departed nodes are skipped, so a
 // manager's duties migrate when it leaves — the caller performs the state
 // handoff.
+//
+// Results are cached per membership epoch: a cache hit takes a read lock and
+// a map probe, no allocation. The returned slice is shared — callers must
+// treat it as read-only (every caller only iterates it).
 func (d *Directory) Managers(target msg.NodeID, m int) []msg.NodeID {
+	key := mgrKey{target: target, m: m}
 	d.mu.RLock()
-	defer d.mu.RUnlock()
+	if d.cacheEpoch == d.epoch {
+		if out, ok := d.mgrCache[key]; ok {
+			d.mu.RUnlock()
+			return out
+		}
+	}
+	d.mu.RUnlock()
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.cacheEpoch != d.epoch {
+		clear(d.mgrCache)
+		d.cacheEpoch = d.epoch
+	}
+	if out, ok := d.mgrCache[key]; ok {
+		return out
+	}
+	out := d.managersLocked(target, m)
+	d.mgrCache[key] = out
+	return out
+}
+
+// FNV-1a parameters (identical to hash/fnv's 64-bit variant, inlined so a
+// manager-assignment probe allocates no hasher).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// managerHash is FNV-1a over the big-endian (target, salt) pair —
+// bit-identical to the hash/fnv code it replaced, so assignments (and every
+// seeded experiment) are unchanged.
+func managerHash(target msg.NodeID, salt uint32) uint64 {
+	h := uint64(fnvOffset64)
+	for _, b := range [8]byte{
+		byte(target >> 24), byte(target >> 16), byte(target >> 8), byte(target),
+		byte(salt >> 24), byte(salt >> 16), byte(salt >> 8), byte(salt),
+	} {
+		h ^= uint64(b)
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// managersLocked computes the assignment from scratch. Callers hold d.mu.
+func (d *Directory) managersLocked(target msg.NodeID, m int) []msg.NodeID {
 	n := len(d.all)
 	if n <= 1 {
 		return nil
@@ -188,18 +264,7 @@ func (d *Directory) Managers(target msg.NodeID, m int) []msg.NodeID {
 	out := make([]msg.NodeID, 0, m)
 	used := map[msg.NodeID]struct{}{target: {}}
 	for salt := uint32(0); len(out) < m; salt++ {
-		h := fnv.New64a()
-		var buf [8]byte
-		buf[0] = byte(target >> 24)
-		buf[1] = byte(target >> 16)
-		buf[2] = byte(target >> 8)
-		buf[3] = byte(target)
-		buf[4] = byte(salt >> 24)
-		buf[5] = byte(salt >> 16)
-		buf[6] = byte(salt >> 8)
-		buf[7] = byte(salt)
-		_, _ = h.Write(buf[:])
-		id := d.all[h.Sum64()%uint64(n)]
+		id := d.all[managerHash(target, salt)%uint64(n)]
 		if _, dup := used[id]; dup {
 			continue
 		}

@@ -76,6 +76,7 @@ func AppendEncode(dst []byte, m Message) ([]byte, error) {
 		w.u32(uint32(v.Target))
 		w.f64(v.Score)
 		w.bool(v.Expelled)
+		w.bool(v.Tracked)
 	case *Expel:
 		w.u32(uint32(v.Target))
 		w.u8(uint8(v.Reason))
@@ -220,6 +221,9 @@ func Decode(b []byte) (Message, error) {
 		}
 		if err == nil {
 			v.Expelled, err = r.bool()
+		}
+		if err == nil {
+			v.Tracked, err = r.bool()
 		}
 		m = v
 	case KindExpel:

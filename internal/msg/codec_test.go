@@ -22,7 +22,8 @@ func allMessages() []Message {
 		&ConfirmResp{Sender: 7, Suspect: 5, Period: 10, Confirmed: false},
 		&Blame{Sender: 8, Target: 5, Value: 3.5, Reason: ReasonPartialServe},
 		&ScoreReq{Sender: 9, Target: 5},
-		&ScoreResp{Sender: 10, Target: 5, Score: -12.25, Expelled: true},
+		&ScoreResp{Sender: 10, Target: 5, Score: -12.25, Expelled: true, Tracked: true},
+		&ScoreResp{Sender: 10, Target: 6, Tracked: false},
 		&Expel{Sender: 11, Target: 5, Reason: ReasonAuditEntropy},
 		&AuditReq{Sender: 12, Horizon: 25 * time.Second},
 		&AuditResp{Sender: 13, Proposals: []ProposalRecord{

@@ -23,11 +23,14 @@ import (
 // corruption that UDP's 16-bit checksum missed. DecodeFrame never panics on
 // arbitrary input; anything malformed yields an error.
 
-// Frame constants. Part of the wire format.
+// Frame constants. Part of the wire format. FrameVersion 2 covers the
+// ScoreResp Tracked flag: the payload codec grew a byte, so daemons from
+// before the change must be rejected loudly (ErrBadVersion) instead of
+// having every ScoreResp die a silent length-mismatch death mid-deployment.
 const (
 	frameMagic0  = 'L'
 	frameMagic1  = 'F'
-	FrameVersion = 1
+	FrameVersion = 2
 	// FrameHeaderSize is the number of bytes preceding the payload.
 	FrameHeaderSize = 10
 	// MaxFramePayload is the largest payload that fits a single IPv4 UDP

@@ -306,12 +306,17 @@ func (m *ScoreReq) From() NodeID { return m.Sender }
 // WireSize implements Message.
 func (m *ScoreReq) WireSize() int { return headerSize + nodeIDSize }
 
-// ScoreResp returns a manager's copy of Target's score.
+// ScoreResp returns a manager's copy of Target's score. Tracked reports
+// whether the responding manager actually holds a score copy for Target: a
+// manager that lost (or never received) the target through a churn handoff
+// answers Tracked=false, and min-vote readers must discard such replies —
+// a fabricated zero score would silently poison the minimum (§5.1).
 type ScoreResp struct {
 	Sender   NodeID
 	Target   NodeID
 	Score    float64
 	Expelled bool
+	Tracked  bool
 }
 
 // Kind implements Message.
@@ -322,7 +327,7 @@ func (m *ScoreResp) From() NodeID { return m.Sender }
 
 // WireSize implements Message.
 func (m *ScoreResp) WireSize() int {
-	return headerSize + nodeIDSize + float64Size + boolSize
+	return headerSize + nodeIDSize + float64Size + 2*boolSize
 }
 
 // Expel announces that Target has been expelled (score below η or failed

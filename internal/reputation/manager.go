@@ -145,12 +145,20 @@ func (m *Manager) HandleMessage(from msg.NodeID, mm msg.Message) bool {
 		}
 		return true
 	case *msg.ScoreReq:
+		// Answer honestly about targets this manager does not track (churn
+		// handoffs move score copies around): a fabricated 0 would poison the
+		// reader's min-vote. The reply still goes out — readers count it
+		// toward "all managers answered" — but carries Tracked=false and no
+		// score.
 		m.mu.Lock()
 		resp := &msg.ScoreResp{
-			Sender:   m.self,
-			Target:   v.Target,
-			Score:    m.board.Score(v.Target),
-			Expelled: m.board.Expelled(v.Target),
+			Sender:  m.self,
+			Target:  v.Target,
+			Tracked: m.board.Tracked(v.Target),
+		}
+		if resp.Tracked {
+			resp.Score = m.board.Score(v.Target)
+			resp.Expelled = m.board.Expelled(v.Target)
 		}
 		m.mu.Unlock()
 		m.netw.Send(m.self, from, resp, net.Unreliable)
@@ -241,15 +249,22 @@ func (c *Client) Blame(target msg.NodeID, value float64, reason msg.BlameReason)
 // Flush sends one aggregated blame message per blamed target to each of its
 // M managers (§5.1). Blames travel over the unreliable transport; min-vote
 // reads tolerate the resulting divergence between manager copies.
+//
+// One Blame value is shared by all M sends of a target: every backend treats
+// messages as immutable once handed to Send (the UDP transport serializes
+// them on the spot through the pooled AppendEncode path), so the per-manager
+// re-allocation this replaced bought nothing. The pending map is cleared in
+// place for the same reason — Flush runs once per blamed target per period
+// on every node, which makes it a rebalance-scale hot path at 10k nodes.
 func (c *Client) Flush() {
 	for _, target := range c.order {
 		p := c.pending[target]
+		b := &msg.Blame{Sender: c.self, Target: target, Value: p.value, Reason: p.reason}
 		for _, mgr := range c.dir.Managers(target, c.cfg.M) {
-			b := &msg.Blame{Sender: c.self, Target: target, Value: p.value, Reason: p.reason}
 			c.netw.Send(c.self, mgr, b, net.Unreliable)
 		}
 	}
-	c.pending = make(map[msg.NodeID]*pendingBlame)
+	clear(c.pending)
 	c.order = c.order[:0]
 }
 

@@ -14,6 +14,24 @@ import (
 // the minimum makes score inflation by colluding managers ineffective,
 // and blame-message loss can only raise individual copies, never lower
 // the minimum below the truth).
+//
+// Replies flagged Tracked=false carry no genuine score copy (the manager
+// lost the target in a churn handoff, or never had it) and are discarded:
+// they count toward "every manager answered" but contribute nothing to the
+// vote, so a read that reaches only such managers reports zero replies
+// instead of a fabricated score.
+//
+// Trust model: like every layer of this substrate, the reader trusts the
+// self-declared Sender id — there is no message authentication anywhere in
+// the protocol, and an adversary able to forge sender ids already owns
+// strictly stronger moves (a forged Expel marks the target expelled
+// outright; forged Blames poison every manager copy directly). The queried
+// set below therefore defends against ids from OUTSIDE the manager set
+// (cheap, and keeps forgeries from crowding out the vote or terminating
+// the read), not against an adversary impersonating the managers
+// themselves. A reply credited from a manager answering a previous,
+// timed-out read of the same target is likewise accepted: it is a genuine
+// copy from the right manager, merely milliseconds staler.
 type Reader struct {
 	self    msg.NodeID
 	cfg     Config
@@ -28,6 +46,13 @@ type Reader struct {
 type readState struct {
 	copies   []float64
 	expelled []bool
+	// queried holds the managers this read actually contacted, flipped to
+	// false as each answers: only their replies count — toward the vote and
+	// toward the all-managers-answered early completion — so a node forging
+	// ScoreResps from ids outside the manager set can neither terminate the
+	// read early nor crowd genuine low copies out of the minimum.
+	queried  map[msg.NodeID]bool
+	awaiting int
 	done     bool
 	callback func(score float64, expelled bool, replies int)
 }
@@ -47,27 +72,43 @@ func NewReader(self msg.NodeID, cfg Config, ctx sim.Context, netw net.Network, d
 }
 
 // Read queries target's managers and delivers the min-vote result to fn.
-// Concurrent reads of the same target are rejected (fn is called with zero
-// replies). Reads with no replies at all report a zero score.
+// The read completes as soon as all queried managers have replied; the
+// timeout only covers replies lost on the unreliable transport. Concurrent
+// reads of the same target are rejected (fn is called with zero replies).
+// Reads with no genuine score copies at all report a zero score with zero
+// replies.
 func (r *Reader) Read(target msg.NodeID, fn func(score float64, expelled bool, replies int)) {
 	if _, dup := r.pending[target]; dup {
 		fn(0, false, 0)
 		return
 	}
-	st := &readState{callback: fn}
+	mgrs := r.dir.Managers(target, r.cfg.M)
+	st := &readState{
+		callback: fn,
+		queried:  make(map[msg.NodeID]bool, len(mgrs)),
+		awaiting: len(mgrs),
+	}
 	r.pending[target] = st
-	for _, mgr := range r.dir.Managers(target, r.cfg.M) {
+	for _, mgr := range mgrs {
+		st.queried[mgr] = true
 		r.netw.Send(r.self, mgr, &msg.ScoreReq{Sender: r.self, Target: target}, net.Unreliable)
 	}
-	r.ctx.After(r.timeout, func() {
-		if st.done {
-			return
-		}
-		st.done = true
-		delete(r.pending, target)
-		score, expelled := MinVoteScore(st.copies, st.expelled)
-		st.callback(score, expelled, len(st.copies))
-	})
+	if st.awaiting == 0 {
+		r.finish(target, st)
+		return
+	}
+	r.ctx.After(r.timeout, func() { r.finish(target, st) })
+}
+
+// finish resolves an outstanding read exactly once.
+func (r *Reader) finish(target msg.NodeID, st *readState) {
+	if st.done {
+		return
+	}
+	st.done = true
+	delete(r.pending, target)
+	score, expelled := MinVoteScore(st.copies, st.expelled)
+	st.callback(score, expelled, len(st.copies))
 }
 
 // HandleAux consumes ScoreResp messages addressed to this reader. It
@@ -81,7 +122,18 @@ func (r *Reader) HandleAux(_ msg.NodeID, m msg.Message) bool {
 	if !ok || st.done {
 		return true
 	}
-	st.copies = append(st.copies, resp.Score)
-	st.expelled = append(st.expelled, resp.Expelled)
+	// Unqueried senders (forgeries, duplicates) are consumed but ignored.
+	if !st.queried[resp.Sender] {
+		return true
+	}
+	st.queried[resp.Sender] = false
+	st.awaiting--
+	if resp.Tracked {
+		st.copies = append(st.copies, resp.Score)
+		st.expelled = append(st.expelled, resp.Expelled)
+	}
+	if st.awaiting <= 0 {
+		r.finish(resp.Target, st)
+	}
 	return true
 }
