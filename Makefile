@@ -7,7 +7,7 @@ GO ?= go
 
 test:
 	$(GO) build ./...
-	$(GO) test -timeout 600s ./...
+	$(GO) test -shuffle=on -timeout 600s ./...
 
 # The concurrent halves of the runtime seam under the race detector, plus
 # the reputation substrate (manager boards are hit from node goroutines
@@ -17,7 +17,7 @@ race:
 
 # Regenerate the perf trajectory document for this PR.
 bench:
-	$(GO) run ./cmd/lifting-bench -out BENCH_PR3.json
+	$(GO) run ./cmd/lifting-bench -out BENCH_PR4.json
 
 # Extended fuzzing of the network-facing decoder (the committed seed corpus
 # replays on every plain `go test`).

@@ -15,6 +15,7 @@ import (
 	"lifting/internal/experiment"
 	"lifting/internal/msg"
 	"lifting/internal/rng"
+	"lifting/internal/runtime"
 	"lifting/internal/stats"
 	"lifting/internal/swarm"
 )
@@ -101,6 +102,34 @@ func BenchmarkChurn(b *testing.B) {
 		_, res := experiment.Churn(cfg)
 		b.ReportMetric(res.CatchUp.Mean(), "arrival-catch-up")
 		b.ReportMetric(res.HonestMean-res.FreeriderMean, "score-gap")
+	}
+}
+
+// BenchmarkMatrix measures the adversary scenario matrix end-to-end: the
+// whole quick sweep (calibration pilots plus seeded repetitions per attack)
+// on the sim backend. Metrics: scenarios per run, mean detection over ALL
+// rows (blame-spam's by-design 0 included, so the nominal value is ~0.9 and
+// any scenario regressing to zero detection moves it), and oracle failures
+// (must stay 0).
+func BenchmarkMatrix(b *testing.B) {
+	// Sim only: nil Backends would pull wise-degree's live/udp rows into
+	// the bench, streaming in wall-clock time and exposing the oracle
+	// metrics to machine load.
+	cfg := experiment.MatrixConfig{Quick: true, Backends: []runtime.Kind{runtime.KindSim}}
+	for i := 0; i < b.N; i++ {
+		_, res := experiment.Matrix(cfg)
+		failures := 0
+		var alpha float64
+		for _, r := range res.Rows {
+			failures += len(r.Failures)
+			alpha += r.Detection
+		}
+		if len(res.Rows) > 0 {
+			alpha /= float64(len(res.Rows))
+		}
+		b.ReportMetric(float64(res.ScenariosRun), "scenarios")
+		b.ReportMetric(alpha, "mean-alpha")
+		b.ReportMetric(float64(failures), "oracle-failures")
 	}
 }
 

@@ -6,20 +6,24 @@
 //	lifting-sim [flags] <experiment>
 //
 // Experiments: fig1, fig10, fig11, fig12, fig13, fig14, eq7, table3,
-// table5, ablate, churn, scale, all. See EXPERIMENTS.md for the mapping to
-// the paper and the expected shapes. churn is the beyond-the-paper
-// workload: nodes joining and leaving mid-stream; run it with -backend live
-// to execute on the goroutine runtime instead of the discrete-event engine,
-// or with -backend udp to run every node on its own real UDP socket
-// (loopback, single process). scale runs the freerider-expulsion scenario
-// at a 10k-node population (`lifting-sim scale -n 10000`, the default n)
-// and asserts the 300-node baseline's verdict; exits nonzero on a verdict
-// mismatch. For one-node-per-process deployments see lifting-node.
+// table5, ablate, churn, scale, matrix, all. See EXPERIMENTS.md for the
+// mapping to the paper and the expected shapes. churn is the
+// beyond-the-paper workload: nodes joining and leaving mid-stream; run it
+// with -backend live to execute on the goroutine runtime instead of the
+// discrete-event engine, or with -backend udp to run every node on its own
+// real UDP socket (loopback, single process). scale runs the
+// freerider-expulsion scenario at a 10k-node population (`lifting-sim scale
+// -n 10000`, the default n) and asserts the 300-node baseline's verdict;
+// exits nonzero on a verdict mismatch. matrix sweeps every §4/§5 attack
+// scenario against its statistical oracle (`lifting-sim matrix [-quick]
+// [-backend sim,live,udp|all] [-filter name]`) and exits nonzero on any
+// oracle failure. For one-node-per-process deployments see lifting-node.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -33,8 +37,24 @@ func main() {
 	os.Exit(run(os.Args[1:]))
 }
 
+// stderrW is where usage and errors go; tests swap it for a buffer.
+var stderrW io.Writer = os.Stderr
+
+// allBatch is what `all` runs, cheap analytic experiments first and the
+// long cluster streams (fig14, fig1) last.
+var allBatch = []string{
+	"fig10", "fig11", "fig12", "fig13", "eq7", "ablate",
+	"table3", "table5", "churn", "scale", "matrix", "fig14", "fig1",
+}
+
+// experimentNames is every registered experiment, printed by usage and by
+// the unknown-name error: the batch plus `all` itself. A test pins this
+// list against the dispatch, so help cannot silently go stale.
+var experimentNames = append(append([]string{}, allBatch...), "all")
+
 func run(args []string) int {
 	fs := flag.NewFlagSet("lifting-sim", flag.ContinueOnError)
+	fs.SetOutput(stderrW)
 	var (
 		n        = fs.Int("n", 0, "override system size (0 = experiment default)")
 		seed     = fs.Uint64("seed", 0, "override random seed (0 = experiment default)")
@@ -45,10 +65,12 @@ func run(args []string) int {
 		noComp   = fs.Bool("no-compensation", false, "ablation: disable wrongful-blame compensation (fig10/fig11)")
 		quick    = fs.Bool("quick", false, "shrink paper-scale experiments for a fast pass")
 		workers  = fs.Int("workers", 0, "Monte-Carlo worker goroutines (0 = GOMAXPROCS, 1 = serial)")
-		backendF = fs.String("backend", "sim", "execution backend for churn: sim, live or udp")
+		backendF = fs.String("backend", "sim", "execution backend: sim, live or udp (matrix accepts a comma list or 'all')")
+		filter   = fs.String("filter", "", "matrix: run only scenarios whose name contains this substring")
 	)
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: lifting-sim [flags] <fig1|fig10|fig11|fig12|fig13|fig14|eq7|ablate|table3|table5|churn|scale|all> [flags]\n")
+		fmt.Fprintf(fs.Output(), "usage: lifting-sim [flags] <experiment> [flags]\nexperiments: %s\n",
+			strings.Join(experimentNames, ", "))
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -70,9 +92,26 @@ func run(args []string) int {
 			return 2
 		}
 	}
-	backend, err := runtime.ParseKind(*backendF)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "lifting-sim: %v\n", err)
+	// The matrix takes a backend *set*; every other experiment a single one.
+	var matrixBackends []runtime.Kind
+	if *backendF != "all" {
+		for _, b := range strings.Split(*backendF, ",") {
+			k, err := runtime.ParseKind(strings.TrimSpace(b))
+			if err != nil {
+				fmt.Fprintf(stderrW, "lifting-sim: %v\n", err)
+				return 2
+			}
+			matrixBackends = append(matrixBackends, k)
+		}
+	}
+	backend := runtime.KindSim
+	if len(matrixBackends) == 1 {
+		backend = matrixBackends[0]
+	} else if name != "matrix" {
+		// A multi-backend set only means something to the matrix; every
+		// other experiment (including the ones inside `all`) would
+		// silently fall back to sim.
+		fmt.Fprintf(stderrW, "lifting-sim: experiment %q takes a single -backend\n", name)
 		return 2
 	}
 
@@ -212,14 +251,40 @@ func run(args []string) int {
 			// agreement: two identically-broken runs must still fail.
 			for _, r := range []experiment.ScaleRun{res.Baseline, res.Target} {
 				if !r.CohortExpelled() || !r.HonestClean() {
-					fmt.Fprintf(os.Stderr, "lifting-sim: scale N=%d verdict %q, want cohort expelled and honest clean\n",
+					fmt.Fprintf(stderrW, "lifting-sim: scale N=%d verdict %q, want cohort expelled and honest clean\n",
 						r.N, r.Verdict())
 					verdictFailed = true
 				}
 			}
 			if !res.Agree {
-				fmt.Fprintf(os.Stderr, "lifting-sim: scale verdict mismatch: baseline %q vs N=%d %q\n",
+				fmt.Fprintf(stderrW, "lifting-sim: scale verdict mismatch: baseline %q vs N=%d %q\n",
 					res.Baseline.Verdict(), res.Target.N, res.Target.Verdict())
+				verdictFailed = true
+			}
+		case "matrix":
+			cfg := experiment.MatrixConfig{
+				Quick:    *quick,
+				Backends: matrixBackends,
+				Filter:   *filter,
+				Seed:     *seed,
+				Workers:  *workers,
+			}
+			tab, res := experiment.Matrix(cfg)
+			tab.Render(os.Stdout)
+			if res.ScenariosRun == 0 {
+				// Either the filter matched nothing or the backend set
+				// intersected every matching scenario away; name both.
+				fmt.Fprintf(stderrW, "lifting-sim: matrix ran no scenario (filter %q, backends %s; scenarios: %s)\n",
+					*filter, *backendF, strings.Join(experiment.ScenarioNames(), ", "))
+				verdictFailed = true
+			}
+			for _, r := range res.Rows {
+				if len(r.Failures) > 0 {
+					fmt.Fprintf(stderrW, "lifting-sim: matrix %s on %s failed its oracle: %s\n",
+						r.Scenario, r.Backend, strings.Join(r.Failures, "; "))
+				}
+			}
+			if res.Failed {
 				verdictFailed = true
 			}
 		case "churn":
@@ -249,12 +314,9 @@ func run(args []string) int {
 	}
 
 	if name == "all" {
-		for _, which := range []string{
-			"fig10", "fig11", "fig12", "fig13", "eq7", "ablate",
-			"table3", "table5", "churn", "scale", "fig14", "fig1",
-		} {
+		for _, which := range allBatch {
 			if !runOne(which) {
-				fmt.Fprintf(os.Stderr, "lifting-sim: internal error running %s\n", which)
+				fmt.Fprintf(stderrW, "lifting-sim: internal error running %s\n", which)
 				return 1
 			}
 		}
@@ -264,7 +326,8 @@ func run(args []string) int {
 		return 0
 	}
 	if !runOne(name) {
-		fmt.Fprintf(os.Stderr, "lifting-sim: unknown experiment %q\n", name)
+		fmt.Fprintf(stderrW, "lifting-sim: unknown experiment %q (experiments: %s)\n",
+			name, strings.Join(experimentNames, ", "))
 		fs.Usage()
 		return 2
 	}

@@ -1,6 +1,12 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+)
 
 func TestRunFastExperiments(t *testing.T) {
 	// The analytic experiments complete in milliseconds; run them for real.
@@ -80,5 +86,106 @@ func TestRunOverrides(t *testing.T) {
 	}
 	if code := run([]string{"-no-compensation", "-n", "300", "-periods", "3", "fig11"}); code != 0 {
 		t.Fatal("ablation flag rejected")
+	}
+}
+
+// TestUsageListsExperiments covers the help contract: the usage text and
+// the unknown-experiment error both enumerate every registered experiment,
+// including matrix.
+func TestUsageListsExperiments(t *testing.T) {
+	capture := func(args []string) (int, string) {
+		var buf bytes.Buffer
+		old := stderrW
+		stderrW = &buf
+		defer func() { stderrW = old }()
+		code := run(args)
+		return code, buf.String()
+	}
+
+	code, out := capture(nil)
+	if code != 2 {
+		t.Fatalf("run with no experiment = %d, want 2", code)
+	}
+	for _, name := range experimentNames {
+		if !strings.Contains(out, name) {
+			t.Errorf("usage does not list experiment %q:\n%s", name, out)
+		}
+	}
+
+	code, out = capture([]string{"no-such-experiment"})
+	if code != 2 {
+		t.Fatalf("unknown experiment = %d, want 2", code)
+	}
+	if !strings.Contains(out, `unknown experiment "no-such-experiment"`) ||
+		!strings.Contains(out, "matrix") {
+		t.Errorf("unknown-experiment error does not list the registry:\n%s", out)
+	}
+}
+
+// TestRunMatrix runs one matrix scenario end-to-end through the CLI: the
+// oracle must hold (exit 0), an unmatched filter must fail, and the
+// backend-set parsing must reject garbage.
+func TestRunMatrix(t *testing.T) {
+	if code := run([]string{"-quick", "-filter", "fanout-decrease", "matrix"}); code != 0 {
+		t.Fatalf("quick matrix fanout-decrease = %d, want 0", code)
+	}
+	var buf bytes.Buffer
+	old := stderrW
+	stderrW = &buf
+	defer func() { stderrW = old }()
+	if code := run([]string{"-quick", "-filter", "no-such-attack", "matrix"}); code == 0 {
+		t.Fatal("matrix with unmatched filter reported success")
+	}
+	if !strings.Contains(buf.String(), "ran no scenario") {
+		t.Errorf("filter miss not explained:\n%s", buf.String())
+	}
+	buf.Reset()
+	if code := run([]string{"-backend", "sim,quantum", "matrix"}); code == 0 {
+		t.Fatal("bad backend list accepted")
+	}
+	if !strings.Contains(buf.String(), "unknown backend") {
+		t.Errorf("bad backend not explained:\n%s", buf.String())
+	}
+	buf.Reset()
+	if code := run([]string{"-backend", "sim,live", "churn"}); code == 0 {
+		t.Fatal("backend list accepted for a single-backend experiment")
+	}
+	if !strings.Contains(buf.String(), "takes a single -backend") {
+		t.Errorf("multi-backend rejection not explained:\n%s", buf.String())
+	}
+}
+
+// TestExperimentNamesMatchDispatch pins the help list against the runOne
+// dispatch: every `case "name":` in main.go is listed (plus `all`), and
+// vice versa, so neither usage nor the `all` batch can silently go stale.
+func TestExperimentNamesMatchDispatch(t *testing.T) {
+	src, err := os.ReadFile("main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dispatched := map[string]bool{}
+	for _, m := range regexp.MustCompile(`case "([a-z0-9]+)":`).FindAllStringSubmatch(string(src), -1) {
+		dispatched[m[1]] = true
+	}
+	listed := map[string]bool{}
+	for _, name := range experimentNames {
+		if listed[name] {
+			t.Errorf("experiment %q listed twice", name)
+		}
+		listed[name] = true
+		if name != "all" && !dispatched[name] {
+			t.Errorf("experiment %q listed in help but has no dispatch case", name)
+		}
+	}
+	if !listed["all"] || !listed["matrix"] {
+		t.Error("help list must include all and matrix")
+	}
+	for name := range dispatched {
+		if !listed[name] {
+			t.Errorf("dispatch case %q missing from the help list", name)
+		}
+	}
+	if len(allBatch) != len(dispatched) {
+		t.Errorf("all batch runs %d experiments, dispatch has %d", len(allBatch), len(dispatched))
 	}
 }

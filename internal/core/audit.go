@@ -220,6 +220,22 @@ func (a *Auditor) onAuditResp(from msg.NodeID, resp *msg.AuditResp) {
 		expected = a.cfg.HistoryPeriods
 	}
 	st.outcome.PeriodBlame = PeriodStretchBlame(len(periods), expected, a.cfg.PeriodCheckSlack)
+	// Complementary clock check: the density check alone misses a stretcher
+	// once the run outlives its nh own-period retention (its last nh sparse
+	// periods then span the whole horizon and look dense). But a node that
+	// numbers its phases honestly reports a newest period far behind the
+	// auditor's clock — and one that inflates its numbering to keep up
+	// leaves gaps the density check catches. Either way the stretch shows.
+	if len(resp.Proposals) > 0 {
+		var newest msg.Period
+		for i := range resp.Proposals {
+			if p := resp.Proposals[i].Period; p > newest {
+				newest = p
+			}
+		}
+		elapsed := int(a.ctx.Now() / a.cfg.Period)
+		st.outcome.PeriodBlame += PeriodStretchBlame(int(newest), elapsed, a.cfg.PeriodCheckSlack)
+	}
 	if a.sink != nil && st.outcome.PeriodBlame > 0 {
 		a.sink.Blame(from, st.outcome.PeriodBlame, msg.ReasonPeriodStretch)
 	}

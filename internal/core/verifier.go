@@ -111,6 +111,12 @@ func (v *Verifier) blame(target msg.NodeID, value float64, reason msg.BlameReaso
 // chunks forwarded and the partners they went to (§5.2). Freerider behaviors
 // may lie about both.
 func (v *Verifier) OnProposePhase(p msg.Period, partners []msg.NodeID, proposed []msg.ChunkID, serversLastPeriod map[msg.NodeID][]msg.ChunkID) {
+	// Bad-mouthing behaviors piggyback fabricated blames on the period
+	// boundary; the sink routes them like any verification blame because
+	// managers cannot tell them apart (§5.1).
+	for _, a := range v.behavior.SpamBlames(v.rand) {
+		v.blame(a.Target, a.Value, a.Reason)
+	}
 	if len(serversLastPeriod) == 0 {
 		return
 	}

@@ -357,3 +357,31 @@ func TestHandleAuxIgnoresGossipKinds(t *testing.T) {
 		t.Fatal("verifier claimed a blame message (manager duty)")
 	}
 }
+
+// spamBehavior emits fixed accusations at every propose phase.
+type spamBehavior struct {
+	gossip.Honest
+	acc []gossip.Accusation
+}
+
+func (s spamBehavior) SpamBlames(*rng.Stream) []gossip.Accusation { return s.acc }
+
+func TestSpamBlamesRoutedAtProposePhase(t *testing.T) {
+	acc := []gossip.Accusation{
+		{Target: 4, Value: 3, Reason: msg.ReasonNoAck},
+		{Target: 5, Value: 7, Reason: msg.ReasonNoAck},
+	}
+	r := newRig(t, testCfg(), spamBehavior{acc: acc})
+	// Spam flows even on a phase with nothing proposed and no servers.
+	r.v.OnProposePhase(1, nil, nil, nil)
+	r.v.OnProposePhase(2, nil, nil, nil)
+	if got := r.sink.total(msg.ReasonNoAck); got != 20 {
+		t.Fatalf("spam blame total = %v, want 20 (2 accusations x 2 periods)", got)
+	}
+	// Honest behaviors never spam.
+	h := newRig(t, testCfg(), gossip.Honest{})
+	h.v.OnProposePhase(1, nil, nil, nil)
+	if len(h.sink.blames) != 0 {
+		t.Fatalf("honest propose phase emitted blames: %+v", h.sink.blames)
+	}
+}

@@ -9,6 +9,12 @@
 //     cover-up in confirmations, the man-in-the-middle attack on direct
 //     cross-checking (§5.2, Fig. 8b) and history forgery at audit time
 //     (§5.3).
+//   - StretchingColluder: a colluder that additionally stretches its gossip
+//     period — the combined iii+iv attack.
+//   - BlameSpammer: the bad-mouther — blames are not authenticated (§5.1),
+//     so a malicious node can flood honest targets with wrongful blame;
+//     LiFTinG's defense is statistical (compensation plus the threshold
+//     margin), not per-blame.
 package freerider
 
 import (
@@ -227,6 +233,60 @@ func (c *Colluder) ClaimedOrigin(trueServer msg.NodeID) msg.NodeID {
 		return trueServer
 	}
 	return c.Members[c.Rand.IntN(len(c.Members))]
+}
+
+// StretchingColluder combines the coalition attacks with gossip-period
+// stretching (§4.1 iii+iv): the node biases its partner selection toward the
+// coalition and proposes only every Factor·Tg. The audit sees both a
+// coalition-concentrated fanout history and too few propose phases.
+type StretchingColluder struct {
+	*Colluder
+	Factor float64
+}
+
+var _ gossip.Behavior = StretchingColluder{}
+
+// PeriodFactor implements gossip.Behavior: stretch the period.
+func (c StretchingColluder) PeriodFactor() float64 {
+	if c.Factor < 1 {
+		return 1
+	}
+	return c.Factor
+}
+
+// BlameSpammer is a bad-mouther: a node that otherwise follows the protocol
+// but floods the reputation substrate with wrongful blames against random
+// honest targets. The blame value masquerades as a missed acknowledgement
+// (the largest blame a single verification plausibly yields, Table 1), so a
+// manager cannot reject it on its face; the system's defense is that a
+// bounded spam rate stays inside the compensated threshold margin.
+type BlameSpammer struct {
+	gossip.Honest
+	// Self is excluded from target sampling.
+	Self msg.NodeID
+	// Dir is the membership view targets are drawn from.
+	Dir *membership.Directory
+	// Targets is the number of wrongful accusations per gossip period.
+	Targets int
+	// Value is the per-accusation blame (defaults to 0 = emit nothing; a
+	// rational spammer uses NoAckBlame(f) = f).
+	Value float64
+}
+
+var _ gossip.Behavior = (*BlameSpammer)(nil)
+
+// SpamBlames implements gossip.Behavior: accuse Targets uniform random nodes
+// of never acknowledging.
+func (b *BlameSpammer) SpamBlames(s *rng.Stream) []gossip.Accusation {
+	if b.Dir == nil || b.Targets <= 0 || b.Value <= 0 {
+		return nil
+	}
+	picks := b.Dir.Sample(s, b.Targets, b.Self)
+	out := make([]gossip.Accusation, 0, len(picks))
+	for _, t := range picks {
+		out = append(out, gossip.Accusation{Target: t, Value: b.Value, Reason: msg.ReasonNoAck})
+	}
+	return out
 }
 
 // ForgeAudit implements gossip.Behavior: optionally rewrite coalition

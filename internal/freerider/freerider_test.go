@@ -251,3 +251,70 @@ func TestBehaviorInterfaceCompliance(t *testing.T) {
 		}
 	}
 }
+
+func TestStretchingColluder(t *testing.T) {
+	c, _, _ := newColluderWorld(t, 0.5)
+	sc := StretchingColluder{Colluder: c, Factor: 2}
+	if f := sc.PeriodFactor(); f != 2 {
+		t.Fatalf("factor = %v, want 2", f)
+	}
+	if f := (StretchingColluder{Colluder: c, Factor: 0.5}).PeriodFactor(); f != 1 {
+		t.Fatalf("sub-unit factor should clamp to 1, got %v", f)
+	}
+	// The coalition attacks compose: cover-up and biased selection survive
+	// the embedding.
+	if !sc.ConfirmAnswer(91, false) {
+		t.Fatal("stretching colluder did not cover a coalition member")
+	}
+	if got := sc.Fanout(7); got != 7 {
+		t.Fatalf("stretching colluder altered fanout: %d", got)
+	}
+}
+
+func TestBlameSpammer(t *testing.T) {
+	dir := membership.Sequential(50)
+	b := &BlameSpammer{Self: 7, Dir: dir, Targets: 3, Value: 7}
+	s := rng.New(4)
+	seenTargets := map[msg.NodeID]bool{}
+	for trial := 0; trial < 200; trial++ {
+		acc := b.SpamBlames(s)
+		if len(acc) != 3 {
+			t.Fatalf("got %d accusations, want 3", len(acc))
+		}
+		perPeriod := map[msg.NodeID]bool{}
+		for _, a := range acc {
+			if a.Target == 7 {
+				t.Fatal("spammer accused itself")
+			}
+			if a.Value != 7 {
+				t.Fatalf("accusation value %v, want 7", a.Value)
+			}
+			if a.Reason != msg.ReasonNoAck {
+				t.Fatalf("accusation reason %v, want no-ack masquerade", a.Reason)
+			}
+			if perPeriod[a.Target] {
+				t.Fatal("duplicate target within one period")
+			}
+			perPeriod[a.Target] = true
+			seenTargets[a.Target] = true
+		}
+	}
+	// Targets are spread over the membership, not fixated.
+	if len(seenTargets) < 40 {
+		t.Fatalf("spam hit only %d distinct targets over 200 periods", len(seenTargets))
+	}
+}
+
+func TestBlameSpammerDisabled(t *testing.T) {
+	s := rng.New(4)
+	if acc := (&BlameSpammer{Self: 1, Targets: 3, Value: 7}).SpamBlames(s); acc != nil {
+		t.Fatalf("spammer without a directory emitted %v", acc)
+	}
+	dir := membership.Sequential(10)
+	if acc := (&BlameSpammer{Self: 1, Dir: dir, Value: 7}).SpamBlames(s); acc != nil {
+		t.Fatalf("zero-target spammer emitted %v", acc)
+	}
+	if acc := (&BlameSpammer{Self: 1, Dir: dir, Targets: 2}).SpamBlames(s); acc != nil {
+		t.Fatalf("zero-value spammer emitted %v", acc)
+	}
+}

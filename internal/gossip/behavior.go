@@ -59,6 +59,22 @@ type Behavior interface {
 	// returned to an auditor (§5.3: a freerider replacing colluders by
 	// honest nodes in its history will not be covered by them).
 	ForgeAudit(resp *msg.AuditResp) *msg.AuditResp
+
+	// SpamBlames returns wrongful accusations to emit this gossip period.
+	// Blames are not authenticated (§5.1), so a malicious node can flood
+	// the reputation managers of honest targets with fabricated blame (the
+	// bad-mouthing attack); compensation and the threshold margin must
+	// absorb it. Honest nodes return nil.
+	SpamBlames(s *rng.Stream) []Accusation
+}
+
+// Accusation is one fabricated blame a bad-mouthing behavior emits through
+// its node's blame sink. Reason is whatever the attacker masquerades as —
+// managers do not verify it.
+type Accusation struct {
+	Target msg.NodeID
+	Value  float64
+	Reason msg.BlameReason
 }
 
 // Honest is the protocol-faithful behavior.
@@ -116,6 +132,10 @@ func (Honest) ConfirmAnswer(_ msg.NodeID, truth bool) bool { return truth }
 
 // ForgeAudit implements Behavior: return the snapshot unmodified.
 func (Honest) ForgeAudit(resp *msg.AuditResp) *msg.AuditResp { return resp }
+
+// SpamBlames implements Behavior: honest nodes only blame through the
+// verification procedures.
+func (Honest) SpamBlames(*rng.Stream) []Accusation { return nil }
 
 // Monitor receives protocol events; LiFTinG's verification component
 // (internal/core) implements it. NopMonitor is used when running the bare

@@ -42,6 +42,13 @@ type Config struct {
 	HistoryPeriods int
 	// StartOffset staggers the first propose phase to desynchronize nodes.
 	StartOffset time.Duration
+	// PhaseJitter adds a symmetric random component in [-j/2, j/2) to each
+	// period, so phase positions drift instead of staying locked for the
+	// whole run. Identical periods freeze the relative propose order, and
+	// with it each node's share of the first-proposal race — and therefore
+	// its service demand. Real deployments are not phase-locked; 0 keeps
+	// the locked behavior.
+	PhaseJitter time.Duration
 }
 
 // Validate reports whether the configuration is usable.
@@ -263,6 +270,9 @@ func (n *Node) proposePhase() {
 	n.deps.Monitor.OnProposePhase(n.period, partners, advertised, serversLast)
 
 	next := time.Duration(float64(n.cfg.Period) * b.PeriodFactor())
+	if j := n.cfg.PhaseJitter; j > 0 {
+		next += time.Duration((n.deps.Rand.Float64() - 0.5) * float64(j))
+	}
 	if next <= 0 {
 		next = n.cfg.Period
 	}

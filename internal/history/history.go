@@ -12,6 +12,8 @@
 package history
 
 import (
+	"sort"
+
 	"lifting/internal/msg"
 	"lifting/internal/stats"
 )
@@ -199,23 +201,33 @@ func (l *Log) FaninMultiset(since msg.Period) *stats.Multiset[msg.NodeID] {
 // log; callers must not modify them.
 func (l *Log) Proposals(since msg.Period) []msg.ProposalRecord {
 	var out []msg.ProposalRecord
-	for p, pl := range l.periods {
-		if p <= since {
-			continue
-		}
-		out = append(out, pl.proposalsSent...)
+	for _, p := range l.periodsAfter(since) {
+		out = append(out, l.periods[p].proposalsSent...)
 	}
+	return out
+}
+
+// periodsAfter returns the retained periods in (since, newest], ascending.
+// Snapshot record order must not depend on map iteration: an audited
+// freerider's forgery draws and the auditor's poll sampling both consume
+// randomness in record order, so a wandering order would make seeded runs
+// diverge.
+func (l *Log) periodsAfter(since msg.Period) []msg.Period {
+	out := make([]msg.Period, 0, len(l.periods))
+	for p := range l.periods {
+		if p > since {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
 // Serves returns the owner's fanin records for periods (since, newest].
 func (l *Log) Serves(since msg.Period) []msg.ServeRecord {
 	var out []msg.ServeRecord
-	for p, pl := range l.periods {
-		if p <= since {
-			continue
-		}
-		out = append(out, pl.servesReceived...)
+	for _, p := range l.periodsAfter(since) {
+		out = append(out, l.periods[p].servesReceived...)
 	}
 	return out
 }
