@@ -17,7 +17,7 @@ race:
 
 # Regenerate the perf trajectory document for this PR.
 bench:
-	$(GO) run ./cmd/lifting-bench -out BENCH_PR4.json
+	$(GO) run ./cmd/lifting-bench -out BENCH_PR5.json
 
 # Extended fuzzing of the network-facing decoder (the committed seed corpus
 # replays on every plain `go test`).

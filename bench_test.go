@@ -7,6 +7,7 @@ package lifting_test
 // full-scale numbers produced by cmd/lifting-sim.
 
 import (
+	"context"
 	"strconv"
 	"testing"
 	"time"
@@ -29,9 +30,9 @@ func BenchmarkFig1Health(b *testing.B) {
 	p.Duration = 15 * time.Second
 	lags := []time.Duration{5 * time.Second, 10 * time.Second, 15 * time.Second}
 	for i := 0; i < b.N; i++ {
-		_, base := experiment.Fig1(p, experiment.Fig1NoFreeriders, lags)
-		_, collapsed := experiment.Fig1(p, experiment.Fig1Freeriders, lags)
-		_, protected := experiment.Fig1(p, experiment.Fig1FreeridersLiFTinG, lags)
+		_, base, _ := experiment.Fig1(context.Background(), p, experiment.Fig1NoFreeriders, lags)
+		_, collapsed, _ := experiment.Fig1(context.Background(), p, experiment.Fig1Freeriders, lags)
+		_, protected, _ := experiment.Fig1(context.Background(), p, experiment.Fig1FreeridersLiFTinG, lags)
 		last := len(lags) - 1
 		b.ReportMetric(base.Health[last], "health-baseline")
 		b.ReportMetric(collapsed.Health[last], "health-freeriders")
@@ -57,7 +58,7 @@ func benchFig10(b *testing.B, workers int) {
 	cfg.N = 5000
 	cfg.Workers = workers
 	for i := 0; i < b.N; i++ {
-		_, res := experiment.Fig10(cfg)
+		_, res, _ := experiment.Fig10(context.Background(), cfg)
 		b.ReportMetric(res.HonestM.Mean(), "mean-score")
 		b.ReportMetric(res.HonestM.Std(), "sigma-b")
 	}
@@ -82,7 +83,7 @@ func benchFig11(b *testing.B, workers int) {
 	cfg.Freeriders = 400
 	cfg.Workers = workers
 	for i := 0; i < b.N; i++ {
-		_, res := experiment.Fig11(cfg)
+		_, res, _ := experiment.Fig11(context.Background(), cfg)
 		b.ReportMetric(res.Detection, "alpha")
 		b.ReportMetric(res.FalsePositives, "beta")
 		b.ReportMetric(res.HonestM.Mean()-res.FreeriderM.Mean(), "mode-gap")
@@ -99,7 +100,7 @@ func BenchmarkChurn(b *testing.B) {
 	cfg.Leaves = 8
 	cfg.Duration = 10 * time.Second
 	for i := 0; i < b.N; i++ {
-		_, res := experiment.Churn(cfg)
+		_, res, _ := experiment.Churn(context.Background(), cfg)
 		b.ReportMetric(res.CatchUp.Mean(), "arrival-catch-up")
 		b.ReportMetric(res.HonestMean-res.FreeriderMean, "score-gap")
 	}
@@ -117,7 +118,7 @@ func BenchmarkMatrix(b *testing.B) {
 	// metrics to machine load.
 	cfg := experiment.MatrixConfig{Quick: true, Backends: []runtime.Kind{runtime.KindSim}}
 	for i := 0; i < b.N; i++ {
-		_, res := experiment.Matrix(cfg)
+		_, res, _ := experiment.Matrix(context.Background(), cfg)
 		failures := 0
 		var alpha float64
 		for _, r := range res.Rows {
@@ -140,7 +141,7 @@ func BenchmarkFig12DetectionSweep(b *testing.B) {
 	cfg := experiment.DefaultScoreConfig()
 	deltas := []float64{0.035, 0.05, 0.1}
 	for i := 0; i < b.N; i++ {
-		_, points := experiment.Fig12(cfg, deltas, 800)
+		_, points, _ := experiment.Fig12(context.Background(), cfg, deltas, 800)
 		b.ReportMetric(points[0].Detection, "alpha-0.035")
 		b.ReportMetric(points[1].Detection, "alpha-0.05")
 		b.ReportMetric(points[2].Detection, "alpha-0.1")
@@ -155,7 +156,7 @@ func BenchmarkFig13EntropyDistribution(b *testing.B) {
 	cfg.N = 3000
 	cfg.SampleNodes = 300
 	for i := 0; i < b.N; i++ {
-		_, res := experiment.Fig13(cfg)
+		_, res, _ := experiment.Fig13(context.Background(), cfg)
 		b.ReportMetric(res.Fanout.Mean(), "fanout-H-mean")
 		b.ReportMetric(res.Fanin.Mean(), "fanin-H-mean")
 		b.ReportMetric(res.Fanout.Min(), "fanout-H-min")
@@ -172,7 +173,7 @@ func BenchmarkFig14DetectionOverTime(b *testing.B) {
 	p.Delta = [3]float64{2.0 / 7, 0.2, 0.2}
 	snaps := []time.Duration{20 * time.Second, 30 * time.Second}
 	for i := 0; i < b.N; i++ {
-		_, res := experiment.Fig14(p, snaps)
+		_, res, _ := experiment.Fig14(context.Background(), p, snaps)
 		last := res.Snapshots[len(res.Snapshots)-1]
 		b.ReportMetric(last.Detection, "detection")
 		b.ReportMetric(last.FalsePositives, "false-positives")
@@ -211,7 +212,7 @@ func BenchmarkTable3MessageOverhead(b *testing.B) {
 	p.N = 80
 	p.Duration = 8 * time.Second
 	for i := 0; i < b.N; i++ {
-		tab := experiment.Table3(p, []float64{1})
+		tab, _ := experiment.Table3(context.Background(), p, []float64{1})
 		// Column 5 is "total verif" for the single pdcc row.
 		v := mustFloat(b, tab.Rows[0][5])
 		b.ReportMetric(v, "verif-msgs-per-node-period")
@@ -226,7 +227,7 @@ func BenchmarkTable5BandwidthOverhead(b *testing.B) {
 	p.N = 80
 	p.Duration = 10 * time.Second
 	for i := 0; i < b.N; i++ {
-		tab := experiment.Table5(p, []int{674_000}, []float64{0, 1})
+		tab, _ := experiment.Table5(context.Background(), p, []int{674_000}, []float64{0, 1})
 		b.ReportMetric(mustPct(b, tab.Rows[0][1]), "overhead-pdcc0")
 		b.ReportMetric(mustPct(b, tab.Rows[0][2]), "overhead-pdcc1")
 	}
@@ -240,7 +241,7 @@ func BenchmarkDisseminationThroughput(b *testing.B) {
 	p.N = 60
 	p.Duration = 5 * time.Second
 	for i := 0; i < b.N; i++ {
-		_, _ = experiment.Fig14(p, []time.Duration{5 * time.Second})
+		_, _, _ = experiment.Fig14(context.Background(), p, []time.Duration{5 * time.Second})
 	}
 }
 

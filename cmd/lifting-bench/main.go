@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	go run ./cmd/lifting-bench -out BENCH_PR4.json
+//	go run ./cmd/lifting-bench -out BENCH_PR5.json
 //
 // or, equivalently, `make bench`.
 package main
@@ -52,13 +52,16 @@ type suite struct {
 
 // suites covers the perf trajectory the roadmap tracks: the codec hot path,
 // the reputation-substrate hot paths (manager lookup at 10k nodes, cached
-// vs from-scratch, and the blame-flush cycle), the two Monte-Carlo
-// workhorses (serial and parallel), the cluster-scale churn workload, and
-// the adversary-matrix sweep throughput (the regression net's own cost).
+// vs from-scratch, and the blame-flush cycle), the experiment-registry
+// dispatch and the structured-JSON encoder (the machine-readable output
+// every consumer now parses), the two Monte-Carlo workhorses (serial and
+// parallel), the cluster-scale churn workload, and the adversary-matrix
+// sweep throughput (the regression net's own cost).
 var suites = []suite{
 	{pkg: "./internal/msg/", pattern: "BenchmarkEncode$|BenchmarkEncodeFresh$|BenchmarkDecode$|BenchmarkFrameRoundTrip$", benchtime: "200000x"},
 	{pkg: "./internal/membership/", pattern: "BenchmarkManagers$|BenchmarkManagersUncached$", benchtime: "200000x"},
 	{pkg: "./internal/reputation/", pattern: "BenchmarkClientFlush$", benchtime: "5000x"},
+	{pkg: "./internal/experiment/", pattern: "BenchmarkRegistryDispatch$|BenchmarkResultJSONEncode$", benchtime: "2000x"},
 	{pkg: "./", pattern: "BenchmarkFig10WrongfulBlames$|BenchmarkFig10WrongfulBlamesSerial$|BenchmarkFig11ScoreSeparation$|BenchmarkFig11ScoreSeparationSerial$|BenchmarkChurn$|BenchmarkMatrix$", benchtime: "1x"},
 }
 
@@ -68,7 +71,7 @@ func main() {
 
 func run(args []string) int {
 	fs := flag.NewFlagSet("lifting-bench", flag.ContinueOnError)
-	out := fs.String("out", "BENCH_PR4.json", "output JSON path")
+	out := fs.String("out", "BENCH_PR5.json", "output JSON path")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}

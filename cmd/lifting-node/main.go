@@ -17,11 +17,14 @@
 //
 //	SCORE <id> <score> <expelled> <replies>
 //
-// line per node, then exits 0. SIGINT/SIGTERM shut the node down early but
-// cleanly (sockets closed, in-flight callbacks drained).
+// line per node, then exits 0. SIGINT/SIGTERM cancel the daemon's context,
+// which shuts the node down early but cleanly (pending timers cancelled,
+// sockets closed, in-flight callbacks drained) — the same cancellation path
+// the experiment API exposes programmatically.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -43,12 +46,15 @@ import (
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, nil))
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr, nil))
 }
 
-// run executes the daemon; interrupt, if non-nil, triggers early shutdown
-// when closed (tests use it in place of a signal).
-func run(args []string, stdout, stderr io.Writer, interrupt <-chan struct{}) int {
+// run executes the daemon until ctx is cancelled or the deployment duration
+// elapses; interrupt, if non-nil, also triggers early shutdown when closed
+// (tests use it in place of a signal).
+func run(ctx context.Context, args []string, stdout, stderr io.Writer, interrupt <-chan struct{}) int {
 	fs := flag.NewFlagSet("lifting-node", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -158,19 +164,23 @@ func run(args []string, stdout, stderr io.Writer, interrupt <-chan struct{}) int
 		rt.After(*warmup, func() { host.StartStream(*duration) })
 	}
 
-	sigs := make(chan os.Signal, 1)
-	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
-	defer signal.Stop(sigs)
-
-	deadline := time.NewTimer(*warmup + *duration + 2**period)
-	defer deadline.Stop()
+	// The run is one context-bounded Run on the transport runtime: signals
+	// cancel the context (see main), the test interrupt channel folds into
+	// the same path.
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	if interrupt != nil {
+		go func() {
+			select {
+			case <-interrupt:
+				cancel()
+			case <-runCtx.Done():
+			}
+		}()
+	}
 	interrupted := false
-	select {
-	case <-deadline.C:
-	case s := <-sigs:
-		fmt.Fprintf(stderr, "lifting-node: %v, shutting down\n", s)
-		interrupted = true
-	case <-interrupt:
+	if err := rt.Run(runCtx, *warmup+*duration+2**period); err != nil {
+		fmt.Fprintf(stderr, "lifting-node: %v, shutting down\n", err)
 		interrupted = true
 	}
 

@@ -35,9 +35,37 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	}
 	for _, args := range cases {
 		var out, errOut bytes.Buffer
-		if code := run(args, &out, &errOut, nil); code != 2 {
+		if code := run(context.Background(), args, &out, &errOut, nil); code != 2 {
 			t.Errorf("run(%v) = %d, want 2 (stderr: %s)", args, code, errOut.String())
 		}
+	}
+}
+
+// TestRunInterrupt pins the daemon's cancellation path: a node started with
+// a long duration shuts down promptly — sockets closed, callbacks drained —
+// when the interrupt channel closes, exactly as a SIGTERM would via the
+// signal context.
+func TestRunInterrupt(t *testing.T) {
+	interrupt := make(chan struct{})
+	done := make(chan int, 1)
+	var out, errOut bytes.Buffer
+	go func() {
+		done <- run(context.Background(),
+			[]string{"-id", "1", "-peers", "0=127.0.0.1:1", "-duration", "1h"},
+			&out, &errOut, interrupt)
+	}()
+	time.Sleep(300 * time.Millisecond)
+	close(interrupt)
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("interrupted daemon exited %d:\n%s%s", code, out.String(), errOut.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("interrupted daemon did not shut down within 10s")
+	}
+	if !strings.Contains(out.String(), "DONE 1") {
+		t.Errorf("daemon did not complete its shutdown line:\n%s", out.String())
 	}
 }
 

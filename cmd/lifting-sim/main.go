@@ -3,56 +3,58 @@
 //
 // Usage:
 //
-//	lifting-sim [flags] <experiment>
+//	lifting-sim [flags] <experiment> [flags]
+//	lifting-sim list [-json]
+//	lifting-sim -describe <experiment>
 //
-// Experiments: fig1, fig10, fig11, fig12, fig13, fig14, eq7, table3,
-// table5, ablate, churn, scale, matrix, all. See EXPERIMENTS.md for the
-// mapping to the paper and the expected shapes. churn is the
-// beyond-the-paper workload: nodes joining and leaving mid-stream; run it
-// with -backend live to execute on the goroutine runtime instead of the
-// discrete-event engine, or with -backend udp to run every node on its own
-// real UDP socket (loopback, single process). scale runs the
-// freerider-expulsion scenario at a 10k-node population (`lifting-sim scale
-// -n 10000`, the default n) and asserts the 300-node baseline's verdict;
-// exits nonzero on a verdict mismatch. matrix sweeps every §4/§5 attack
-// scenario against its statistical oracle (`lifting-sim matrix [-quick]
-// [-backend sim,live,udp|all] [-filter name]`) and exits nonzero on any
-// oracle failure. For one-node-per-process deployments see lifting-node.
+// The experiment inventory lives in the registry of internal/experiment;
+// `lifting-sim list` prints it (name, paper artifact, description, default
+// parameters), `all` runs every registered experiment, and `-describe`
+// explains one. Output is ASCII tables by default; `-json` emits one
+// structured JSON document (schema `lifting.experiments/v1`) with every
+// table as data, headline metrics, and the pass/fail verdict — the format
+// CI and tooling consume. Runs are cancellable: SIGINT/SIGTERM aborts the
+// current experiment promptly (sockets closed, goroutines drained) and
+// exits 130. A failed experiment verdict (scale, matrix oracles) exits 1.
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
-	"lifting/internal/analysis"
 	"lifting/internal/experiment"
 	"lifting/internal/runtime"
 )
 
 func main() {
-	os.Exit(run(os.Args[1:]))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:]))
 }
 
-// stderrW is where usage and errors go; tests swap it for a buffer.
-var stderrW io.Writer = os.Stderr
+// stdoutW/stderrW are where results and errors go; tests swap them for
+// buffers.
+var (
+	stdoutW io.Writer = os.Stdout
+	stderrW io.Writer = os.Stderr
+)
 
-// allBatch is what `all` runs, cheap analytic experiments first and the
-// long cluster streams (fig14, fig1) last.
-var allBatch = []string{
-	"fig10", "fig11", "fig12", "fig13", "eq7", "ablate",
-	"table3", "table5", "churn", "scale", "matrix", "fig14", "fig1",
-}
+// asciiObserver streams each table as soon as its experiment produces it —
+// the incremental output long runs want.
+type asciiObserver struct{ w io.Writer }
 
-// experimentNames is every registered experiment, printed by usage and by
-// the unknown-name error: the batch plus `all` itself. A test pins this
-// list against the dispatch, so help cannot silently go stale.
-var experimentNames = append(append([]string{}, allBatch...), "all")
+func (o asciiObserver) OnTable(t *experiment.Table) { t.Render(o.w) }
 
-func run(args []string) int {
+func run(ctx context.Context, args []string) int {
 	fs := flag.NewFlagSet("lifting-sim", flag.ContinueOnError)
 	fs.SetOutput(stderrW)
 	var (
@@ -67,14 +69,19 @@ func run(args []string) int {
 		workers  = fs.Int("workers", 0, "Monte-Carlo worker goroutines (0 = GOMAXPROCS, 1 = serial)")
 		backendF = fs.String("backend", "sim", "execution backend: sim, live or udp (matrix accepts a comma list or 'all')")
 		filter   = fs.String("filter", "", "matrix: run only scenarios whose name contains this substring")
+		jsonOut  = fs.Bool("json", false, "emit one structured JSON document instead of ASCII tables")
+		describe = fs.String("describe", "", "describe the named experiment and exit")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: lifting-sim [flags] <experiment> [flags]\nexperiments: %s\n",
-			strings.Join(experimentNames, ", "))
+			strings.Join(append(experiment.Names(), "all", "list"), ", "))
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *describe != "" {
+		return describeExperiment(*describe, *jsonOut)
 	}
 	if fs.NArg() < 1 {
 		fs.Usage()
@@ -92,8 +99,15 @@ func run(args []string) int {
 			return 2
 		}
 	}
-	// The matrix takes a backend *set*; every other experiment a single one.
-	var matrixBackends []runtime.Kind
+	if name == "list" {
+		return list(*jsonOut)
+	}
+
+	// Resolve the backend set. A multi-backend set (a comma list or "all")
+	// only means something to experiments that declare MultiBackend; every
+	// other experiment — including the ones inside `all` — takes exactly
+	// one.
+	var backends []runtime.Kind
 	if *backendF != "all" {
 		for _, b := range strings.Split(*backendF, ",") {
 			k, err := runtime.ParseKind(strings.TrimSpace(b))
@@ -101,246 +115,140 @@ func run(args []string) int {
 				fmt.Fprintf(stderrW, "lifting-sim: %v\n", err)
 				return 2
 			}
-			matrixBackends = append(matrixBackends, k)
+			backends = append(backends, k)
 		}
-	}
-	backend := runtime.KindSim
-	if len(matrixBackends) == 1 {
-		backend = matrixBackends[0]
-	} else if name != "matrix" {
-		// A multi-backend set only means something to the matrix; every
-		// other experiment (including the ones inside `all`) would
-		// silently fall back to sim.
-		fmt.Fprintf(stderrW, "lifting-sim: experiment %q takes a single -backend\n", name)
-		return 2
 	}
 
-	scoreCfg := func() experiment.ScoreConfig {
-		cfg := experiment.DefaultScoreConfig()
-		if *quick {
-			cfg.N = 2000
-			cfg.Freeriders = 200
-		}
-		if *n > 0 {
-			cfg.N = *n
-			cfg.Freeriders = *n / 10
-		}
-		if *seed > 0 {
-			cfg.Seed = *seed
-		}
-		if *periods > 0 {
-			cfg.Periods = *periods
-		}
-		if *delta >= 0 {
-			cfg.Delta = analysis.Uniform(*delta)
-		}
-		cfg.NoCompensation = *noComp
-		cfg.Workers = *workers
-		return cfg
-	}
-	plCfg := func() experiment.PlanetLabConfig {
-		p := experiment.DefaultPlanetLabConfig()
-		if *quick {
-			p.N = 100
-			p.Duration = 20 * time.Second
-		}
-		if *n > 0 {
-			p.N = *n
-		}
-		if *seed > 0 {
-			p.Seed = *seed
-		}
-		if *duration > 0 {
-			p.Duration = *duration
-		}
-		if *pdcc >= 0 {
-			p.Pdcc = *pdcc
-		}
-		return p
-	}
-
-	verdictFailed := false
-	runOne := func(which string) bool {
-		start := time.Now()
-		switch which {
-		case "fig1":
-			p := plCfg()
-			if p.Duration == experiment.DefaultPlanetLabConfig().Duration && *duration == 0 {
-				p.Duration = 45 * time.Second
-			}
-			var lags []time.Duration
-			for s := 0; s <= int(p.Duration/time.Second); s += 5 {
-				lags = append(lags, time.Duration(s)*time.Second)
-			}
-			for _, sc := range []experiment.Fig1Scenario{
-				experiment.Fig1NoFreeriders,
-				experiment.Fig1Freeriders,
-				experiment.Fig1FreeridersLiFTinG,
-			} {
-				tab, _ := experiment.Fig1(p, sc, lags)
-				tab.Render(os.Stdout)
-			}
-		case "fig10":
-			tab, _ := experiment.Fig10(scoreCfg())
-			tab.Render(os.Stdout)
-		case "fig11":
-			tab, _ := experiment.Fig11(scoreCfg())
-			tab.Render(os.Stdout)
-		case "fig12":
-			samples := 4000
-			if *quick {
-				samples = 1000
-			}
-			tab, _ := experiment.Fig12(scoreCfg(), nil, samples)
-			tab.Render(os.Stdout)
-		case "fig13":
-			cfg := experiment.DefaultEntropyConfig()
-			if *quick {
-				cfg.N = 2000
-				cfg.SampleNodes = 500
-			}
-			if *n > 0 {
-				cfg.N = *n
-			}
-			if *seed > 0 {
-				cfg.Seed = *seed
-			}
-			tab, _ := experiment.Fig13(cfg)
-			tab.Render(os.Stdout)
-		case "fig14":
-			p := plCfg()
-			for _, pd := range fig14Pdccs(*pdcc) {
-				p.Pdcc = pd
-				tab, _ := experiment.Fig14(p, nil)
-				tab.Render(os.Stdout)
-			}
-		case "eq7":
-			experiment.Eq7(8.95, 600, nil).Render(os.Stdout)
-		case "ablate":
-			cfg := experiment.DefaultAblationConfig()
-			if *quick {
-				cfg.ScoreN = 500
-				cfg.ClusterN = 50
-				cfg.Duration = 8 * time.Second
-			}
-			if *seed > 0 {
-				cfg.Seed = *seed
-			}
-			experiment.Ablations(cfg).Render(os.Stdout)
-		case "table3":
-			experiment.Table3(plCfg(), nil).Render(os.Stdout)
-		case "table5":
-			experiment.Table5(plCfg(), nil, nil).Render(os.Stdout)
-		case "scale":
-			cfg := experiment.DefaultScaleConfig()
-			if *quick {
-				cfg.N = 1000
-			}
-			if *n > 0 {
-				cfg.N = *n
-			}
-			if *seed > 0 {
-				cfg.Seed = *seed
-			}
-			if *duration > 0 {
-				cfg.Duration = *duration
-			}
-			tab, res := experiment.Scale(cfg)
-			tab.Render(os.Stdout)
-			// The gate is the expected verdict at BOTH populations, not mere
-			// agreement: two identically-broken runs must still fail.
-			for _, r := range []experiment.ScaleRun{res.Baseline, res.Target} {
-				if !r.CohortExpelled() || !r.HonestClean() {
-					fmt.Fprintf(stderrW, "lifting-sim: scale N=%d verdict %q, want cohort expelled and honest clean\n",
-						r.N, r.Verdict())
-					verdictFailed = true
-				}
-			}
-			if !res.Agree {
-				fmt.Fprintf(stderrW, "lifting-sim: scale verdict mismatch: baseline %q vs N=%d %q\n",
-					res.Baseline.Verdict(), res.Target.N, res.Target.Verdict())
-				verdictFailed = true
-			}
-		case "matrix":
-			cfg := experiment.MatrixConfig{
-				Quick:    *quick,
-				Backends: matrixBackends,
-				Filter:   *filter,
-				Seed:     *seed,
-				Workers:  *workers,
-			}
-			tab, res := experiment.Matrix(cfg)
-			tab.Render(os.Stdout)
-			if res.ScenariosRun == 0 {
-				// Either the filter matched nothing or the backend set
-				// intersected every matching scenario away; name both.
-				fmt.Fprintf(stderrW, "lifting-sim: matrix ran no scenario (filter %q, backends %s; scenarios: %s)\n",
-					*filter, *backendF, strings.Join(experiment.ScenarioNames(), ", "))
-				verdictFailed = true
-			}
-			for _, r := range res.Rows {
-				if len(r.Failures) > 0 {
-					fmt.Fprintf(stderrW, "lifting-sim: matrix %s on %s failed its oracle: %s\n",
-						r.Scenario, r.Backend, strings.Join(r.Failures, "; "))
-				}
-			}
-			if res.Failed {
-				verdictFailed = true
-			}
-		case "churn":
-			cfg := experiment.DefaultChurnConfig()
-			cfg.Backend = backend
-			if *quick {
-				cfg.N = 50
-				cfg.Joins, cfg.Leaves = 6, 6
-				cfg.Duration = 8 * time.Second
-			}
-			if *n > 0 {
-				cfg.N = *n
-			}
-			if *seed > 0 {
-				cfg.Seed = *seed
-			}
-			if *duration > 0 {
-				cfg.Duration = *duration
-			}
-			tab, _ := experiment.Churn(cfg)
-			tab.Render(os.Stdout)
-		default:
-			return false
-		}
-		fmt.Printf("(%s finished in %v)\n\n", which, time.Since(start).Round(time.Millisecond))
-		return true
-	}
-
+	var batch []experiment.Experiment
 	if name == "all" {
-		for _, which := range allBatch {
-			if !runOne(which) {
-				fmt.Fprintf(stderrW, "lifting-sim: internal error running %s\n", which)
-				return 1
+		batch = experiment.Experiments()
+	} else {
+		e, ok := experiment.Lookup(name)
+		if !ok {
+			fmt.Fprintf(stderrW, "lifting-sim: unknown experiment %q (experiments: %s)\n",
+				name, strings.Join(append(experiment.Names(), "all", "list"), ", "))
+			fs.Usage()
+			return 2
+		}
+		batch = []experiment.Experiment{e}
+	}
+	if len(backends) != 1 {
+		for _, e := range batch {
+			if !e.MultiBackend {
+				fmt.Fprintf(stderrW, "lifting-sim: experiment %q takes a single -backend\n", name)
+				return 2
 			}
 		}
-		if verdictFailed {
+	}
+
+	params := experiment.Params{
+		N:              *n,
+		Seed:           *seed,
+		Duration:       *duration,
+		Periods:        *periods,
+		Delta:          *delta,
+		Pdcc:           *pdcc,
+		Quick:          *quick,
+		Workers:        *workers,
+		Backends:       backends,
+		Filter:         *filter,
+		NoCompensation: *noComp,
+	}
+
+	var obs experiment.Observer
+	if !*jsonOut {
+		obs = asciiObserver{stdoutW}
+	}
+	var results []*experiment.Result
+	failed := false
+	for _, e := range batch {
+		start := time.Now()
+		res, err := e.Run(ctx, params, obs)
+		switch {
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			fmt.Fprintf(stderrW, "lifting-sim: %s interrupted: %v\n", e.Name, err)
+			return 130
+		case err != nil:
+			fmt.Fprintf(stderrW, "lifting-sim: %s: %v\n", e.Name, err)
 			return 1
 		}
-		return 0
+		for _, f := range res.Verdict.Failures {
+			fmt.Fprintf(stderrW, "lifting-sim: %s\n", f)
+		}
+		if !res.Verdict.Pass {
+			failed = true
+		}
+		if *jsonOut {
+			results = append(results, res)
+		} else {
+			fmt.Fprintf(stdoutW, "(%s finished in %v)\n\n", e.Name, time.Since(start).Round(time.Millisecond))
+		}
 	}
-	if !runOne(name) {
-		fmt.Fprintf(stderrW, "lifting-sim: unknown experiment %q (experiments: %s)\n",
-			name, strings.Join(experimentNames, ", "))
-		fs.Usage()
-		return 2
+	if *jsonOut {
+		if err := experiment.NewDocument(results).Encode(stdoutW); err != nil {
+			fmt.Fprintf(stderrW, "lifting-sim: encoding results: %v\n", err)
+			return 1
+		}
 	}
-	if verdictFailed {
+	if failed {
 		return 1
 	}
 	return 0
 }
 
-// fig14Pdccs returns the pdcc values to sweep: the paper shows 1 and 0.5.
-func fig14Pdccs(override float64) []float64 {
-	if override >= 0 {
-		return []float64{override}
+// list prints the experiment inventory from the registry: plain
+// tab-separated lines, or the full entries as JSON.
+func list(jsonOut bool) int {
+	if jsonOut {
+		type entry struct {
+			Name          string            `json:"name"`
+			Paper         string            `json:"paper"`
+			Describe      string            `json:"describe"`
+			MultiBackend  bool              `json:"multi_backend,omitempty"`
+			DefaultParams experiment.Params `json:"default_params"`
+		}
+		entries := make([]entry, 0)
+		for _, e := range experiment.Experiments() {
+			entries = append(entries, entry{e.Name, e.Paper, e.Describe, e.MultiBackend, e.DefaultParams})
+		}
+		return encodeJSON(entries)
 	}
-	return []float64{1, 0.5}
+	for _, e := range experiment.Experiments() {
+		fmt.Fprintf(stdoutW, "%s\t%s\t%s\n", e.Name, e.Paper, e.Describe)
+	}
+	return 0
+}
+
+// describeExperiment explains one registry entry, defaults included.
+func describeExperiment(name string, jsonOut bool) int {
+	e, ok := experiment.Lookup(name)
+	if !ok {
+		fmt.Fprintf(stderrW, "lifting-sim: unknown experiment %q (experiments: %s)\n",
+			name, strings.Join(experiment.Names(), ", "))
+		return 2
+	}
+	if jsonOut {
+		return encodeJSON(struct {
+			Name          string            `json:"name"`
+			Paper         string            `json:"paper"`
+			Describe      string            `json:"describe"`
+			MultiBackend  bool              `json:"multi_backend,omitempty"`
+			DefaultParams experiment.Params `json:"default_params"`
+		}{e.Name, e.Paper, e.Describe, e.MultiBackend, e.DefaultParams})
+	}
+	fmt.Fprintf(stdoutW, "%s — %s\n  %s\n", e.Name, e.Paper, e.Describe)
+	fmt.Fprintf(stdoutW, "  defaults: n=%d seed=%d duration=%v periods=%d delta=%v pdcc=%v\n",
+		e.DefaultParams.N, e.DefaultParams.Seed, e.DefaultParams.Duration,
+		e.DefaultParams.Periods, e.DefaultParams.Delta, e.DefaultParams.Pdcc)
+	return 0
+}
+
+func encodeJSON(v any) int {
+	enc := json.NewEncoder(stdoutW)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fmt.Fprintf(stderrW, "lifting-sim: %v\n", err)
+		return 1
+	}
+	return 0
 }

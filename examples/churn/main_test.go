@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"io"
 	"testing"
 	"time"
@@ -9,32 +10,52 @@ import (
 	"lifting/internal/runtime"
 )
 
-// TestChurnExampleCompletes runs the example at reduced scale on both
-// backends through the runtime seam.
+// TestChurnExampleCompletes runs the example at reduced scale through the
+// experiment registry on the default discrete-event backend.
 func TestChurnExampleCompletes(t *testing.T) {
-	cfg := experiment.DefaultChurnConfig()
-	cfg.N = 40
-	cfg.Joins, cfg.Leaves = 5, 5
-	cfg.Duration = 6 * time.Second
-	res := run(io.Discard, cfg)
-	if res.Joined != 5 || res.Departed != 5 {
-		t.Fatalf("churn incomplete: %+v", res)
+	params := experiment.DefaultParams()
+	params.Quick = true
+	params.N = 40
+	params.Duration = 6 * time.Second
+	res, err := run(context.Background(), io.Discard, params)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if res.FreeriderMean >= res.HonestMean {
-		t.Fatalf("separation lost: honest %.2f, freeriders %.2f", res.HonestMean, res.FreeriderMean)
+	joined, _ := res.Metric("joined")
+	departed, _ := res.Metric("departed")
+	if joined != 6 || departed != 6 {
+		t.Fatalf("churn incomplete: joined %.0f, departed %.0f", joined, departed)
+	}
+	if gap, ok := res.Metric("score-gap"); !ok || gap <= 0 {
+		t.Fatalf("separation lost: gap %.2f", gap)
 	}
 }
 
 // TestChurnExampleLiveBackend is the live-runtime smoke test: a short
 // wall-clock run must complete with the same invariants.
 func TestChurnExampleLiveBackend(t *testing.T) {
-	cfg := experiment.DefaultChurnConfig()
-	cfg.Backend = runtime.KindLive
-	cfg.N = 20
-	cfg.Joins, cfg.Leaves = 3, 3
-	cfg.Duration = 3 * time.Second
-	res := run(io.Discard, cfg)
-	if res.Joined != 3 || res.Departed != 3 {
-		t.Fatalf("live churn incomplete: %+v", res)
+	params := experiment.DefaultParams()
+	params.Backends = []runtime.Kind{runtime.KindLive}
+	params.Quick = true
+	params.N = 20
+	params.Duration = 3 * time.Second
+	res, err := run(context.Background(), io.Discard, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if joined, _ := res.Metric("joined"); joined == 0 {
+		t.Fatal("live churn saw no arrivals")
+	}
+}
+
+// TestChurnExampleCancels pins the cancellation path end to end: a context
+// cancelled mid-run aborts the experiment with context.Canceled.
+func TestChurnExampleCancels(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	params := experiment.DefaultParams()
+	params.Quick = true
+	if _, err := run(ctx, io.Discard, params); err != context.Canceled {
+		t.Fatalf("cancelled run returned %v, want context.Canceled", err)
 	}
 }

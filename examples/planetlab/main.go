@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -21,12 +22,12 @@ func main() {
 	n := flag.Int("n", 150, "system size (paper: 300)")
 	pdcc := flag.Float64("pdcc", 1, "cross-checking probability")
 	flag.Parse()
-	run(os.Stdout, *n, *pdcc, 35*time.Second)
+	run(context.Background(), os.Stdout, *n, *pdcc, 35*time.Second)
 }
 
 // run executes the Figure 14 scenario at the given scale and returns the
 // snapshot results.
-func run(w io.Writer, n int, pdcc float64, duration time.Duration) *experiment.Fig14Result {
+func run(ctx context.Context, w io.Writer, n int, pdcc float64, duration time.Duration) *experiment.Fig14Result {
 	p := experiment.DefaultPlanetLabConfig()
 	p.N = n
 	p.Pdcc = pdcc
@@ -39,7 +40,11 @@ func run(w io.Writer, n int, pdcc float64, duration time.Duration) *experiment.F
 	if snapshots[0] <= 0 {
 		snapshots = []time.Duration{duration / 2, duration}
 	}
-	tab, res := experiment.Fig14(p, snapshots)
+	tab, res, err := experiment.Fig14(ctx, p, snapshots)
+	if err != nil {
+		fmt.Fprintln(w, "interrupted:", err)
+		return nil
+	}
 	tab.Render(w)
 
 	// Render a coarse CDF of the last snapshot, one line per population —

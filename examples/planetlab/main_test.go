@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"io"
 	"testing"
 	"time"
@@ -10,7 +11,7 @@ import (
 // run must finish and detect more freeriders than honest false positives at
 // the final snapshot.
 func TestPlanetLabCompletes(t *testing.T) {
-	res := run(io.Discard, 60, 1, 15*time.Second)
+	res := run(context.Background(), io.Discard, 60, 1, 15*time.Second)
 	if len(res.Snapshots) == 0 {
 		t.Fatal("no snapshots produced")
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -63,8 +64,12 @@ func run(w io.Writer, nodes, freeriders int, duration time.Duration) (honestMean
 	}
 
 	// Calibrate the wrongful-blame compensation from an honest pilot, then
-	// expel anyone whose normalized score drops below η.
-	cal := cluster.Calibrate(opts, duration)
+	// expel anyone whose normalized score drops below η. Nothing cancels the
+	// example, so the background context does.
+	cal, err := cluster.Calibrate(context.Background(), opts, duration)
+	if err != nil {
+		panic(err)
+	}
 	opts.Rep.Compensation = cal.Compensation
 	opts.Rep.Eta = -4 * cal.ScoreStd
 	opts.ExpelOnDetection = true

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -23,13 +24,13 @@ func main() {
 		2 * time.Second, 5 * time.Second, 10 * time.Second,
 		20 * time.Second, 30 * time.Second,
 	}
-	run(os.Stdout, 120, 30*time.Second, lags)
+	run(context.Background(), os.Stdout, 120, 30*time.Second, lags)
 }
 
 // run executes the three Figure 1 curves at the given scale and returns the
 // health series per scenario, in curve order (baseline, freeriders,
 // freeriders+LiFTinG).
-func run(w io.Writer, n int, duration time.Duration, lags []time.Duration) [][]float64 {
+func run(ctx context.Context, w io.Writer, n int, duration time.Duration, lags []time.Duration) [][]float64 {
 	p := experiment.DefaultPlanetLabConfig()
 	p.N = n
 	p.Duration = duration
@@ -54,7 +55,11 @@ func run(w io.Writer, n int, duration time.Duration, lags []time.Duration) [][]f
 	fmt.Fprintln(w)
 	healths := make([][]float64, 0, len(curves))
 	for _, cv := range curves {
-		_, res := experiment.Fig1(p, cv.scenario, lags)
+		_, res, err := experiment.Fig1(ctx, p, cv.scenario, lags)
+		if err != nil {
+			fmt.Fprintln(w, "interrupted:", err)
+			return healths
+		}
 		fmt.Fprintf(w, "%-26s", cv.name)
 		for _, h := range res.Health {
 			fmt.Fprintf(w, "%8.2f", h)

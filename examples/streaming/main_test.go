@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"io"
 	"testing"
 	"time"
@@ -10,7 +11,7 @@ import (
 // unpoliced freeriding must degrade health below the honest baseline.
 func TestStreamingCompletes(t *testing.T) {
 	lags := []time.Duration{2 * time.Second, 5 * time.Second}
-	healths := run(io.Discard, 50, 10*time.Second, lags)
+	healths := run(context.Background(), io.Discard, 50, 10*time.Second, lags)
 	if len(healths) != 3 {
 		t.Fatalf("got %d curves, want 3", len(healths))
 	}

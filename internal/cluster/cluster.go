@@ -14,6 +14,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -442,8 +443,9 @@ type Calibration struct {
 // the discrete-event backend (it is a Monte-Carlo measurement, not an
 // integration test), ignores BehaviorFor, expulsion and playout tracking,
 // and discards the first 25% of the run as warmup (the dissemination
-// ramp-up produces atypical blame).
-func Calibrate(opts Options, duration time.Duration) Calibration {
+// ramp-up produces atypical blame). Cancelling ctx aborts the pilot and
+// returns ctx.Err() with a zero Calibration.
+func Calibrate(ctx context.Context, opts Options, duration time.Duration) (Calibration, error) {
 	pilot := opts
 	pilot.Backend = runtime.KindSim
 	pilot.BehaviorFor = nil
@@ -457,13 +459,19 @@ func Calibrate(opts Options, duration time.Duration) Calibration {
 	c.StartStream(duration)
 
 	warmup := duration / 4
-	c.Run(warmup)
+	if err := c.RunContext(ctx, warmup); err != nil {
+		c.Close()
+		return Calibration{}, err
+	}
 	warmupPeriod := int(c.Board.Period())
 	atWarmup := make(map[msg.NodeID]float64, pilot.N)
 	for i := 1; i < pilot.N; i++ {
 		atWarmup[msg.NodeID(i)] = c.Board.TotalBlame(msg.NodeID(i))
 	}
-	c.Run(duration + pilot.Gossip.Period)
+	if err := c.RunContext(ctx, duration+pilot.Gossip.Period); err != nil {
+		c.Close()
+		return Calibration{}, err
+	}
 
 	periods := int(c.Board.Period()) - warmupPeriod
 	if periods < 1 {
@@ -487,7 +495,7 @@ func Calibrate(opts Options, duration time.Duration) Calibration {
 		ScoreStd:     blame.Std(),
 		Scores:       stats.NewECDF(scores),
 		Periods:      periods,
-	}
+	}, nil
 }
 
 // Start launches every node (in id order, for reproducibility).
@@ -622,8 +630,18 @@ func (c *Cluster) StartStream(duration time.Duration) {
 }
 
 // Run advances the cluster to the given time: virtual under the
-// discrete-event backend, wall-clock under the live one.
-func (c *Cluster) Run(until time.Duration) { c.RT.Run(until) }
+// discrete-event backend, wall-clock under the live one. It is
+// RunContext with a background context — for runs nothing cancels.
+func (c *Cluster) Run(until time.Duration) { c.RT.Run(context.Background(), until) }
+
+// RunContext advances the cluster like Run but aborts promptly when ctx is
+// cancelled, returning ctx.Err(). After a cancelled advance the cluster is
+// still consistent; call Close to tear it down (wall-clock backends cancel
+// their pending timers there, so an interrupted run does not wait out the
+// rest of its schedule).
+func (c *Cluster) RunContext(ctx context.Context, until time.Duration) error {
+	return c.RT.Run(ctx, until)
+}
 
 // After schedules a harness callback at d from now (audits, churn events,
 // mid-run probes), outside any node's serialization.

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -58,7 +59,10 @@ func TestHonestScoresCenterAtZero(t *testing.T) {
 	// an honest pilot (see Calibration) because the chunk workload is
 	// lighter than the saturated model of the analysis.
 	opts := baseOptions(80, 0.07)
-	cal := Calibrate(opts, 8*time.Second)
+	cal, calErr := Calibrate(context.Background(), opts, 8*time.Second)
+	if calErr != nil {
+		t.Fatal(calErr)
+	}
 	if cal.Compensation <= 0 {
 		t.Fatalf("calibration found no wrongful blame under 7%% loss: %+v", cal)
 	}
@@ -133,7 +137,10 @@ func TestFreeridersScoreBelowHonest(t *testing.T) {
 
 func TestExpelOnDetectionRemovesFreeriders(t *testing.T) {
 	opts := baseOptions(60, 0.02)
-	cal := Calibrate(opts, 8*time.Second)
+	cal, calErr := Calibrate(context.Background(), opts, 8*time.Second)
+	if calErr != nil {
+		t.Fatal(calErr)
+	}
 	opts.Rep.Compensation = cal.Compensation
 	opts.Rep.Eta = -5
 	opts.ExpelOnDetection = true

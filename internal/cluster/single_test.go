@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -77,7 +78,7 @@ func TestNodeHostDeployment(t *testing.T) {
 		h.Start()
 	}
 	hosts[0].StartStream(duration)
-	hosts[0].RT.Run(duration + 4*tg)
+	hosts[0].RT.Run(context.Background(), duration+4*tg)
 
 	// The verdict, read over the wire from node 0 while the deployment is
 	// still live.

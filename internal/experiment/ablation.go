@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"time"
 
 	"lifting/internal/analysis"
@@ -42,7 +43,7 @@ func DefaultAblationConfig() AblationConfig {
 //  3. loss recovery in the dissemination layer — without re-requesting
 //     from alternative proposers, UDP losses permanently blind nodes and
 //     baseline health drops (this repository's addition; see DESIGN.md).
-func Ablations(cfg AblationConfig) *Table {
+func Ablations(ctx context.Context, cfg AblationConfig) (*Table, error) {
 	t := &Table{
 		Title:   "Ablations — what each mechanism buys",
 		Columns: []string{"configuration", "metric", "enabled", "disabled"},
@@ -54,9 +55,15 @@ func Ablations(cfg AblationConfig) *Table {
 	sc.Freeriders = 0
 	sc.Periods = cfg.ScorePeriods
 	sc.Seed = cfg.Seed
-	on := RunScores(sc)
+	on, err := RunScores(ctx, sc)
+	if err != nil {
+		return nil, err
+	}
 	sc.NoCompensation = true
-	off := RunScores(sc)
+	off, err := RunScores(ctx, sc)
+	if err != nil {
+		return nil, err
+	}
 	t.AddRow("compensation (Eq. 5)", "honest false positives β",
 		Pct(on.FalsePositives), Pct(off.FalsePositives))
 
@@ -82,7 +89,7 @@ func Ablations(cfg AblationConfig) *Table {
 		F(gap(1), 1), F(gap(0), 1))
 
 	// 3. Loss recovery.
-	health := func(retry bool) float64 {
+	health := func(retry bool) (float64, error) {
 		p := DefaultPlanetLabConfig()
 		p.N = cfg.ClusterN
 		p.Seed = cfg.Seed
@@ -99,21 +106,32 @@ func Ablations(cfg AblationConfig) *Table {
 		c := cluster.New(opts)
 		c.Start()
 		c.StartStream(cfg.Duration)
-		c.Run(cfg.Duration + 2*time.Second)
+		if err := c.RunContext(ctx, cfg.Duration+2*time.Second); err != nil {
+			c.Close()
+			return 0, err
+		}
 		total := opts.Stream.ChunksBy(cfg.Duration - time.Second)
 		playouts := make([]*stream.Playout, 0, cfg.ClusterN-1)
 		for i := 1; i < cfg.ClusterN; i++ {
 			playouts = append(playouts, c.Playouts[msg.NodeID(i)])
 		}
-		return stream.Health(playouts, total, []time.Duration{cfg.Duration})[0]
+		return stream.Health(playouts, total, []time.Duration{cfg.Duration})[0], nil
+	}
+	healthOn, err := health(true)
+	if err != nil {
+		return nil, err
+	}
+	healthOff, err := health(false)
+	if err != nil {
+		return nil, err
 	}
 	t.AddRow("loss recovery (re-request)", "baseline health under 4% loss",
-		F(health(true), 3), F(health(false), 3))
+		F(healthOn, 3), F(healthOff, 3))
 
 	t.Notes = append(t.Notes,
 		"compensation off: every honest score sits at ≈ −b̃, below η (§6.2's motivation)",
 		"pdcc off: propose-phase freeriding becomes invisible to the score")
-	return t
+	return t, nil
 }
 
 // sampleScorePdcc draws a normalized score after r periods under partial

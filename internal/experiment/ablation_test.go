@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -13,7 +14,10 @@ func TestAblationsTable(t *testing.T) {
 	cfg.ScoreN = 500
 	cfg.ClusterN = 50
 	cfg.Duration = 8 * time.Second
-	tab := Ablations(cfg)
+	tab, err := Ablations(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tab.Rows) != 3 {
 		t.Fatalf("rows = %d, want 3", len(tab.Rows))
 	}
@@ -67,7 +71,10 @@ func TestAblationsRender(t *testing.T) {
 	cfg.ScorePeriods = 10
 	cfg.ClusterN = 30
 	cfg.Duration = 5 * time.Second
-	tab := Ablations(cfg)
+	tab, err := Ablations(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	var sb strings.Builder
 	tab.Render(&sb)
 	out := sb.String()

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"sort"
 	"time"
 
@@ -79,8 +80,8 @@ type ChurnResult struct {
 }
 
 // Churn runs the churn scenario and reports whether LiFTinG's separation
-// survives a shifting membership.
-func Churn(cfg ChurnConfig) (*Table, *ChurnResult) {
+// survives a shifting membership. Cancelling ctx aborts the run mid-stream.
+func Churn(ctx context.Context, cfg ChurnConfig) (*Table, *ChurnResult, error) {
 	start := time.Now()
 	nFree := int(cfg.FreeriderPct * float64(cfg.N))
 	firstFree := msg.NodeID(cfg.N - nFree)
@@ -140,7 +141,10 @@ func Churn(cfg ChurnConfig) (*Table, *ChurnResult) {
 		c.ScheduleLeave(at, msg.NodeID(idx+1))
 	}
 
-	c.Run(cfg.Duration + cfg.Period)
+	if err := c.RunContext(ctx, cfg.Duration+cfg.Period); err != nil {
+		c.Close()
+		return nil, nil, err
+	}
 	c.Close()
 
 	res := &ChurnResult{
@@ -213,5 +217,5 @@ func Churn(cfg ChurnConfig) (*Table, *ChurnResult) {
 	t.Notes = append(t.Notes,
 		"arrivals catch up on chunks generated after their join (infect-and-die does not replay history)",
 		"manager duties migrate on every membership change; gaining managers adopt the most pessimistic replica")
-	return t, res
+	return t, res, nil
 }

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"testing"
 	"time"
 )
@@ -15,7 +16,10 @@ func quickChurnConfig() ChurnConfig {
 }
 
 func TestChurnSeparationSurvives(t *testing.T) {
-	_, res := Churn(quickChurnConfig())
+	_, res, err := Churn(context.Background(), quickChurnConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.Joined != 6 || res.Departed != 6 {
 		t.Fatalf("churn events incomplete: joined %d, departed %d", res.Joined, res.Departed)
 	}
@@ -35,8 +39,11 @@ func TestChurnSeparationSurvives(t *testing.T) {
 }
 
 func TestChurnDeterministic(t *testing.T) {
-	_, a := Churn(quickChurnConfig())
-	_, b := Churn(quickChurnConfig())
+	_, a, errA := Churn(context.Background(), quickChurnConfig())
+	_, b, errB := Churn(context.Background(), quickChurnConfig())
+	if errA != nil || errB != nil {
+		t.Fatal(errA, errB)
+	}
 	if a.HonestMean != b.HonestMean || a.FreeriderMean != b.FreeriderMean ||
 		a.Handoffs != b.Handoffs || a.CatchUp.Mean() != b.CatchUp.Mean() {
 		t.Fatalf("two identical churn runs diverged: %+v vs %+v", a, b)

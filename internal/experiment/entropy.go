@@ -1,6 +1,8 @@
 package experiment
 
 import (
+	"context"
+
 	"lifting/internal/analysis"
 	"lifting/internal/msg"
 	"lifting/internal/rng"
@@ -39,7 +41,7 @@ type EntropyResult struct {
 // that of the nodes that drew it. The paper observes fanout entropy in
 // [9.11, 9.21] (max log2(600) = 9.23) and fanin entropy in [8.98, 9.34],
 // and sets γ = 8.95 just below both.
-func Fig13(cfg EntropyConfig) (*Table, *EntropyResult) {
+func Fig13(ctx context.Context, cfg EntropyConfig) (*Table, *EntropyResult, error) {
 	root := rng.New(cfg.Seed)
 	draws := cfg.History * cfg.F
 
@@ -54,6 +56,11 @@ func Fig13(cfg EntropyConfig) (*Table, *EntropyResult) {
 		sample = cfg.N
 	}
 	for i := 0; i < cfg.N; i++ {
+		if i%1024 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, nil, err
+			}
+		}
 		r := root.ForNode(uint32(i))
 		fanout := stats.NewMultiset[msg.NodeID]()
 		for d := 0; d < draws; d++ {
@@ -84,7 +91,7 @@ func Fig13(cfg EntropyConfig) (*Table, *EntropyResult) {
 		"["+F(res.Fanin.Min(), 2)+", "+F(res.Fanin.Max(), 2)+"]", F(res.Fanin.Mean(), 3))
 	t.AddRow("max log2(nh·f)", "9.23", F(res.MaxAttainable, 2), "")
 	t.Notes = append(t.Notes, "γ = 8.95 must sit below every honest entropy (no wrongful expulsion)")
-	return t, res
+	return t, res, nil
 }
 
 // Eq7 reproduces the numeric inversion of Equation 7 (§6.3.2): the maximum

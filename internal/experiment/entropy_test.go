@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"math"
 	"testing"
 )
@@ -12,7 +13,10 @@ func TestFig13PaperRanges(t *testing.T) {
 	cfg := DefaultEntropyConfig()
 	cfg.N = 2000
 	cfg.SampleNodes = 500
-	_, res := Fig13(cfg)
+	_, res, err := Fig13(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	// Max attainable is log2(600) = 9.23.
 	if math.Abs(res.MaxAttainable-9.2288) > 0.001 {
@@ -45,7 +49,10 @@ func TestFig13AtPaperScaleSampled(t *testing.T) {
 	}
 	cfg := DefaultEntropyConfig() // n = 10,000
 	cfg.SampleNodes = 300
-	_, res := Fig13(cfg)
+	_, res, err := Fig13(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Paper ranges: fanout [9.11, 9.21], fanin [8.98, 9.34].
 	if res.Fanout.Min() < 9.05 || res.Fanout.Max() > 9.24 {
 		t.Fatalf("fanout range [%v, %v], paper says [9.11, 9.21]", res.Fanout.Min(), res.Fanout.Max())

@@ -9,15 +9,17 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"unicode"
 )
 
 // Table is a renderable experiment result: the rows of a paper table or the
-// series of a paper figure.
+// series of a paper figure. It is pure data — the Result JSON emits it as-is
+// — with Render as the ASCII view.
 type Table struct {
-	Title   string
-	Columns []string
-	Rows    [][]string
-	Notes   []string
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
 }
 
 // AddRow appends a row of already-formatted cells.
@@ -25,17 +27,21 @@ func (t *Table) AddRow(cells ...string) {
 	t.Rows = append(t.Rows, cells)
 }
 
-// Render writes the table as aligned ASCII.
+// Render writes the table as aligned ASCII. Column widths count display
+// cells, not bytes: the symbols the tables actually print (η, α, β, δ) are
+// multi-byte, and byte-counted widths pushed every column after them out of
+// alignment; b̃ is two runes (base + combining tilde) occupying one cell,
+// so a plain rune count would still misalign it by one.
 func (t *Table) Render(w io.Writer) {
 	fmt.Fprintf(w, "== %s ==\n", t.Title)
 	widths := make([]int, len(t.Columns))
 	for i, c := range t.Columns {
-		widths[i] = len(c)
+		widths[i] = displayWidth(c)
 	}
 	for _, row := range t.Rows {
 		for i, cell := range row {
-			if i < len(widths) && len(cell) > widths[i] {
-				widths[i] = len(cell)
+			if i < len(widths) && displayWidth(cell) > widths[i] {
+				widths[i] = displayWidth(cell)
 			}
 		}
 	}
@@ -65,11 +71,25 @@ func (t *Table) Render(w io.Writer) {
 	fmt.Fprintln(w)
 }
 
-func pad(s string, w int) string {
-	if len(s) >= w {
-		return s
+// displayWidth counts the terminal cells a string occupies: one per rune,
+// except combining marks (Unicode category Mn), which overlay the previous
+// cell. The tables stick to single-cell symbols otherwise, so no wide-rune
+// handling is needed.
+func displayWidth(s string) int {
+	n := 0
+	for _, r := range s {
+		if !unicode.Is(unicode.Mn, r) {
+			n++
+		}
 	}
-	return s + strings.Repeat(" ", w-len(s))
+	return n
+}
+
+func pad(s string, w int) string {
+	if n := displayWidth(s); n < w {
+		return s + strings.Repeat(" ", w-n)
+	}
+	return s
 }
 
 // F formats a float with the given decimals.

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"slices"
 	"sort"
@@ -421,8 +422,10 @@ func (sh shape) options(backend runtime.Kind, seed uint64) cluster.Options {
 	}
 }
 
-// runRep executes one seeded repetition and classifies it against eta.
-func (sh shape) runRep(backend runtime.Kind, seed uint64, comp, eta float64) repOutcome {
+// runRep executes one seeded repetition and classifies it against eta. On
+// cancellation it tears the cluster down and returns a zero outcome — the
+// caller discards everything once it sees the context error.
+func (sh shape) runRep(ctx context.Context, backend runtime.Kind, seed uint64, comp, eta float64) repOutcome {
 	opts := sh.options(backend, seed)
 	opts.Rep.Compensation = comp
 	if sh.Expel {
@@ -461,7 +464,10 @@ func (sh shape) runRep(backend runtime.Kind, seed uint64, comp, eta float64) rep
 	if auditing {
 		tail = 12 * sh.Period // AuditReq + poll round-trips (4·Tg timeouts each)
 	}
-	c.Run(sh.dur + tail)
+	if err := c.RunContext(ctx, sh.dur+tail); err != nil {
+		c.Close()
+		return repOutcome{}
+	}
 	c.Close()
 
 	isAdv := make(map[msg.NodeID]bool, len(adv))
@@ -554,7 +560,9 @@ func (o Oracle) check(r *MatrixRow) {
 // Matrix runs the adversary scenario sweep and renders the attack ×
 // (α, β, gap, verdict) table. The result's Failed flag is the caller's exit
 // code: any oracle violation means the detection claims regressed.
-func Matrix(cfg MatrixConfig) (*Table, *MatrixResult) {
+// Cancelling ctx aborts the sweep — mid-calibration or mid-repetition — and
+// returns ctx.Err().
+func Matrix(ctx context.Context, cfg MatrixConfig) (*Table, *MatrixResult, error) {
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
@@ -591,7 +599,10 @@ func Matrix(cfg MatrixConfig) (*Table, *MatrixResult) {
 		// on the discrete-event backend): the analysis's saturated-workload
 		// b̃ over-compensates the real chunk workload, and the threshold
 		// must sit at a margin below the empirical honest spread.
-		cal := cluster.Calibrate(sh.options(runtime.KindSim, scRoot.Derive("cal").Seed()), sh.dur)
+		cal, err := cluster.Calibrate(ctx, sh.options(runtime.KindSim, scRoot.Derive("cal").Seed()), sh.dur)
+		if err != nil {
+			return nil, nil, err
+		}
 		eta := -sh.EtaSigma * cal.ScoreStd
 		if floor := -sh.EtaFloor; eta > floor {
 			eta = floor
@@ -605,12 +616,12 @@ func Matrix(cfg MatrixConfig) (*Table, *MatrixResult) {
 				n = 1 // wall-clock backends stream in real time
 			}
 			outs := make([]repOutcome, n)
-			parallelRange(cfg.Workers, n, func(lo, hi int) {
-				for i := lo; i < hi; i++ {
-					seed := scRoot.Derive(fmt.Sprintf("rep/%d", i)).Seed()
-					outs[i] = sh.runRep(backend, seed, cal.Compensation, eta)
-				}
-			})
+			if err := parallelRange(ctx, cfg.Workers, n, func(i int) {
+				seed := scRoot.Derive(fmt.Sprintf("rep/%d", i)).Seed()
+				outs[i] = sh.runRep(ctx, backend, seed, cal.Compensation, eta)
+			}); err != nil {
+				return nil, nil, err
+			}
 
 			row := MatrixRow{
 				Scenario: sc.Name,
@@ -661,5 +672,5 @@ func Matrix(cfg MatrixConfig) (*Table, *MatrixResult) {
 		fmt.Sprintf("%d scenarios, %d rows; b̃ and η calibrated per scenario from an honest pilot", res.ScenariosRun, len(res.Rows)),
 		"score scenarios classify score < η; audit scenarios use the §5.3 expulsion verdict (or majority-unconfirmed history for forgers)",
 		"blame-spam's α is 0 by design — bad-mouthers are unidentifiable; its oracle is that no honest node crosses η or is expelled")
-	return t, res
+	return t, res, nil
 }

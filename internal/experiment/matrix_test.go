@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -52,7 +53,10 @@ func TestMatrixRegistryCoversAttackSpace(t *testing.T) {
 // backend — the same regression net CI runs — and requires every oracle to
 // hold.
 func TestMatrixQuickAllScenariosPass(t *testing.T) {
-	tab, res := Matrix(MatrixConfig{Quick: true, Backends: []runtime.Kind{runtime.KindSim}})
+	tab, res, err := Matrix(context.Background(), MatrixConfig{Quick: true, Backends: []runtime.Kind{runtime.KindSim}})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.ScenariosRun < 8 {
 		t.Fatalf("quick matrix ran %d scenarios, want >= 8", res.ScenariosRun)
 	}
@@ -99,9 +103,12 @@ func TestMatrixDeterministicPerBackend(t *testing.T) {
 			Seed:     42,
 			Reps:     2,
 		}
-		_, a := Matrix(cfg)
+		_, a, errA := Matrix(context.Background(), cfg)
 		cfg.Workers = 1 // worker count must not change a single bit either
-		_, b := Matrix(cfg)
+		_, b, errB := Matrix(context.Background(), cfg)
+		if errA != nil || errB != nil {
+			t.Fatal(errA, errB)
+		}
 		if a.ScenariosRun != 1 || b.ScenariosRun != 1 {
 			t.Fatalf("filter %q matched %d/%d scenarios, want 1", filter, a.ScenariosRun, b.ScenariosRun)
 		}
@@ -118,11 +125,14 @@ func TestMatrixDeterministicPerBackend(t *testing.T) {
 // runtime, and the oracle verdict — freeriders detected, honest clean,
 // modes separated — agrees.
 func TestMatrixScenarioAgreesAcrossBackends(t *testing.T) {
-	_, res := Matrix(MatrixConfig{
+	_, res, err := Matrix(context.Background(), MatrixConfig{
 		Quick:    true,
 		Filter:   "wise-degree",
 		Backends: []runtime.Kind{runtime.KindSim, runtime.KindLive},
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res.Rows) != 2 {
 		t.Fatalf("got %d rows, want sim and live", len(res.Rows))
 	}
@@ -165,7 +175,10 @@ func TestMatrixOracleBounds(t *testing.T) {
 
 // TestMatrixFilterMiss: an unmatched filter runs nothing and reports it.
 func TestMatrixFilterMiss(t *testing.T) {
-	_, res := Matrix(MatrixConfig{Quick: true, Filter: "no-such-attack"})
+	_, res, err := Matrix(context.Background(), MatrixConfig{Quick: true, Filter: "no-such-attack"})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.ScenariosRun != 0 || len(res.Rows) != 0 {
 		t.Fatalf("unmatched filter ran %d scenarios", res.ScenariosRun)
 	}

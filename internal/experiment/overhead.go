@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"time"
 
 	"lifting/internal/cluster"
@@ -12,7 +13,7 @@ import (
 // the asymptotics — O(pdcc·f²) confirm traffic for the verifier and each
 // witness, O(pdcc·f) for the inspected node, plus O(M·f) blames — which the
 // measured counts must track.
-func Table3(p PlanetLabConfig, pdccs []float64) *Table {
+func Table3(ctx context.Context, p PlanetLabConfig, pdccs []float64) (*Table, error) {
 	if len(pdccs) == 0 {
 		pdccs = []float64{0, 0.5, 1}
 	}
@@ -31,7 +32,10 @@ func Table3(p PlanetLabConfig, pdccs []float64) *Table {
 		c := cluster.New(opts)
 		c.Start()
 		c.StartStream(pc.Duration)
-		c.Run(pc.Duration + time.Second)
+		if err := c.RunContext(ctx, pc.Duration+time.Second); err != nil {
+			c.Close()
+			return nil, err
+		}
 
 		periods := float64(pc.Duration / pc.Period)
 		perNodePeriod := func(k msg.Kind) float64 {
@@ -51,7 +55,7 @@ func Table3(p PlanetLabConfig, pdccs []float64) *Table {
 	t.Notes = append(t.Notes,
 		"acks flow even at pdcc = 0 (they are what makes later polling possible)",
 		"confirm counts stay below the O(pdcc·f²) bound because the real workload has fewer than f servers per period")
-	return t
+	return t, nil
 }
 
 // Table5 reproduces Table 5: LiFTinG's relative bandwidth overhead
@@ -66,7 +70,7 @@ func Table3(p PlanetLabConfig, pdccs []float64) *Table {
 // The shape to reproduce: overhead grows with pdcc and shrinks as the
 // stream rate grows (verification traffic is rate-independent while the
 // payload is not).
-func Table5(p PlanetLabConfig, bitrates []int, pdccs []float64) *Table {
+func Table5(ctx context.Context, p PlanetLabConfig, bitrates []int, pdccs []float64) (*Table, error) {
 	if len(bitrates) == 0 {
 		bitrates = []int{674_000, 1_082_000, 2_036_000}
 	}
@@ -93,7 +97,10 @@ func Table5(p PlanetLabConfig, bitrates []int, pdccs []float64) *Table {
 			c := cluster.New(opts)
 			c.Start()
 			c.StartStream(pc.Duration)
-			c.Run(pc.Duration + time.Second)
+			if err := c.RunContext(ctx, pc.Duration+time.Second); err != nil {
+				c.Close()
+				return nil, err
+			}
 			row = append(row, Pct(c.Collector.Overhead()))
 		}
 		if ref, ok := paper[rate]; ok && len(pdccs) == 3 {
@@ -104,7 +111,7 @@ func Table5(p PlanetLabConfig, bitrates []int, pdccs []float64) *Table {
 	if len(pdccs) == 3 {
 		t.Columns = append(t.Columns, "paper (pdcc 0 / 0.5 / 1)")
 	}
-	return t
+	return t, nil
 }
 
 func pdccHeader(pdccs []float64) []string {

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -15,8 +16,12 @@ func Workers(w int) int {
 }
 
 // parallelRange splits [0, n) into one contiguous chunk per worker and runs
-// fn(lo, hi) on each concurrently, blocking until all complete. With one
-// worker it degenerates to a plain call — the serial baseline.
+// fn(i) for every index concurrently, blocking until all workers stop. With
+// one worker it degenerates to a plain loop — the serial baseline.
+//
+// Cancellation: every worker checks ctx between items and stops early when
+// it is cancelled; parallelRange then returns ctx.Err(). Callers must treat
+// their result slots as garbage on a non-nil return — some items never ran.
 //
 // Determinism contract: callers write results into preallocated slots
 // indexed by item (never append from workers) and derive per-item rng
@@ -24,14 +29,25 @@ func Workers(w int) int {
 // parent seed without mutating it), so the outcome is bit-identical for any
 // worker count. Aggregation happens serially afterwards, in index order:
 // float addition is not associative.
-func parallelRange(workers, n int, fn func(lo, hi int)) {
+func parallelRange(ctx context.Context, workers, n int, fn func(i int)) error {
 	workers = Workers(workers)
 	if workers > n {
 		workers = n
 	}
+	done := ctx.Done()
+	runChunk := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			fn(i)
+		}
+	}
 	if workers <= 1 {
-		fn(0, n)
-		return
+		runChunk(0, n)
+		return ctx.Err()
 	}
 	var wg sync.WaitGroup
 	chunk := (n + workers - 1) / workers
@@ -43,8 +59,9 @@ func parallelRange(workers, n int, fn func(lo, hi int)) {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			fn(lo, hi)
+			runChunk(lo, hi)
 		}(lo, hi)
 	}
 	wg.Wait()
+	return ctx.Err()
 }

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"math"
 	"testing"
 )
@@ -16,10 +17,16 @@ func TestRunScoresParallelMatchesSerial(t *testing.T) {
 	cfg.Periods = 5
 
 	cfg.Workers = 1
-	serial := RunScores(cfg)
+	serial, err := RunScores(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, workers := range []int{2, 7, 64} {
 		cfg.Workers = workers
-		par := RunScores(cfg)
+		par, err := RunScores(context.Background(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
 		pairs := [][2]float64{
 			{serial.HonestM.Mean(), par.HonestM.Mean()},
 			{serial.HonestM.Std(), par.HonestM.Std()},
@@ -45,9 +52,15 @@ func TestFig12ParallelMatchesSerial(t *testing.T) {
 	deltas := []float64{0.02, 0.05, 0.08, 0.12}
 
 	cfg.Workers = 1
-	_, serial := Fig12(cfg, deltas, 150)
+	_, serial, err := Fig12(context.Background(), cfg, deltas, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
 	cfg.Workers = 4
-	_, par := Fig12(cfg, deltas, 150)
+	_, par, err := Fig12(context.Background(), cfg, deltas, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(serial) != len(par) {
 		t.Fatalf("point counts differ: %d vs %d", len(serial), len(par))
 	}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"time"
 
 	"lifting/internal/cluster"
@@ -154,13 +155,16 @@ type Fig14Result struct {
 // Compensation and the threshold are calibrated from an honest pilot run
 // (our chunk workload is lighter than the saturated analysis model; the
 // paper instead compensates analytically from the measured 4% loss).
-func Fig14(p PlanetLabConfig, snapshots []time.Duration) (*Table, *Fig14Result) {
+func Fig14(ctx context.Context, p PlanetLabConfig, snapshots []time.Duration) (*Table, *Fig14Result, error) {
 	if len(snapshots) == 0 {
 		snapshots = []time.Duration{25 * time.Second, 30 * time.Second, 35 * time.Second}
 	}
 	opts := p.buildOptions()
 
-	cal := cluster.Calibrate(opts, p.Duration)
+	cal, err := cluster.Calibrate(ctx, opts, p.Duration)
+	if err != nil {
+		return nil, nil, err
+	}
 	opts.Rep.Compensation = cal.Compensation
 	opts.BlameMode = cluster.BlameDirect
 
@@ -177,7 +181,10 @@ func Fig14(p PlanetLabConfig, snapshots []time.Duration) (*Table, *Fig14Result) 
 	var eta float64
 	res := &Fig14Result{Pdcc: p.Pdcc}
 	for si, at := range snapshots {
-		c.Run(at)
+		if err := c.RunContext(ctx, at); err != nil {
+			c.Close()
+			return nil, nil, err
+		}
 		snap := Fig14Snapshot{At: at}
 		scores := c.Scores()
 		if si == 0 {
@@ -225,7 +232,7 @@ func Fig14(p PlanetLabConfig, snapshots []time.Duration) (*Table, *Fig14Result) 
 	t.Notes = append(t.Notes,
 		"compensation calibrated to "+F(cal.Compensation, 2)+" per period (honest pilot)",
 		"false positives concentrate on the poorly connected tail, as in §7.3")
-	return t, res
+	return t, res, nil
 }
 
 // Fig1Scenario identifies one curve of Figure 1.
@@ -251,7 +258,7 @@ type Fig1Result struct {
 // LiFTinG — wise freeriders can only deviate marginally (δ = 0.035 keeps
 // P(caught) < 50%, §6.3.1) and the aggressive ones are expelled, so the
 // curve stays near the baseline.
-func Fig1(p PlanetLabConfig, scenario Fig1Scenario, lags []time.Duration) (*Table, *Fig1Result) {
+func Fig1(ctx context.Context, p PlanetLabConfig, scenario Fig1Scenario, lags []time.Duration) (*Table, *Fig1Result, error) {
 	if len(lags) == 0 {
 		for s := 0; s <= 60; s += 5 {
 			lags = append(lags, time.Duration(s)*time.Second)
@@ -299,7 +306,10 @@ func Fig1(p PlanetLabConfig, scenario Fig1Scenario, lags []time.Duration) (*Tabl
 		}
 	case Fig1FreeridersLiFTinG:
 		// Coerced: wise freeriders keep P(caught) < 50% → δ = 0.035.
-		cal := cluster.Calibrate(opts, 10*time.Second)
+		cal, err := cluster.Calibrate(ctx, opts, 10*time.Second)
+		if err != nil {
+			return nil, nil, err
+		}
 		opts.Rep.Compensation = cal.Compensation
 		opts.Rep.Eta = -2.5 * cal.ScoreStd
 		opts.ExpelOnDetection = true
@@ -316,7 +326,10 @@ func Fig1(p PlanetLabConfig, scenario Fig1Scenario, lags []time.Duration) (*Tabl
 	c.Start()
 	c.StartStream(p.Duration)
 	maxLag := lags[len(lags)-1]
-	c.Run(p.Duration + maxLag)
+	if err := c.RunContext(ctx, p.Duration+maxLag); err != nil {
+		c.Close()
+		return nil, nil, err
+	}
 
 	total := opts.Stream.ChunksBy(p.Duration - time.Second)
 	playouts := make([]*stream.Playout, 0, p.N-1)
@@ -333,7 +346,7 @@ func Fig1(p PlanetLabConfig, scenario Fig1Scenario, lags []time.Duration) (*Tabl
 	for i, lag := range lags {
 		t.AddRow(lag.String(), F(health[i], 3))
 	}
-	return t, res
+	return t, res, nil
 }
 
 func fig1Name(s Fig1Scenario) string {

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"strconv"
 	"testing"
 	"time"
@@ -23,7 +24,10 @@ func TestFig14DetectionShape(t *testing.T) {
 	// period than PlanetLab's saturated one).
 	p.Delta = [3]float64{3.0 / 7, 0.3, 0.3}
 	p.Duration = 30 * time.Second
-	tab, res := Fig14(p, []time.Duration{18 * time.Second, 30 * time.Second})
+	tab, res, err := Fig14(context.Background(), p, []time.Duration{18 * time.Second, 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if tab == nil || len(res.Snapshots) != 2 {
 		t.Fatal("missing snapshots")
 	}
@@ -59,9 +63,9 @@ func TestFig1Shape(t *testing.T) {
 	p.Duration = 12 * time.Second
 	lags := []time.Duration{2 * time.Second, 4 * time.Second, 8 * time.Second, 12 * time.Second}
 
-	_, base := Fig1(p, Fig1NoFreeriders, lags)
-	_, collapsed := Fig1(p, Fig1Freeriders, lags)
-	_, protected := Fig1(p, Fig1FreeridersLiFTinG, lags)
+	_, base, _ := Fig1(context.Background(), p, Fig1NoFreeriders, lags)
+	_, collapsed, _ := Fig1(context.Background(), p, Fig1Freeriders, lags)
+	_, protected, _ := Fig1(context.Background(), p, Fig1FreeridersLiFTinG, lags)
 
 	last := len(lags) - 1
 	// Health curves are monotone in lag.
@@ -97,7 +101,10 @@ func TestFig1Shape(t *testing.T) {
 func TestTable5OverheadShape(t *testing.T) {
 	p := smallPL()
 	p.Duration = 10 * time.Second
-	tab := Table5(p, []int{674_000, 2_036_000}, []float64{0, 1})
+	tab, err := Table5(context.Background(), p, []int{674_000, 2_036_000}, []float64{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tab.Rows) != 2 {
 		t.Fatalf("rows = %d", len(tab.Rows))
 	}
@@ -121,7 +128,10 @@ func TestTable5OverheadShape(t *testing.T) {
 func TestTable3MessageCounts(t *testing.T) {
 	p := smallPL()
 	p.Duration = 8 * time.Second
-	tab := Table3(p, []float64{0, 1})
+	tab, err := Table3(context.Background(), p, []float64{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tab.Rows) != 2 {
 		t.Fatalf("rows = %d", len(tab.Rows))
 	}

@@ -1,0 +1,386 @@
+package experiment
+
+import (
+	"context"
+	"strings"
+	"time"
+
+	"lifting/internal/analysis"
+)
+
+// This file registers every experiment. Registration order is execution
+// order for `lifting-sim all`: cheap analytic experiments first, the long
+// cluster streams (fig14, fig1) last. The parameter mapping in each wrapper
+// is the contract the lifting-sim flags used to implement per-experiment;
+// it lives here now so a library caller and the CLI resolve overrides
+// identically.
+
+// scoreConfig maps Params onto the Monte-Carlo score experiments
+// (fig10/fig11/fig12).
+func scoreConfig(p Params) ScoreConfig {
+	cfg := DefaultScoreConfig()
+	if p.Quick {
+		cfg.N = 2000
+		cfg.Freeriders = 200
+	}
+	if p.N > 0 {
+		cfg.N = p.N
+		cfg.Freeriders = p.N / 10
+	}
+	if p.Seed > 0 {
+		cfg.Seed = p.Seed
+	}
+	if p.Periods > 0 {
+		cfg.Periods = p.Periods
+	}
+	if p.Delta >= 0 {
+		cfg.Delta = analysis.Uniform(p.Delta)
+	}
+	cfg.NoCompensation = p.NoCompensation
+	cfg.Workers = p.Workers
+	return cfg
+}
+
+// planetLabConfig maps Params onto the §7 deployment scenario
+// (fig1/fig14/table3/table5).
+func planetLabConfig(p Params) PlanetLabConfig {
+	pl := DefaultPlanetLabConfig()
+	if p.Quick {
+		pl.N = 100
+		pl.Duration = 20 * time.Second
+	}
+	if p.N > 0 {
+		pl.N = p.N
+	}
+	if p.Seed > 0 {
+		pl.Seed = p.Seed
+	}
+	if p.Duration > 0 {
+		pl.Duration = p.Duration
+	}
+	if p.Pdcc >= 0 {
+		pl.Pdcc = p.Pdcc
+	}
+	return pl
+}
+
+// newResult starts a passing result for the named experiment.
+func newResult(name string, p Params) *Result {
+	e, _ := Lookup(name)
+	return &Result{Experiment: name, Paper: e.Paper, Params: p, Verdict: Verdict{Pass: true}}
+}
+
+// fig14Pdccs returns the pdcc values fig14 sweeps: the paper shows 1 and
+// 0.5; an explicit override pins a single value.
+func fig14Pdccs(override float64) []float64 {
+	if override >= 0 {
+		return []float64{override}
+	}
+	return []float64{1, 0.5}
+}
+
+func init() {
+	Register(Experiment{
+		Name: "fig10", Paper: "§6.2, Figure 10",
+		Describe:      "compensated honest scores after one period under message loss",
+		DefaultParams: Params{N: 10_000, Seed: 1, Periods: 1, Delta: -1, Pdcc: -1},
+		Run: func(ctx context.Context, p Params, obs Observer) (*Result, error) {
+			tab, res, err := Fig10(ctx, scoreConfig(p))
+			if err != nil {
+				return nil, err
+			}
+			out := newResult("fig10", p)
+			out.addTable(obs, tab)
+			out.addMetric("mean-score", res.HonestM.Mean())
+			out.addMetric("sigma-b", res.HonestM.Std())
+			return out, nil
+		},
+	})
+	Register(Experiment{
+		Name: "fig11", Paper: "§6.3.1, Figure 11",
+		Describe:      "normalized score separation, honest vs freeriders, after r periods",
+		DefaultParams: Params{N: 10_000, Seed: 1, Periods: 50, Delta: 0.1, Pdcc: -1},
+		Run: func(ctx context.Context, p Params, obs Observer) (*Result, error) {
+			tab, res, err := Fig11(ctx, scoreConfig(p))
+			if err != nil {
+				return nil, err
+			}
+			out := newResult("fig11", p)
+			out.addTable(obs, tab)
+			out.addMetric("detection", res.Detection)
+			out.addMetric("false-positives", res.FalsePositives)
+			out.addMetric("mode-gap", res.HonestM.Mean()-res.FreeriderM.Mean())
+			return out, nil
+		},
+	})
+	Register(Experiment{
+		Name: "fig12", Paper: "§6.3.1, Figure 12",
+		Describe:      "detection probability and bandwidth gain vs degree of freeriding",
+		DefaultParams: Params{N: 10_000, Seed: 1, Periods: 50, Delta: -1, Pdcc: -1},
+		Run: func(ctx context.Context, p Params, obs Observer) (*Result, error) {
+			samples := 4000
+			if p.Quick {
+				samples = 1000
+			}
+			tab, _, err := Fig12(ctx, scoreConfig(p), nil, samples)
+			if err != nil {
+				return nil, err
+			}
+			out := newResult("fig12", p)
+			out.addTable(obs, tab)
+			return out, nil
+		},
+	})
+	Register(Experiment{
+		Name: "fig13", Paper: "§6.3.2, Figure 13",
+		Describe:      "entropy of honest fanout/fanin histories vs the audit threshold γ",
+		DefaultParams: Params{N: 10_000, Seed: 1, Delta: -1, Pdcc: -1},
+		Run: func(ctx context.Context, p Params, obs Observer) (*Result, error) {
+			cfg := DefaultEntropyConfig()
+			if p.Quick {
+				cfg.N = 2000
+				cfg.SampleNodes = 500
+			}
+			if p.N > 0 {
+				cfg.N = p.N
+			}
+			if p.Seed > 0 {
+				cfg.Seed = p.Seed
+			}
+			tab, res, err := Fig13(ctx, cfg)
+			if err != nil {
+				return nil, err
+			}
+			out := newResult("fig13", p)
+			out.addTable(obs, tab)
+			out.addMetric("fanout-H-mean", res.Fanout.Mean())
+			out.addMetric("fanin-H-mean", res.Fanin.Mean())
+			out.addMetric("fanout-H-min", res.Fanout.Min())
+			return out, nil
+		},
+	})
+	Register(Experiment{
+		Name: "eq7", Paper: "§6.3.2, Equation 7",
+		Describe:      "maximum undetectable collusion bias p*m vs coalition size",
+		DefaultParams: Params{Delta: -1, Pdcc: -1},
+		Run: func(ctx context.Context, p Params, obs Observer) (*Result, error) {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			out := newResult("eq7", p)
+			out.addTable(obs, Eq7(8.95, 600, nil))
+			return out, nil
+		},
+	})
+	Register(Experiment{
+		Name: "ablate", Paper: "beyond the paper — mechanism ablations",
+		Describe:      "what compensation, cross-checking and loss recovery each buy",
+		DefaultParams: Params{Seed: 21, Delta: -1, Pdcc: -1},
+		Run: func(ctx context.Context, p Params, obs Observer) (*Result, error) {
+			cfg := DefaultAblationConfig()
+			if p.Quick {
+				cfg.ScoreN = 500
+				cfg.ClusterN = 50
+				cfg.Duration = 8 * time.Second
+			}
+			if p.Seed > 0 {
+				cfg.Seed = p.Seed
+			}
+			tab, err := Ablations(ctx, cfg)
+			if err != nil {
+				return nil, err
+			}
+			out := newResult("ablate", p)
+			out.addTable(obs, tab)
+			return out, nil
+		},
+	})
+	Register(Experiment{
+		Name: "table3", Paper: "§6.1/§7.2, Table 3",
+		Describe:      "verification messages per node per gossip period, swept over pdcc",
+		DefaultParams: Params{N: 300, Seed: 42, Delta: -1, Pdcc: -1},
+		Run: func(ctx context.Context, p Params, obs Observer) (*Result, error) {
+			tab, err := Table3(ctx, planetLabConfig(p), nil)
+			if err != nil {
+				return nil, err
+			}
+			out := newResult("table3", p)
+			out.addTable(obs, tab)
+			return out, nil
+		},
+	})
+	Register(Experiment{
+		Name: "table5", Paper: "§7.2, Table 5",
+		Describe:      "relative bandwidth overhead across stream rates and pdcc",
+		DefaultParams: Params{N: 300, Seed: 42, Delta: -1, Pdcc: -1},
+		Run: func(ctx context.Context, p Params, obs Observer) (*Result, error) {
+			tab, err := Table5(ctx, planetLabConfig(p), nil, nil)
+			if err != nil {
+				return nil, err
+			}
+			out := newResult("table5", p)
+			out.addTable(obs, tab)
+			return out, nil
+		},
+	})
+	Register(Experiment{
+		Name: "churn", Paper: "beyond the paper — churn workload",
+		Describe:      "joins and leaves mid-stream with reputation-manager handoff",
+		DefaultParams: Params{N: 120, Seed: 17, Duration: 30 * time.Second, Delta: -1, Pdcc: -1},
+		Run: func(ctx context.Context, p Params, obs Observer) (*Result, error) {
+			cfg := DefaultChurnConfig()
+			cfg.Backend = p.backend()
+			if p.Quick {
+				cfg.N = 50
+				cfg.Joins, cfg.Leaves = 6, 6
+				cfg.Duration = 8 * time.Second
+			}
+			if p.N > 0 {
+				cfg.N = p.N
+			}
+			if p.Seed > 0 {
+				cfg.Seed = p.Seed
+			}
+			if p.Duration > 0 {
+				cfg.Duration = p.Duration
+			}
+			tab, res, err := Churn(ctx, cfg)
+			if err != nil {
+				return nil, err
+			}
+			out := newResult("churn", p)
+			out.addTable(obs, tab)
+			out.addMetric("joined", float64(res.Joined))
+			out.addMetric("departed", float64(res.Departed))
+			out.addMetric("handoffs", float64(res.Handoffs))
+			out.addMetric("catch-up", res.CatchUp.Mean())
+			out.addMetric("score-gap", res.HonestMean-res.FreeriderMean)
+			return out, nil
+		},
+	})
+	Register(Experiment{
+		Name: "scale", Paper: "beyond the paper — 10k-node scale workload",
+		Describe:      "expulsion verdict at a large population vs the 300-node baseline",
+		DefaultParams: Params{N: 10_000, Seed: 23, Duration: 20 * time.Second, Delta: -1, Pdcc: -1},
+		Run: func(ctx context.Context, p Params, obs Observer) (*Result, error) {
+			cfg := DefaultScaleConfig()
+			if p.Quick {
+				cfg.N = 1000
+			}
+			if p.N > 0 {
+				cfg.N = p.N
+			}
+			if p.Seed > 0 {
+				cfg.Seed = p.Seed
+			}
+			if p.Duration > 0 {
+				cfg.Duration = p.Duration
+			}
+			tab, res, err := Scale(ctx, cfg)
+			if err != nil {
+				return nil, err
+			}
+			out := newResult("scale", p)
+			out.addTable(obs, tab)
+			out.addMetric("target-freeriders-expelled", float64(res.Target.FreeridersExpelled))
+			out.addMetric("target-honest-expelled", float64(res.Target.HonestExpelled))
+			// The gate is the expected verdict at BOTH populations, not mere
+			// agreement: two identically-broken runs must still fail.
+			for _, r := range []ScaleRun{res.Baseline, res.Target} {
+				if !r.CohortExpelled() || !r.HonestClean() {
+					out.fail("scale N=%d verdict %q, want cohort expelled and honest clean", r.N, r.Verdict())
+				}
+			}
+			if !res.Agree {
+				out.fail("scale verdict mismatch: baseline %q vs N=%d %q",
+					res.Baseline.Verdict(), res.Target.N, res.Target.Verdict())
+			}
+			return out, nil
+		},
+	})
+	Register(Experiment{
+		Name: "matrix", Paper: "§4/§5 adversary matrix",
+		Describe:      "every §4/§5 attack scenario against its statistical oracle",
+		MultiBackend:  true,
+		DefaultParams: Params{Seed: 1, Delta: -1, Pdcc: -1},
+		Run: func(ctx context.Context, p Params, obs Observer) (*Result, error) {
+			tab, res, err := Matrix(ctx, MatrixConfig{
+				Quick:    p.Quick,
+				Backends: p.Backends,
+				Filter:   p.Filter,
+				Seed:     p.Seed,
+				Workers:  p.Workers,
+			})
+			if err != nil {
+				return nil, err
+			}
+			out := newResult("matrix", p)
+			out.addTable(obs, tab)
+			out.addMetric("scenarios", float64(res.ScenariosRun))
+			out.addMetric("rows", float64(len(res.Rows)))
+			failures := 0
+			if res.ScenariosRun == 0 {
+				// Either the filter matched nothing or the backend set
+				// intersected every matching scenario away; name both.
+				out.fail("matrix ran no scenario (filter %q, backends %s; scenarios: %s)",
+					p.Filter, p.backendsLabel(), strings.Join(ScenarioNames(), ", "))
+			}
+			for _, r := range res.Rows {
+				if len(r.Failures) > 0 {
+					failures += len(r.Failures)
+					out.fail("matrix %s on %s failed its oracle: %s",
+						r.Scenario, r.Backend, strings.Join(r.Failures, "; "))
+				}
+			}
+			out.addMetric("oracle-failures", float64(failures))
+			return out, nil
+		},
+	})
+	Register(Experiment{
+		Name: "fig14", Paper: "§7.3, Figure 14",
+		Describe:      "score CDF snapshots over time on the heterogeneous deployment",
+		DefaultParams: Params{N: 300, Seed: 42, Duration: 35 * time.Second, Delta: -1, Pdcc: -1},
+		Run: func(ctx context.Context, p Params, obs Observer) (*Result, error) {
+			pl := planetLabConfig(p)
+			out := newResult("fig14", p)
+			for _, pd := range fig14Pdccs(p.Pdcc) {
+				pl.Pdcc = pd
+				tab, res, err := Fig14(ctx, pl, nil)
+				if err != nil {
+					return nil, err
+				}
+				out.addTable(obs, tab)
+				last := res.Snapshots[len(res.Snapshots)-1]
+				out.addMetric("detection@pdcc="+F(pd, 2), last.Detection)
+				out.addMetric("false-positives@pdcc="+F(pd, 2), last.FalsePositives)
+			}
+			return out, nil
+		},
+	})
+	Register(Experiment{
+		Name: "fig1", Paper: "§1/§7.3, Figure 1",
+		Describe:      "stream health vs lag: baseline, unpoliced freeriders, LiFTinG",
+		DefaultParams: Params{N: 300, Seed: 42, Duration: 45 * time.Second, Delta: -1, Pdcc: -1},
+		Run: func(ctx context.Context, p Params, obs Observer) (*Result, error) {
+			pl := planetLabConfig(p)
+			if pl.Duration == DefaultPlanetLabConfig().Duration && p.Duration == 0 {
+				pl.Duration = 45 * time.Second
+			}
+			var lags []time.Duration
+			for s := 0; s <= int(pl.Duration/time.Second); s += 5 {
+				lags = append(lags, time.Duration(s)*time.Second)
+			}
+			out := newResult("fig1", p)
+			metrics := []string{"health-no-freeriders", "health-freeriders", "health-lifting"}
+			for i, sc := range []Fig1Scenario{Fig1NoFreeriders, Fig1Freeriders, Fig1FreeridersLiFTinG} {
+				tab, res, err := Fig1(ctx, pl, sc, lags)
+				if err != nil {
+					return nil, err
+				}
+				out.addTable(obs, tab)
+				out.addMetric(metrics[i], res.Health[len(res.Health)-1])
+			}
+			return out, nil
+		},
+	})
+}

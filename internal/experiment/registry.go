@@ -1,0 +1,265 @@
+package experiment
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"lifting/internal/runtime"
+)
+
+// The experiment registry is the public face of this package: every table
+// and figure runner registers an Experiment value, and everything downstream
+// — the lifting-sim driver, its `all` batch, `list`, usage text, the JSON
+// output CI consumes — derives from the registry instead of hand-maintained
+// name lists and per-experiment flag plumbing. Adding an experiment is
+// registering a value; the CLI, the batch and the docs pick it up without
+// another edit.
+
+// Params is the one typed parameter set every experiment runs from. It
+// carries exactly the overrides the lifting-sim flags expose; each
+// experiment maps the fields it understands onto its own config (via the
+// same rules the old per-experiment flag plumbing applied) and ignores the
+// rest. The zero value of the sentinel fields means "experiment default":
+// use DefaultParams as the base so Delta and Pdcc start at −1.
+type Params struct {
+	// N overrides the system size (0 = experiment default).
+	N int `json:"n,omitempty"`
+	// Seed overrides the root random seed (0 = experiment default).
+	Seed uint64 `json:"seed,omitempty"`
+	// Duration overrides the streamed duration of cluster experiments
+	// (JSON: nanoseconds).
+	Duration time.Duration `json:"duration,omitempty"`
+	// Periods overrides the score-period count r (fig11/fig12).
+	Periods int `json:"periods,omitempty"`
+	// Delta overrides the degree of freeriding (fig11; −1 = default).
+	Delta float64 `json:"delta"`
+	// Pdcc overrides the cross-check probability (fig14; −1 = default).
+	Pdcc float64 `json:"pdcc"`
+	// Quick shrinks paper-scale experiments for a fast pass.
+	Quick bool `json:"quick,omitempty"`
+	// Workers fans Monte-Carlo work across goroutines (0 = GOMAXPROCS,
+	// 1 = serial). Results are bit-identical for any worker count, which is
+	// why it is excluded from the JSON echo: it is an execution knob, not a
+	// result parameter, and the document of a seeded run must not depend on
+	// the machine that produced it.
+	Workers int `json:"-"`
+	// Backends restricts execution backends. Nil means the experiment
+	// default (sim; for the matrix, every backend a scenario declares).
+	// Single-backend experiments use the first entry.
+	Backends []runtime.Kind `json:"backends,omitempty"`
+	// Filter keeps only matrix scenarios whose name contains the substring.
+	Filter string `json:"filter,omitempty"`
+	// NoCompensation disables wrongful-blame compensation (ablation).
+	NoCompensation bool `json:"no_compensation,omitempty"`
+}
+
+// DefaultParams returns the neutral parameter set: every override off, the
+// Delta/Pdcc sentinels at −1.
+func DefaultParams() Params {
+	return Params{Delta: -1, Pdcc: -1}
+}
+
+// backend returns the single execution backend the params select.
+func (p Params) backend() runtime.Kind {
+	if len(p.Backends) > 0 {
+		return p.Backends[0]
+	}
+	return runtime.KindSim
+}
+
+// backendsLabel names the backend set for messages ("all" when unrestricted).
+func (p Params) backendsLabel() string {
+	if len(p.Backends) == 0 {
+		return "all"
+	}
+	s := ""
+	for i, k := range p.Backends {
+		if i > 0 {
+			s += ","
+		}
+		s += k.String()
+	}
+	return s
+}
+
+// Metric is one named scalar of a structured result.
+type Metric struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// Verdict is an experiment's pass/fail outcome. Experiments without an
+// acceptance gate always pass; gated ones (scale, matrix) list every
+// violated bound.
+type Verdict struct {
+	Pass     bool     `json:"pass"`
+	Failures []string `json:"failures,omitempty"`
+}
+
+// Result is the structured outcome of one experiment run: the tables as
+// data, scalar metrics, and the verdict. Everything in it is deterministic
+// for a fixed seed — wall-clock timings deliberately stay out, so the JSON
+// encoding of a seeded run is byte-identical across repetitions and worker
+// counts.
+type Result struct {
+	// Experiment is the registry name that produced this result.
+	Experiment string `json:"experiment"`
+	// Paper cites the paper artifact the experiment reproduces.
+	Paper string `json:"paper"`
+	// Params echoes the parameters the run used.
+	Params Params `json:"params"`
+	// Tables holds the experiment's tables in render order.
+	Tables []*Table `json:"tables"`
+	// Metrics are the headline scalars, in a fixed per-experiment order.
+	Metrics []Metric `json:"metrics,omitempty"`
+	// Verdict is the pass/fail outcome.
+	Verdict Verdict `json:"verdict"`
+}
+
+// Metric returns the named scalar, if the result carries it.
+func (r *Result) Metric(name string) (float64, bool) {
+	for _, m := range r.Metrics {
+		if m.Name == name {
+			return m.Value, true
+		}
+	}
+	return 0, false
+}
+
+// addTable records a table and streams it to the observer.
+func (r *Result) addTable(obs Observer, t *Table) {
+	r.Tables = append(r.Tables, t)
+	if obs != nil {
+		obs.OnTable(t)
+	}
+}
+
+// addMetric records one named scalar.
+func (r *Result) addMetric(name string, value float64) {
+	r.Metrics = append(r.Metrics, Metric{Name: name, Value: value})
+}
+
+// fail records a verdict failure.
+func (r *Result) fail(format string, args ...any) {
+	r.Verdict.Pass = false
+	r.Verdict.Failures = append(r.Verdict.Failures, fmt.Sprintf(format, args...))
+}
+
+// Observer streams experiment progress to a consumer. A nil Observer is
+// always allowed. OnTable is invoked from the experiment's goroutine as each
+// table completes, in render order — the lifting-sim ASCII mode prints them
+// incrementally, exactly as the pre-registry driver did.
+type Observer interface {
+	OnTable(t *Table)
+}
+
+// RunFunc executes an experiment: it maps Params onto the experiment's
+// config, runs, and returns the structured result. Implementations must
+// honor ctx (they thread it into cluster runs and Monte-Carlo drivers) and
+// return ctx.Err() — not a partial result — when cancelled.
+type RunFunc func(ctx context.Context, p Params, obs Observer) (*Result, error)
+
+// Experiment is one registry entry.
+type Experiment struct {
+	// Name is the CLI name (`lifting-sim <name>`).
+	Name string
+	// Paper cites the paper artifact ("§6.2, Figure 10") or names the
+	// beyond-the-paper workload.
+	Paper string
+	// Describe is a one-line description for `lifting-sim list`.
+	Describe string
+	// MultiBackend marks experiments that accept a backend *set* (the
+	// matrix); every other experiment takes exactly one backend, which the
+	// driver enforces generically from this flag.
+	MultiBackend bool
+	// DefaultParams are the effective defaults a parameterless run uses,
+	// for `list -json` and `-describe` (informational; Run applies them).
+	DefaultParams Params
+	// Run executes the experiment.
+	Run RunFunc
+}
+
+var (
+	registryMu sync.RWMutex
+	registry   = make(map[string]Experiment)
+	// registryOrder keeps registration order: cheap analytic experiments
+	// first, long cluster streams last — the order `all` executes and usage
+	// lists.
+	registryOrder []string
+)
+
+// Register installs an experiment. Registering a nameless, runless or
+// duplicate experiment panics: the registry is assembled from init
+// functions, so a bad entry is a programming error.
+func Register(e Experiment) {
+	if e.Name == "" || e.Run == nil {
+		panic("experiment: Register needs a name and a run function")
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[e.Name]; dup {
+		panic(fmt.Sprintf("experiment: %q registered twice", e.Name))
+	}
+	registry[e.Name] = e
+	registryOrder = append(registryOrder, e.Name)
+}
+
+// Lookup returns the named experiment.
+func Lookup(name string) (Experiment, bool) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	e, ok := registry[name]
+	return e, ok
+}
+
+// Experiments returns every registered experiment in registration order —
+// the order `lifting-sim all` runs them.
+func Experiments() []Experiment {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]Experiment, 0, len(registryOrder))
+	for _, name := range registryOrder {
+		out = append(out, registry[name])
+	}
+	return out
+}
+
+// Names returns the registered experiment names in registration order.
+func Names() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	return append([]string(nil), registryOrder...)
+}
+
+// Schema identifies the JSON document layout. Bump it when the shape of
+// Document/Result changes; the golden-schema test pins the current shape.
+const Schema = "lifting.experiments/v1"
+
+// Document is the JSON document `lifting-sim -json` emits: one entry per
+// experiment run, in run order. lifting-bench and CI consume it directly.
+type Document struct {
+	Schema  string    `json:"schema"`
+	Results []*Result `json:"results"`
+}
+
+// NewDocument wraps results in a versioned document.
+func NewDocument(results []*Result) *Document {
+	return &Document{Schema: Schema, Results: results}
+}
+
+// Encode writes the document as indented JSON with a trailing newline. The
+// bytes are deterministic: encoding/json is order-stable and the document
+// carries no wall-clock fields.
+func (d *Document) Encode(w io.Writer) error {
+	b, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}

@@ -1,0 +1,48 @@
+package experiment
+
+import (
+	"context"
+	"io"
+	"testing"
+)
+
+// BenchmarkRegistryDispatch measures the overhead of the experiment API
+// itself: lookup, parameter mapping and result assembly around the cheapest
+// registered experiment (eq7, a closed-form inversion). The registry path
+// must stay negligible next to any real experiment.
+func BenchmarkRegistryDispatch(b *testing.B) {
+	p := DefaultParams()
+	for i := 0; i < b.N; i++ {
+		e, ok := Lookup("eq7")
+		if !ok {
+			b.Fatal("eq7 not registered")
+		}
+		res, err := e.Run(context.Background(), p, nil)
+		if err != nil || len(res.Tables) == 0 {
+			b.Fatalf("dispatch failed: %v", err)
+		}
+	}
+}
+
+// BenchmarkResultJSONEncode measures the structured-output hot path: one
+// Document with a representative multi-table result (the eq7 table plus a
+// synthetic 64-row table) through the deterministic JSON encoder.
+func BenchmarkResultJSONEncode(b *testing.B) {
+	e, _ := Lookup("eq7")
+	res, err := e.Run(context.Background(), DefaultParams(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	big := &Table{Title: "synthetic", Columns: []string{"a", "b", "c", "d"}}
+	for i := 0; i < 64; i++ {
+		big.AddRow(F(float64(i), 0), Pct(float64(i)/64), F(float64(i)*1.5, 2), "ok")
+	}
+	res.Tables = append(res.Tables, big)
+	doc := NewDocument([]*Result{res})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := doc.Encode(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

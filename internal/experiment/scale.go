@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"time"
 
 	"lifting/internal/cluster"
@@ -162,7 +163,7 @@ func (cfg ScaleConfig) scaleOptions(n int) cluster.Options {
 }
 
 // scaleRun executes one population with the shared compensation/threshold.
-func (cfg ScaleConfig) scaleRun(n int, compensation, eta float64) ScaleRun {
+func (cfg ScaleConfig) scaleRun(ctx context.Context, n int, compensation, eta float64) (ScaleRun, error) {
 	start := time.Now()
 	opts := cfg.scaleOptions(n)
 	opts.Rep.Compensation = compensation
@@ -171,7 +172,10 @@ func (cfg ScaleConfig) scaleRun(n int, compensation, eta float64) ScaleRun {
 	c := cluster.New(opts)
 	c.Start()
 	c.StartStream(cfg.Duration)
-	c.Run(cfg.Duration + 2*cfg.Period)
+	if err := c.RunContext(ctx, cfg.Duration+2*cfg.Period); err != nil {
+		c.Close()
+		return ScaleRun{}, err
+	}
 	c.Close()
 
 	run := ScaleRun{N: n, Freeriders: len(c.Freeriders), Elapsed: time.Since(start)}
@@ -190,32 +194,44 @@ func (cfg ScaleConfig) scaleRun(n int, compensation, eta float64) ScaleRun {
 	if run.FreeridersExpelled > 0 {
 		run.DetectionMean = latency / time.Duration(run.FreeridersExpelled)
 	}
-	return run
+	return run, nil
 }
 
 // Scale runs the scale workload: calibrate at the baseline population, run
 // the baseline and the target population with the shared threshold, and
-// compare expulsion verdicts.
-func Scale(cfg ScaleConfig) (*Table, *ScaleResult) {
+// compare expulsion verdicts. Cancelling ctx aborts whichever phase is
+// running — calibration, baseline or the large population.
+func Scale(ctx context.Context, cfg ScaleConfig) (*Table, *ScaleResult, error) {
 	// Calibrate b̃ and η once, from an honest pilot at baseline scale: the
 	// per-node wrongful-blame rate depends on fanout and loss, not on N, so
 	// the threshold is meaningful at both populations — and a 300-node pilot
 	// costs nothing next to the 10k-node run.
-	cal := cluster.Calibrate(cfg.scaleOptions(cfg.BaselineN), cfg.Duration)
+	cal, err := cluster.Calibrate(ctx, cfg.scaleOptions(cfg.BaselineN), cfg.Duration)
+	if err != nil {
+		return nil, nil, err
+	}
 	// −10σ: the honest extreme over 10k nodes — including one amortized
 	// late-ack burst — stays above it, while the least-blamed δ = 0.7
 	// freerider sits a full unit below it by grace expiry.
 	eta := -10 * cal.ScoreStd
 
 	res := &ScaleResult{Compensation: cal.Compensation, Eta: eta}
-	res.Baseline = cfg.scaleRun(cfg.BaselineN, cal.Compensation, eta)
-	res.Target = cfg.scaleRun(cfg.N, cal.Compensation, eta)
+	if res.Baseline, err = cfg.scaleRun(ctx, cfg.BaselineN, cal.Compensation, eta); err != nil {
+		return nil, nil, err
+	}
+	if res.Target, err = cfg.scaleRun(ctx, cfg.N, cal.Compensation, eta); err != nil {
+		return nil, nil, err
+	}
 	res.Agree = res.Baseline.Verdict() == res.Target.Verdict()
 
+	// The table carries only seed-determined quantities (virtual detection
+	// time, event counts) — wall-clock cost stays in ScaleRun.Elapsed for
+	// programmatic callers, so the structured JSON document of a seeded run
+	// is byte-identical across repetitions.
 	t := &Table{
 		Title: "Scale — expulsion verdict at baseline vs large population (message-mode reputation)",
 		Columns: []string{"population", "freeriders", "expelled", "honest expelled",
-			"mean detection", "events", "wall clock", "verdict"},
+			"mean detection", "events", "verdict"},
 	}
 	for _, r := range []ScaleRun{res.Baseline, res.Target} {
 		t.AddRow(
@@ -225,7 +241,6 @@ func Scale(cfg ScaleConfig) (*Table, *ScaleResult) {
 			F(float64(r.HonestExpelled), 0),
 			r.DetectionMean.Round(time.Millisecond).String(),
 			F(float64(r.Events), 0),
-			r.Elapsed.Round(time.Millisecond).String(),
 			r.Verdict(),
 		)
 	}
@@ -237,5 +252,5 @@ func Scale(cfg ScaleConfig) (*Table, *ScaleResult) {
 		"verdicts agree: "+agree,
 		"b̃ = "+F(cal.Compensation, 2)+" blame/period and η = "+F(eta, 2)+" calibrated once at baseline scale (per-node traffic depends on f, not N)",
 		"all blames and expulsions travel as messages to each target's M managers; manager assignment served from the epoch cache")
-	return t, res
+	return t, res, nil
 }

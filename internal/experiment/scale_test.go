@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"testing"
 	"time"
 )
@@ -16,7 +17,10 @@ func TestScaleVerdictScaleInvariant(t *testing.T) {
 	if testing.Short() {
 		cfg.N = 600
 	}
-	_, res := Scale(cfg)
+	_, res, err := Scale(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !res.Agree {
 		t.Fatalf("verdicts disagree: baseline %q vs target %q", res.Baseline.Verdict(), res.Target.Verdict())
 	}
@@ -46,7 +50,10 @@ func TestScaleShortDuration(t *testing.T) {
 	cfg := DefaultScaleConfig()
 	cfg.N = 800
 	cfg.Duration = 15 * time.Second
-	_, res := Scale(cfg)
+	_, res, err := Scale(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !res.Agree || !res.Target.CohortExpelled() || !res.Target.HonestClean() {
 		t.Fatalf("15s run verdict broke: agree=%v target=%q", res.Agree, res.Target.Verdict())
 	}

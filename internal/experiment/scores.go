@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"time"
 
 	"lifting/internal/analysis"
@@ -60,8 +61,8 @@ type ScoreResult struct {
 // blame-process model and classifies against η. The per-node trials are
 // independent Monte-Carlo draws, fanned across cfg.Workers goroutines;
 // aggregation is serial in node order, so the result does not depend on the
-// worker count.
-func RunScores(cfg ScoreConfig) *ScoreResult {
+// worker count. Cancelling ctx aborts between per-node trials.
+func RunScores(ctx context.Context, cfg ScoreConfig) (*ScoreResult, error) {
 	start := time.Now()
 	comp := cfg.Params.WrongfulBlame()
 	if cfg.NoCompensation {
@@ -71,15 +72,16 @@ func RunScores(cfg ScoreConfig) *ScoreResult {
 	res := &ScoreResult{}
 
 	scores := make([]float64, cfg.N)
-	parallelRange(cfg.Workers, cfg.N, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			bp := BlameProcess{P: cfg.Params, Rand: root.ForNode(uint32(i))}
-			if i < cfg.Freeriders {
-				bp.Delta = cfg.Delta
-			}
-			scores[i] = bp.SampleScore(cfg.Periods, comp)
+	err := parallelRange(ctx, cfg.Workers, cfg.N, func(i int) {
+		bp := BlameProcess{P: cfg.Params, Rand: root.ForNode(uint32(i))}
+		if i < cfg.Freeriders {
+			bp.Delta = cfg.Delta
 		}
+		scores[i] = bp.SampleScore(cfg.Periods, comp)
 	})
+	if err != nil {
+		return nil, err
+	}
 
 	honest := make([]float64, 0, cfg.N-cfg.Freeriders)
 	riders := make([]float64, 0, cfg.Freeriders)
@@ -107,17 +109,20 @@ func RunScores(cfg ScoreConfig) *ScoreResult {
 	res.Honest = stats.NewECDF(honest)
 	res.Freerider = stats.NewECDF(riders)
 	res.Elapsed = time.Since(start)
-	return res
+	return res, nil
 }
 
 // Fig10 reproduces Figure 10: the distribution of compensated scores after
 // one gossip period in an all-honest 10,000-node system with pl = 7%,
 // f = 12, |R| = 4. The paper reports mean < 0.01 (compensation −b̃ = 72.95
 // applied) and experimental σ(b) = 25.6.
-func Fig10(cfg ScoreConfig) (*Table, *ScoreResult) {
+func Fig10(ctx context.Context, cfg ScoreConfig) (*Table, *ScoreResult, error) {
 	cfg.Freeriders = 0
 	cfg.Periods = 1
-	res := RunScores(cfg)
+	res, err := RunScores(ctx, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
 
 	t := &Table{
 		Title:   "Figure 10 — impact of message losses (honest scores after one period)",
@@ -130,14 +135,17 @@ func Fig10(cfg ScoreConfig) (*Table, *ScoreResult) {
 	t.Notes = append(t.Notes,
 		"score range ["+F(res.Honest.Min(), 1)+", "+F(res.Honest.Max(), 1)+
 			"] — compare Figure 10's x-axis of [-250, 50]")
-	return t, res
+	return t, res, nil
 }
 
 // Fig11 reproduces Figure 11: normalized score distributions of honest
 // nodes vs 1,000 freeriders of degree (0.1, 0.1, 0.1) after r = 50 periods,
 // with the detection threshold η = −9.75.
-func Fig11(cfg ScoreConfig) (*Table, *ScoreResult) {
-	res := RunScores(cfg)
+func Fig11(ctx context.Context, cfg ScoreConfig) (*Table, *ScoreResult, error) {
+	res, err := RunScores(ctx, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
 	t := &Table{
 		Title:   "Figure 11 — normalized scores, honest vs freeriders (∆=(0.1,0.1,0.1), r=50)",
 		Columns: []string{"quantity", "paper", "measured"},
@@ -150,7 +158,7 @@ func Fig11(cfg ScoreConfig) (*Table, *ScoreResult) {
 	t.Notes = append(t.Notes,
 		"pdf modes must be disjoint: honest min "+F(res.Honest.Min(), 1)+
 			" vs freerider max "+F(res.Freerider.Max(), 1))
-	return t, res
+	return t, res, nil
 }
 
 // CDFSeries renders a score CDF as (score, fraction) rows between lo and hi
@@ -178,7 +186,7 @@ type Fig12Point struct {
 // δ = 0.035 where α ≈ 0.5. Each sweep point is an independent Monte-Carlo
 // trial batch with its own delta-derived stream, so the sweep parallelizes
 // across cfg.Workers without changing any number.
-func Fig12(cfg ScoreConfig, deltas []float64, samplesPerDelta int) (*Table, []Fig12Point) {
+func Fig12(ctx context.Context, cfg ScoreConfig, deltas []float64, samplesPerDelta int) (*Table, []Fig12Point, error) {
 	if len(deltas) == 0 {
 		for d := 0.0; d <= 0.201; d += 0.01 {
 			deltas = append(deltas, d)
@@ -191,27 +199,28 @@ func Fig12(cfg ScoreConfig, deltas []float64, samplesPerDelta int) (*Table, []Fi
 		Columns: []string{"delta", "detection α", "gain", "Chebyshev bound"},
 	}
 	points := make([]Fig12Point, len(deltas))
-	parallelRange(cfg.Workers, len(deltas), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			d := deltas[i]
-			delta := analysis.Uniform(d)
-			detected := 0
-			bp := BlameProcess{P: cfg.Params, Delta: delta, Rand: root.Derive(F(d, 3))}
-			for s := 0; s < samplesPerDelta; s++ {
-				if bp.SampleScore(cfg.Periods, comp) < cfg.Eta {
-					detected++
-				}
-			}
-			points[i] = Fig12Point{
-				Delta:     d,
-				Detection: float64(detected) / float64(samplesPerDelta),
-				Gain:      delta.Gain(),
-				BoundLow:  cfg.Params.DetectionBound(delta, cfg.Periods, cfg.Eta),
+	err := parallelRange(ctx, cfg.Workers, len(deltas), func(i int) {
+		d := deltas[i]
+		delta := analysis.Uniform(d)
+		detected := 0
+		bp := BlameProcess{P: cfg.Params, Delta: delta, Rand: root.Derive(F(d, 3))}
+		for s := 0; s < samplesPerDelta; s++ {
+			if bp.SampleScore(cfg.Periods, comp) < cfg.Eta {
+				detected++
 			}
 		}
+		points[i] = Fig12Point{
+			Delta:     d,
+			Detection: float64(detected) / float64(samplesPerDelta),
+			Gain:      delta.Gain(),
+			BoundLow:  cfg.Params.DetectionBound(delta, cfg.Periods, cfg.Eta),
+		}
 	})
+	if err != nil {
+		return nil, nil, err
+	}
 	for _, p := range points {
 		t.AddRow(F(p.Delta, 3), Pct(p.Detection), Pct(p.Gain), Pct(p.BoundLow))
 	}
-	return t, points
+	return t, points, nil
 }

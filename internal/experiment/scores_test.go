@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -54,7 +55,10 @@ func TestBlameProcessFreeriderMatchesBPrime(t *testing.T) {
 func TestFig10CentersAtZero(t *testing.T) {
 	cfg := DefaultScoreConfig()
 	cfg.N = 5000
-	_, res := Fig10(cfg)
+	_, res, err := Fig10(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Paper: mean < 0.01 at n = 10,000; scale tolerance with sample size:
 	// σ(mean) = σ(b)/√n ≈ 25.6/70 ≈ 0.37.
 	if math.Abs(res.HonestM.Mean()) > 1.2 {
@@ -69,7 +73,10 @@ func TestFig11SeparatesModes(t *testing.T) {
 	cfg := DefaultScoreConfig()
 	cfg.N = 3000
 	cfg.Freeriders = 300
-	_, res := Fig11(cfg)
+	_, res, err := Fig11(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Paper: two disjoint modes; α > 99% and β < 1% at η = −9.75 for
 	// ∆ = (0.1, 0.1, 0.1) after r = 50.
 	if res.Detection < 0.99 {
@@ -93,7 +100,10 @@ func TestFig11NoCompensationAblation(t *testing.T) {
 	cfg.N = 1000
 	cfg.Freeriders = 0
 	cfg.NoCompensation = true
-	res := RunScores(cfg)
+	res, err := RunScores(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.FalsePositives < 0.99 {
 		t.Fatalf("without compensation honest nodes should sit below η; β = %v", res.FalsePositives)
 	}
@@ -102,7 +112,10 @@ func TestFig11NoCompensationAblation(t *testing.T) {
 func TestFig12Anchors(t *testing.T) {
 	cfg := DefaultScoreConfig()
 	deltas := []float64{0, 0.035, 0.05, 0.1, 0.2}
-	_, points := Fig12(cfg, deltas, 1500)
+	_, points, err := Fig12(context.Background(), cfg, deltas, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
 	byDelta := map[float64]Fig12Point{}
 	for _, p := range points {
 		byDelta[p.Delta] = p
@@ -155,8 +168,8 @@ func TestRunScoresDeterministic(t *testing.T) {
 	cfg := DefaultScoreConfig()
 	cfg.N = 500
 	cfg.Freeriders = 50
-	a := RunScores(cfg)
-	b := RunScores(cfg)
+	a, _ := RunScores(context.Background(), cfg)
+	b, _ := RunScores(context.Background(), cfg)
 	if a.HonestM.Mean() != b.HonestM.Mean() || a.Detection != b.Detection {
 		t.Fatal("identical configs produced different results")
 	}

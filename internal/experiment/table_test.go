@@ -1,0 +1,109 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// TestTableRenderAlignsMultibyteRunes is the regression test for the column
+// widths: they must count runes, not bytes. The tables print Greek and
+// diacritic symbols (η, α, β, δ), each 2 bytes in UTF-8 — byte-counted
+// widths padded those cells short and pushed every following column out of
+// alignment.
+func TestTableRenderAlignsMultibyteRunes(t *testing.T) {
+	tab := &Table{
+		Title:   "alignment",
+		Columns: []string{"η", "detection α", "value"},
+		Rows: [][]string{
+			{"-1.50", "90.0%", "ok"},
+			{"δδδδδδδ", "β", "x"},
+		},
+	}
+	var b strings.Builder
+	tab.Render(&b)
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, two rows
+		t.Fatalf("unexpected render shape (%d lines):\n%s", len(lines), b.String())
+	}
+
+	// Column starts must line up when measured in runes. Widths: col0 =
+	// max(1, 5, 7) = 7, col1 = max(11, 5, 1) = 11; every line after the
+	// title is "  " + col0 padded to 7 + "  " + col1 padded to 11 + "  " +
+	// col2.
+	content := lines[1:]
+	// The third column starts after 2+7+2+11+2 runes on every line.
+	const col2Start = 2 + 7 + 2 + 11 + 2
+	for li, line := range content {
+		runes := []rune(line)
+		if len(runes) < col2Start {
+			t.Fatalf("line %d too short: %q", li, line)
+		}
+		cell := strings.TrimSpace(string(runes[col2Start:]))
+		switch li {
+		case 0:
+			if cell != "value" {
+				t.Errorf("header column 3 misaligned: %q (line %q)", cell, line)
+			}
+		case 2:
+			if cell != "ok" {
+				t.Errorf("row 1 column 3 misaligned: %q (line %q)", cell, line)
+			}
+		case 3:
+			if cell != "x" {
+				t.Errorf("row 2 column 3 misaligned: %q (line %q)", cell, line)
+			}
+		}
+	}
+
+	// The separator's dashes match the rune widths exactly.
+	sep := strings.Fields(content[1])
+	wantWidths := []int{7, 11, 5}
+	if len(sep) != len(wantWidths) {
+		t.Fatalf("separator has %d runs: %q", len(sep), content[1])
+	}
+	for i, s := range sep {
+		if utf8.RuneCountInString(s) != wantWidths[i] {
+			t.Errorf("separator %d is %d dashes, want %d", i, utf8.RuneCountInString(s), wantWidths[i])
+		}
+	}
+}
+
+// TestPadCountsRunes pins the padding primitive directly.
+func TestPadCountsRunes(t *testing.T) {
+	if got := pad("η", 3); got != "η  " {
+		t.Errorf("pad(η, 3) = %q", got)
+	}
+	if got := pad("abc", 2); got != "abc" {
+		t.Errorf("pad over-width = %q", got)
+	}
+	if got := utf8.RuneCountInString(pad("β", 5)); got != 5 {
+		t.Errorf("padded rune width = %d, want 5", got)
+	}
+}
+
+// TestDisplayWidthCombiningMarks: b̃ — the compensation symbol the tables
+// print — is base letter + combining tilde: two runes, one display cell. A
+// plain rune count would pad it one column short.
+func TestDisplayWidthCombiningMarks(t *testing.T) {
+	if got := displayWidth("b̃"); got != 1 {
+		t.Fatalf("displayWidth(b̃) = %d, want 1", got)
+	}
+	if got := displayWidth("compensation b̃ (Eq. 5)"); got != 22 {
+		t.Fatalf("displayWidth(fig10 label) = %d, want 22", got)
+	}
+	tab := &Table{
+		Title:   "combining",
+		Columns: []string{"b̃", "v"},
+		Rows:    [][]string{{"123456", "x"}},
+	}
+	var b strings.Builder
+	tab.Render(&b)
+	lines := strings.Split(b.String(), "\n")
+	if want := "  " + pad("b̃", 6) + "  v"; lines[1] != want {
+		t.Errorf("header = %q, want %q", lines[1], want)
+	}
+	if want := "  123456  x"; lines[3] != want {
+		t.Errorf("row = %q, want %q", lines[3], want)
+	}
+}

@@ -11,6 +11,7 @@
 package live
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -41,6 +42,10 @@ type Runtime struct {
 	conds   map[msg.NodeID]net.Conditions
 	stopped bool
 
+	// timers tracks every pending AfterFunc so Close can cancel the not-yet
+	// fired ones instead of waiting out their delays (a run cancelled
+	// mid-stream has chunk injections scheduled all the way to its horizon).
+	timers   runtime.Timers
 	inflight sync.WaitGroup
 }
 
@@ -81,10 +86,7 @@ func (n *nodeCtx) After(d time.Duration, fn func()) {
 	if d < 0 {
 		d = 0
 	}
-	if !n.rt.addInflight() {
-		return
-	}
-	time.AfterFunc(d, func() {
+	n.rt.schedule(d, func() {
 		defer n.rt.inflight.Done()
 		if n.rt.isStopped() {
 			return
@@ -155,10 +157,7 @@ func (r *Runtime) After(d time.Duration, fn func()) {
 	if d < 0 {
 		d = 0
 	}
-	if !r.addInflight() {
-		return
-	}
-	time.AfterFunc(d, func() {
+	r.schedule(d, func() {
 		defer r.inflight.Done()
 		if r.isStopped() {
 			return
@@ -178,10 +177,20 @@ func (r *Runtime) Now() time.Duration { return time.Since(r.start) }
 
 // Run blocks until the runtime is `until` old: the live analogue of
 // advancing virtual time. Message handling continues on the node goroutines
-// while the caller sleeps.
-func (r *Runtime) Run(until time.Duration) {
-	if d := until - r.Now(); d > 0 {
-		time.Sleep(d)
+// while the caller sleeps. Cancelling ctx wakes the sleep immediately and
+// returns ctx.Err(); delivery keeps running until Close.
+func (r *Runtime) Run(ctx context.Context, until time.Duration) error {
+	d := until - r.Now()
+	if d <= 0 {
+		return ctx.Err()
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return ctx.Err()
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }
 
@@ -198,17 +207,22 @@ func (r *Runtime) isStopped() bool {
 	return r.stopped
 }
 
-// addInflight registers one in-flight callback unless the runtime has
-// stopped. The counter must only grow under the runtime lock: Close flips
-// stopped under the same lock before waiting, so no Add can start once the
-// Wait is reachable — the misuse the WaitGroup contract forbids.
-func (r *Runtime) addInflight() bool {
+// schedule atomically — with respect to Close — registers one in-flight
+// callback AND its timer, unless the runtime has stopped (then nothing is
+// scheduled and false is returned). Both steps happen under the runtime
+// lock: Close flips stopped under the same lock before cancelling timers
+// and waiting, so every timer either registers in time to be cancelled by
+// StopAll or never registers at all — a timer slipping through the gap
+// would stall Close for its full delay, and a late inflight.Add would
+// race the WaitGroup contract.
+func (r *Runtime) schedule(d time.Duration, fn func()) bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.stopped {
 		return false
 	}
 	r.inflight.Add(1)
+	r.timers.AfterFunc(d, fn)
 	return true
 }
 
@@ -255,13 +269,7 @@ func (r *Runtime) Send(from, to msg.NodeID, m msg.Message, mode net.Mode) {
 		return
 	}
 
-	if !r.addInflight() {
-		if r.collector != nil {
-			r.collector.OnDrop(m)
-		}
-		return
-	}
-	time.AfterFunc(latency, func() {
+	delivered := r.schedule(latency, func() {
 		defer r.inflight.Done()
 		if r.isStopped() {
 			return
@@ -282,14 +290,20 @@ func (r *Runtime) Send(from, to msg.NodeID, m msg.Message, mode net.Mode) {
 			dstCtx.h.HandleMessage(from, decoded)
 		}
 	})
+	if !delivered && r.collector != nil {
+		r.collector.OnDrop(m)
+	}
 }
 
-// Close stops delivery and waits for in-flight callbacks to finish. It is
-// idempotent and safe to call from several goroutines: every caller returns
-// only after the drain completes.
+// Close stops delivery, cancels every timer that has not fired, and waits
+// for in-flight callbacks to finish. It is idempotent and safe to call from
+// several goroutines: every caller returns only after the drain completes.
 func (r *Runtime) Close() {
 	r.mu.Lock()
 	r.stopped = true
 	r.mu.Unlock()
+	// A cancelled timer's callback never runs, so its in-flight count is
+	// released here; timers caught mid-fire release their own.
+	r.timers.StopAll(r.inflight.Done)
 	r.inflight.Wait()
 }

@@ -1,6 +1,7 @@
 package runtime_test
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -30,7 +31,7 @@ func TestSimBackendContract(t *testing.T) {
 	if len(order) != 1 || order[0] != "exec" {
 		t.Fatalf("sim Exec not inline: %v", order)
 	}
-	rt.Run(20 * time.Millisecond)
+	rt.Run(context.Background(), 20*time.Millisecond)
 	if len(order) != 2 || order[1] != "after" {
 		t.Fatalf("After callback did not run: %v", order)
 	}
@@ -54,14 +55,14 @@ func TestSimBackendDelivery(t *testing.T) {
 	rt.Attach(2, h)
 
 	rt.Network().Send(1, 2, &msg.ScoreReq{Sender: 1, Target: 2}, net.Reliable)
-	rt.Run(time.Second)
+	rt.Run(context.Background(), time.Second)
 	if len(h.got) != 1 {
 		t.Fatalf("delivered %d messages, want 1", len(h.got))
 	}
 
 	rt.SetDown(2, true)
 	rt.Network().Send(1, 2, &msg.ScoreReq{Sender: 1, Target: 2}, net.Reliable)
-	rt.Run(2 * time.Second)
+	rt.Run(context.Background(), 2*time.Second)
 	if len(h.got) != 1 {
 		t.Fatal("down node received a message")
 	}
@@ -110,7 +111,7 @@ func TestRegistryBuildsBackends(t *testing.T) {
 		}
 		fired := make(chan struct{})
 		rt.After(time.Millisecond, func() { close(fired) })
-		rt.Run(5 * time.Millisecond)
+		rt.Run(context.Background(), 5*time.Millisecond)
 		if k == runtime.KindSim {
 			// Virtual time: the callback ran synchronously during Run.
 		}

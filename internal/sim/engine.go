@@ -88,6 +88,25 @@ func (e *Engine) Run(until time.Duration) uint64 {
 	return e.events - start
 }
 
+// RunChunk executes at most max events up to until and returns the number
+// executed. It advances the clock to until only once the queue is drained of
+// events at or before that instant, so callers can interleave bounded event
+// bursts with cancellation checks and still end on the same clock as one
+// uninterrupted Run.
+func (e *Engine) RunChunk(until time.Duration, max uint64) uint64 {
+	start := e.events
+	for e.queue.Len() > 0 && e.events-start < max {
+		if e.queue[0].at > until {
+			break
+		}
+		e.Step()
+	}
+	if (e.queue.Len() == 0 || e.queue[0].at > until) && e.now < until {
+		e.now = until
+	}
+	return e.events - start
+}
+
 // RunAll executes events until the queue is empty and returns the number of
 // events executed. Use only for workloads that provably quiesce.
 func (e *Engine) RunAll() uint64 {

@@ -17,6 +17,7 @@
 package transport
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	gonet "net"
@@ -87,6 +88,9 @@ type Runtime struct {
 
 	bufs sync.Pool // frame buffers on the send path
 
+	// timers tracks pending AfterFuncs so Close can cancel the not-yet fired
+	// ones instead of waiting out their delays.
+	timers   runtime.Timers
 	inflight sync.WaitGroup // timers, Execs and delayed sends
 	loops    sync.WaitGroup // per-socket receive loops
 }
@@ -144,10 +148,7 @@ func (n *nodeCtx) After(d time.Duration, fn func()) {
 	if d < 0 {
 		d = 0
 	}
-	if !n.rt.addInflight() {
-		return
-	}
-	time.AfterFunc(d, func() {
+	n.rt.schedule(d, func() {
 		defer n.rt.inflight.Done()
 		if n.rt.isClosed() {
 			return
@@ -265,10 +266,7 @@ func (r *Runtime) After(d time.Duration, fn func()) {
 	if d < 0 {
 		d = 0
 	}
-	if !r.addInflight() {
-		return
-	}
-	time.AfterFunc(d, func() {
+	r.schedule(d, func() {
 		defer r.inflight.Done()
 		if r.isClosed() {
 			return
@@ -286,10 +284,21 @@ func (r *Runtime) Exec(id msg.NodeID, fn func()) {
 func (r *Runtime) Now() time.Duration { return time.Since(r.start) }
 
 // Run implements runtime.Runtime: it blocks until the runtime is `until`
-// old; sockets keep delivering on their own goroutines meanwhile.
-func (r *Runtime) Run(until time.Duration) {
-	if d := until - r.Now(); d > 0 {
-		time.Sleep(d)
+// old; sockets keep delivering on their own goroutines meanwhile. Cancelling
+// ctx wakes the sleep immediately and returns ctx.Err(); sockets stay open
+// until Close.
+func (r *Runtime) Run(ctx context.Context, until time.Duration) error {
+	d := until - r.Now()
+	if d <= 0 {
+		return ctx.Err()
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return ctx.Err()
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }
 
@@ -306,17 +315,22 @@ func (r *Runtime) isClosed() bool {
 	return r.closed
 }
 
-// addInflight registers one in-flight callback unless the runtime has
-// closed; the counter only grows while the closed flag is held shared, and
-// Close flips the flag under the exclusive lock before waiting, so Adds
-// cannot race Close's Wait.
-func (r *Runtime) addInflight() bool {
+// schedule atomically — with respect to Close — registers one in-flight
+// callback AND its timer, unless the runtime has closed (then nothing is
+// scheduled and false is returned). Both steps happen while the closed flag
+// is held shared: Close flips the flag under the exclusive lock before
+// cancelling timers and waiting, so every timer either registers in time to
+// be cancelled by StopAll or never registers — a timer slipping through the
+// gap would stall Close for its full delay, and a late inflight.Add would
+// race the WaitGroup contract.
+func (r *Runtime) schedule(d time.Duration, fn func()) bool {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	if r.closed {
 		return false
 	}
 	r.inflight.Add(1)
+	r.timers.AfterFunc(d, fn)
 	return true
 }
 
@@ -427,18 +441,16 @@ func (r *Runtime) Send(from, to msg.NodeID, m msg.Message, mode net.Mode) {
 		write()
 		return
 	}
-	if !r.addInflight() {
-		r.bufs.Put(bufp)
-		return
-	}
-	time.AfterFunc(latency, func() {
+	if !r.schedule(latency, func() {
 		defer r.inflight.Done()
 		if r.isClosed() {
 			r.bufs.Put(bufp)
 			return
 		}
 		write()
-	})
+	}) {
+		r.bufs.Put(bufp)
+	}
 }
 
 // recvLoop reads datagrams off one node's socket until the runtime closes:
@@ -503,9 +515,9 @@ func (r *Runtime) recvLoop(n *nodeCtx) {
 }
 
 // Close implements runtime.Runtime: it stops delivery, closes every socket,
-// and waits for receive loops and in-flight callbacks to drain. Close is
-// idempotent and safe to call concurrently; every caller returns only after
-// the drain completes.
+// cancels every timer that has not fired, and waits for receive loops and
+// in-flight callbacks to drain. Close is idempotent and safe to call
+// concurrently; every caller returns only after the drain completes.
 func (r *Runtime) Close() {
 	r.mu.Lock()
 	first := !r.closed
@@ -520,6 +532,9 @@ func (r *Runtime) Close() {
 	for _, c := range conns {
 		c.Close()
 	}
+	// A cancelled timer's callback never runs (a delayed send's frame buffer
+	// is simply dropped); release the in-flight count it holds.
+	r.timers.StopAll(r.inflight.Done)
 	r.inflight.Wait()
 	r.loops.Wait()
 }
