@@ -11,13 +11,17 @@ test:
 
 # The concurrent halves of the runtime seam under the race detector, plus
 # the reputation substrate (manager boards are hit from node goroutines
-# while the harness ticks periods and hands state off).
+# while the harness ticks periods and hands state off) and the sharded
+# discrete-event engine (node events run on shard goroutines inside
+# lookahead windows).
 race:
-	$(GO) test -race -timeout 600s ./internal/live/ ./internal/cluster/ ./internal/transport/ ./internal/reputation/ ./internal/membership/
+	$(GO) test -race -timeout 600s ./internal/live/ ./internal/cluster/ ./internal/transport/ ./internal/reputation/ ./internal/membership/ ./internal/sim/
 
-# Regenerate the perf trajectory document for this PR.
+# Regenerate the perf trajectory document for this PR, gating on the
+# previous PR's baseline (normalized by the calibration loop, so a slower
+# machine does not read as a regression).
 bench:
-	$(GO) run ./cmd/lifting-bench -out BENCH_PR5.json
+	$(GO) run ./cmd/lifting-bench -check -baseline BENCH_PR5.json -out BENCH_PR6.json
 
 # Extended fuzzing of the network-facing decoder (the committed seed corpus
 # replays on every plain `go test`).

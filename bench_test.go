@@ -8,6 +8,7 @@ package lifting_test
 
 import (
 	"context"
+	gort "runtime"
 	"strconv"
 	"testing"
 	"time"
@@ -242,6 +243,35 @@ func BenchmarkDisseminationThroughput(b *testing.B) {
 	p.Duration = 5 * time.Second
 	for i := 0; i < b.N; i++ {
 		_, _, _ = experiment.Fig14(context.Background(), p, []time.Duration{5 * time.Second})
+	}
+}
+
+// BenchmarkScale10k measures the sharded discrete-event engine on the
+// headline workload: the 10k-node scale run (calibration pilot + 300-node
+// baseline + 10k-node target, ~20M events) at a CI-sized 15 s stream.
+// Metrics: ns and heap allocations per executed event of the target run,
+// and the expulsion verdict as a 0/1 gate (any regression to a partial
+// cohort or honest casualties moves it). One iteration is minutes of work;
+// the bench driver runs it with -benchtime 1x.
+func BenchmarkScale10k(b *testing.B) {
+	cfg := experiment.DefaultScaleConfig()
+	cfg.Duration = 15 * time.Second
+	for i := 0; i < b.N; i++ {
+		var m0, m1 gort.MemStats
+		gort.ReadMemStats(&m0)
+		_, res, err := experiment.Scale(context.Background(), cfg)
+		gort.ReadMemStats(&m1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ev := float64(res.Target.Events)
+		b.ReportMetric(float64(res.Target.Elapsed.Nanoseconds())/ev, "ns/event")
+		b.ReportMetric(float64(m1.Mallocs-m0.Mallocs)/ev, "allocs/event")
+		verdict := 0.0
+		if res.Agree && res.Target.CohortExpelled() && res.Target.HonestClean() {
+			verdict = 1
+		}
+		b.ReportMetric(verdict, "verdict-clean")
 	}
 }
 

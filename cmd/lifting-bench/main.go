@@ -6,18 +6,28 @@
 //
 // Usage:
 //
-//	go run ./cmd/lifting-bench -out BENCH_PR5.json
+//	go run ./cmd/lifting-bench -out BENCH_PR6.json
+//	go run ./cmd/lifting-bench -check -baseline BENCH_PR5.json
 //
-// or, equivalently, `make bench`.
+// or, equivalently, `make bench`. With -check the run additionally compares
+// every benchmark against the baseline report and exits nonzero on a > 1.3×
+// regression in normalized ns/op. Normalization divides each ns/op by the
+// machine's score on a fixed arithmetic calibration loop (recorded in the
+// report as calibration_ns), so a baseline taken on faster hardware does
+// not read as a regression on slower hardware — the trajectory files are
+// produced by whatever machine ran the PR, not a fixed rig. Baselines that
+// predate the calibration field are compared raw, with a warning.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/exec"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -34,13 +44,16 @@ type Result struct {
 
 // Report is the document written to -out.
 type Report struct {
-	GeneratedAt string   `json:"generated_at"`
-	GoVersion   string   `json:"go_version"`
-	GOOS        string   `json:"goos"`
-	GOARCH      string   `json:"goarch"`
-	CPU         string   `json:"cpu,omitempty"`
-	Suites      []string `json:"suites"`
-	Benchmarks  []Result `json:"benchmarks"`
+	GeneratedAt string `json:"generated_at"`
+	GoVersion   string `json:"go_version"`
+	GOOS        string `json:"goos"`
+	GOARCH      string `json:"goarch"`
+	CPU         string `json:"cpu,omitempty"`
+	// CalibrationNs is the machine's time for one pass of the fixed
+	// calibration loop — the per-report speed yardstick -check divides by.
+	CalibrationNs float64  `json:"calibration_ns,omitempty"`
+	Suites        []string `json:"suites"`
+	Benchmarks    []Result `json:"benchmarks"`
 }
 
 // suite is one `go test -bench` invocation.
@@ -61,8 +74,9 @@ var suites = []suite{
 	{pkg: "./internal/msg/", pattern: "BenchmarkEncode$|BenchmarkEncodeFresh$|BenchmarkDecode$|BenchmarkFrameRoundTrip$", benchtime: "200000x"},
 	{pkg: "./internal/membership/", pattern: "BenchmarkManagers$|BenchmarkManagersUncached$", benchtime: "200000x"},
 	{pkg: "./internal/reputation/", pattern: "BenchmarkClientFlush$", benchtime: "5000x"},
+	{pkg: "./internal/sim/", pattern: "BenchmarkEngineDrain$|BenchmarkEngineSharded$", benchtime: "2000000x"},
 	{pkg: "./internal/experiment/", pattern: "BenchmarkRegistryDispatch$|BenchmarkResultJSONEncode$", benchtime: "2000x"},
-	{pkg: "./", pattern: "BenchmarkFig10WrongfulBlames$|BenchmarkFig10WrongfulBlamesSerial$|BenchmarkFig11ScoreSeparation$|BenchmarkFig11ScoreSeparationSerial$|BenchmarkChurn$|BenchmarkMatrix$", benchtime: "1x"},
+	{pkg: "./", pattern: "BenchmarkFig10WrongfulBlames$|BenchmarkFig10WrongfulBlamesSerial$|BenchmarkFig11ScoreSeparation$|BenchmarkFig11ScoreSeparationSerial$|BenchmarkChurn$|BenchmarkMatrix$|BenchmarkScale10k$", benchtime: "1x"},
 }
 
 func main() {
@@ -71,16 +85,23 @@ func main() {
 
 func run(args []string) int {
 	fs := flag.NewFlagSet("lifting-bench", flag.ContinueOnError)
-	out := fs.String("out", "BENCH_PR5.json", "output JSON path")
+	out := fs.String("out", "BENCH_PR6.json", "output JSON path")
+	baseline := fs.String("baseline", "", "baseline report to compare against (used by -check)")
+	check := fs.Bool("check", false, "after writing -out, compare against -baseline and exit 1 on >1.3x normalized ns/op regressions")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *check && *baseline == "" {
+		fmt.Fprintln(os.Stderr, "lifting-bench: -check needs -baseline")
 		return 2
 	}
 
 	report := Report{
-		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
-		GoVersion:   runtime.Version(),
-		GOOS:        runtime.GOOS,
-		GOARCH:      runtime.GOARCH,
+		GeneratedAt:   time.Now().UTC().Format(time.RFC3339),
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		CalibrationNs: calibrate(),
 	}
 	for _, s := range suites {
 		report.Suites = append(report.Suites, fmt.Sprintf("go test -run ^$ -bench '%s' -benchtime %s %s", s.pattern, s.benchtime, s.pkg))
@@ -112,7 +133,119 @@ func run(args []string) int {
 		return 1
 	}
 	fmt.Printf("wrote %d benchmark results to %s\n", len(report.Benchmarks), *out)
+
+	if *check {
+		base, err := loadReport(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lifting-bench: %v\n", err)
+			return 1
+		}
+		if n := compare(base, report, os.Stdout); n > 0 {
+			fmt.Fprintf(os.Stderr, "lifting-bench: %d benchmark(s) regressed more than %.1fx vs %s\n", n, regressionRatio, *baseline)
+			return 1
+		}
+		fmt.Printf("no regressions beyond %.1fx vs %s\n", regressionRatio, *baseline)
+	}
 	return 0
+}
+
+// regressionRatio is the normalized slowdown -check tolerates: generous
+// enough for run-to-run noise in the 1x cluster benches, tight enough that
+// an accidental O(n) → O(n log n) on a hot path trips it.
+const regressionRatio = 1.3
+
+// calibrate times one pass of a fixed xorshift loop (2^26 steps, pure
+// register arithmetic — no memory traffic, no allocation) and returns the
+// best of five trials in nanoseconds. The loop is the report's speed
+// yardstick: two reports' ns/op divided by their own calibration_ns are
+// comparable across machines of different clock speed.
+func calibrate() float64 {
+	best := 0.0
+	for trial := 0; trial < 5; trial++ {
+		start := time.Now()
+		x := uint64(0x9E3779B97F4A7C15)
+		for i := 0; i < 1<<26; i++ {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+		}
+		calSink = x
+		if ns := float64(time.Since(start).Nanoseconds()); best == 0 || ns < best {
+			best = ns
+		}
+	}
+	return best
+}
+
+// calSink keeps the calibration loop's result observable so the compiler
+// cannot delete the loop.
+var calSink uint64
+
+func loadReport(path string) (Report, error) {
+	var r Report
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(b, &r); err != nil {
+		return r, fmt.Errorf("%s: %v", path, err)
+	}
+	return r, nil
+}
+
+// compare prints a per-benchmark ratio table (current vs baseline,
+// normalized by each report's calibration when both carry one) and returns
+// the number of regressions beyond regressionRatio. Benchmarks present in
+// only one report are listed but never counted: a new benchmark has no
+// baseline, a removed one no current.
+func compare(base, cur Report, w io.Writer) int {
+	norm := base.CalibrationNs > 0 && cur.CalibrationNs > 0
+	scale := 1.0
+	if norm {
+		scale = base.CalibrationNs / cur.CalibrationNs
+		fmt.Fprintf(w, "calibration: baseline %.0f ns, current %.0f ns (machine speed ratio %.2fx); comparing normalized ns/op\n",
+			base.CalibrationNs, cur.CalibrationNs, 1/scale)
+	} else {
+		fmt.Fprintf(w, "calibration missing from baseline; comparing raw ns/op\n")
+	}
+	baseBy := make(map[string]Result, len(base.Benchmarks))
+	for _, r := range base.Benchmarks {
+		baseBy[r.Package+" "+r.Name] = r
+	}
+	keys := make([]string, 0, len(cur.Benchmarks))
+	curBy := make(map[string]Result, len(cur.Benchmarks))
+	for _, r := range cur.Benchmarks {
+		k := r.Package + " " + r.Name
+		curBy[k] = r
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	regressions := 0
+	for _, k := range keys {
+		c := curBy[k]
+		b, ok := baseBy[k]
+		if !ok || b.NsPerOp <= 0 {
+			fmt.Fprintf(w, "  %-60s %12.1f ns/op  (no baseline)\n", k, c.NsPerOp)
+			continue
+		}
+		ratio := c.NsPerOp * scale / b.NsPerOp
+		verdict := ""
+		if ratio > regressionRatio {
+			verdict = "  REGRESSION"
+			regressions++
+		}
+		fmt.Fprintf(w, "  %-60s %12.1f ns/op  %6.2fx%s\n", k, c.NsPerOp, ratio, verdict)
+		delete(baseBy, k)
+	}
+	removed := make([]string, 0, len(baseBy))
+	for k := range baseBy {
+		removed = append(removed, k)
+	}
+	sort.Strings(removed)
+	for _, k := range removed {
+		fmt.Fprintf(w, "  %-60s %12s           (removed)\n", k, "-")
+	}
+	return regressions
 }
 
 // stripCPUSuffix removes the trailing "-N" GOMAXPROCS suffix from a

@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestParseBenchOutput(t *testing.T) {
 	out := `goos: linux
@@ -48,5 +51,44 @@ func TestStripCPUSuffix(t *testing.T) {
 func TestRunRejectsBadFlags(t *testing.T) {
 	if code := run([]string{"-nope"}); code != 2 {
 		t.Errorf("run(-nope) = %d, want 2", code)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base := Report{
+		CalibrationNs: 100,
+		Benchmarks: []Result{
+			{Name: "BenchmarkA", Package: "p", NsPerOp: 100},
+			{Name: "BenchmarkB", Package: "p", NsPerOp: 100},
+			{Name: "BenchmarkGone", Package: "p", NsPerOp: 50},
+		},
+	}
+	// Current machine is 2x slower (calibration 200 vs 100), so raw 2x on
+	// BenchmarkA is normalized away, while BenchmarkB's raw 4x is a real 2x.
+	cur := Report{
+		CalibrationNs: 200,
+		Benchmarks: []Result{
+			{Name: "BenchmarkA", Package: "p", NsPerOp: 200},
+			{Name: "BenchmarkB", Package: "p", NsPerOp: 400},
+			{Name: "BenchmarkNew", Package: "p", NsPerOp: 10},
+		},
+	}
+	var buf strings.Builder
+	if n := compare(base, cur, &buf); n != 1 {
+		t.Fatalf("compare = %d regressions, want 1 (BenchmarkB)\n%s", n, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"p BenchmarkB", "REGRESSION", "(no baseline)", "(removed)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("compare output missing %q:\n%s", want, out)
+		}
+	}
+
+	// A baseline without calibration falls back to raw ns/op: now the 2x on
+	// BenchmarkA counts too.
+	base.CalibrationNs = 0
+	buf.Reset()
+	if n := compare(base, cur, &buf); n != 2 {
+		t.Fatalf("raw compare = %d regressions, want 2\n%s", n, buf.String())
 	}
 }

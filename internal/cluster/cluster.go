@@ -16,6 +16,8 @@ package cluster
 import (
 	"context"
 	"fmt"
+	gort "runtime"
+	"slices"
 	"sort"
 	"sync"
 	"time"
@@ -67,6 +69,15 @@ type Options struct {
 	// socket transport in single-process-many-sockets mode
 	// (runtime.KindUDP).
 	Backend runtime.Kind
+	// Shards partitions the discrete-event engine for eligible
+	// configurations (sim-backend LiFTinG runs in message mode with no
+	// external harness callbacks): 0 keeps the legacy serial engine, -1
+	// uses one shard per CPU, n >= 1 forces exactly n shards. Seeded
+	// results are byte-identical for every shard count >= 1 — including -1
+	// on any machine — but sharded runs legitimately differ from serial
+	// ones: the sharded network draws each node's latency and loss from a
+	// per-node random stream instead of one shared stream.
+	Shards int
 	// Gossip is the dissemination configuration.
 	Gossip gossip.Config
 	// Core is LiFTinG's configuration. Used when LiFTinG is enabled.
@@ -148,6 +159,15 @@ type Cluster struct {
 	handoffs      int
 	rebalance     bool // a manager rebalance is scheduled
 	rebalanceFull bool // ...and must rescan every assignment (a join)
+
+	// Message-mode rebalance bookkeeping: the manager set last applied per
+	// target, its reverse index (manager -> targets it manages), and the
+	// nodes removed since the last rebalance. Together they make a
+	// removal-triggered rebalance O(affected targets) instead of O(N·M):
+	// only the departed managers' targets can change assignment.
+	lastMgrs       map[msg.NodeID][]msg.NodeID
+	mgrTargets     map[msg.NodeID]map[msg.NodeID]bool
+	pendingRemoved []msg.NodeID
 }
 
 // ownedClient pairs a blame client with the node whose execution context
@@ -246,10 +266,17 @@ func New(opts Options) *Cluster {
 		Freeriders: make(map[msg.NodeID]bool),
 		root:       rng.New(opts.Seed),
 		nextID:     msg.NodeID(opts.N),
+		lastMgrs:   make(map[msg.NodeID][]msg.NodeID),
+		mgrTargets: make(map[msg.NodeID]map[msg.NodeID]bool),
 	}
 
 	if opts.Backend == runtime.KindSim {
-		engine := sim.NewEngine()
+		var engine *sim.Engine
+		if s := c.shardable(); s > 0 {
+			engine = sim.NewSharded(s, opts.NetDefaults.LatencyBase)
+		} else {
+			engine = sim.NewEngine()
+		}
 		simnet := net.NewSimNet(engine, c.root.Derive("net"), c.Collector, opts.NetDefaults)
 		c.Engine = engine
 		c.Net = simnet
@@ -270,7 +297,6 @@ func New(opts Options) *Cluster {
 		c.Board = reputation.NewBoard(opts.Rep.Compensation)
 	}
 	c.repCfg = opts.Rep
-	c.repCfg.OnExpel = func(target msg.NodeID, reason msg.BlameReason) { c.expel(target) }
 
 	for i := 0; i < opts.N; i++ {
 		c.buildNode(msg.NodeID(i))
@@ -346,7 +372,13 @@ func (c *Cluster) buildNode(id msg.NodeID) {
 		var aux auxChain
 		aux = append(aux, verifier)
 		if opts.BlameMode == BlameMessages {
-			manager = reputation.NewManager(id, c.repCfg, netw, c.Dir)
+			// The expulsion callback carries the hosting manager's id: under
+			// a sharded engine it fires inside a lookahead window, and the
+			// resulting membership mutation must be deferred to the global
+			// phase keyed by the node that triggered it.
+			mcfg := c.repCfg
+			mcfg.OnExpel = func(target msg.NodeID, _ msg.BlameReason) { c.expelFrom(id, target) }
+			manager = reputation.NewManager(id, mcfg, netw, c.Dir)
 			aux = append(aux, managerAux{manager})
 		}
 		if id == 0 {
@@ -391,9 +423,11 @@ func (c *Cluster) registerScorekeepers(id msg.NodeID, p msg.Period) {
 		c.Board.Join(id)
 		c.boardMu.Unlock()
 	case BlameMessages:
+		set := c.Dir.Managers(id, c.Opts.Rep.M)
 		c.mu.Lock()
-		mgrs := make([]*reputation.Manager, 0, c.Opts.Rep.M)
-		for _, m := range c.Dir.Managers(id, c.Opts.Rep.M) {
+		c.setAssignmentLocked(id, set)
+		mgrs := make([]*reputation.Manager, 0, len(set))
+		for _, m := range set {
 			if mgr, ok := c.Managers[m]; ok {
 				mgrs = append(mgrs, mgr)
 			}
@@ -403,6 +437,63 @@ func (c *Cluster) registerScorekeepers(id msg.NodeID, p msg.Period) {
 			mgr.Track(id, p)
 		}
 	}
+}
+
+// setAssignmentLocked records set as target's current manager assignment
+// and maintains the reverse index. Callers hold c.mu. The slice comes from
+// Directory.Managers and is shared and read-only.
+func (c *Cluster) setAssignmentLocked(target msg.NodeID, set []msg.NodeID) {
+	for _, m := range c.lastMgrs[target] {
+		delete(c.mgrTargets[m], target)
+	}
+	c.lastMgrs[target] = set
+	for _, m := range set {
+		ts := c.mgrTargets[m]
+		if ts == nil {
+			ts = make(map[msg.NodeID]bool)
+			c.mgrTargets[m] = ts
+		}
+		ts[target] = true
+	}
+}
+
+// shardable returns the shard count to run the discrete-event engine with,
+// or 0 for the legacy serial engine. Sharding requires the sim backend, a
+// positive base latency (the lookahead window), and a configuration whose
+// harness stays out of the event hot path: LiFTinG in message mode (the
+// direct-mode board is a shared mutable global), no per-blame observer and
+// no per-node condition overrides.
+func (c *Cluster) shardable() int {
+	o := &c.Opts
+	if o.Shards == 0 || !o.LiFTinG || o.BlameMode != BlameMessages || o.OnBlame != nil ||
+		o.ConditionsFor != nil || o.NetDefaults.LatencyBase <= 0 {
+		return 0
+	}
+	if o.Shards > 0 {
+		return o.Shards
+	}
+	return max(1, gort.GOMAXPROCS(0))
+}
+
+// ShardCount reports how many shards the engine runs (0 when serial or on
+// a non-sim backend).
+func (c *Cluster) ShardCount() int {
+	if c.Engine == nil {
+		return 0
+	}
+	return c.Engine.ShardCount()
+}
+
+// expelFrom expels target on behalf of owner. Inside a sharded engine
+// window the membership mutation is deferred to the global phase, keyed by
+// owner so the expulsion order is shard-count-independent; everywhere else
+// it applies immediately.
+func (c *Cluster) expelFrom(owner msg.NodeID, target msg.NodeID) {
+	if c.Engine != nil && c.Engine.Sharded() && c.Engine.InWindow() {
+		c.Engine.DeferGlobal(int(owner), func() { c.expel(target) })
+		return
+	}
+	c.expel(target)
 }
 
 // CompensationFor returns the per-period compensation b̃ for the given loss,
@@ -604,6 +695,9 @@ func (c *Cluster) remove(id msg.NodeID, node *gossip.Node) {
 	if node != nil {
 		c.RT.Exec(id, node.Stop)
 	}
+	c.mu.Lock()
+	c.pendingRemoved = append(c.pendingRemoved, id)
+	c.mu.Unlock()
 	// A removal only adds one replacement manager per affected target (the
 	// assignment probes over the unchanged registration set, skipping the
 	// departed node), so the cheap gains-only rebalance suffices.
@@ -673,7 +767,7 @@ func (c *Cluster) Auditor(onOutcome func(core.AuditOutcome)) *core.Auditor {
 	c.auditor = core.NewAuditor(0, c.Opts.Core, c.RT.Context(0), c.RT.Network(), c.root.Derive("auditor"), sink,
 		func(out core.AuditOutcome) {
 			if out.Expel {
-				c.expel(out.Target)
+				c.expelFrom(0, out.Target)
 			}
 			if onOutcome != nil {
 				onOutcome(out)
@@ -818,26 +912,52 @@ func (c *Cluster) scheduleRebalance(full bool) {
 	c.RT.After(0, c.rebalanceManagers)
 }
 
-// rebalanceManagers recomputes the manager set of every known target after
-// a membership change and performs the state handoff: a manager that became
-// responsible for a target adopts the most pessimistic replica (largest
-// accumulated blame — consistent with min-vote reads), and managers no
-// longer responsible drop their copy. Deterministic under the simulator:
-// targets in registration order, managers in id order.
+// rebalanceManagers recomputes manager assignments after a membership
+// change and performs the state handoff: a manager that became responsible
+// for a target adopts the most pessimistic replica (consistent with
+// min-vote reads), and managers no longer responsible drop their copy.
+// Deterministic under the simulator: targets in id order, candidate
+// replicas in id order.
+//
+// The pass is incremental. The directory's probe assignment only changes a
+// target's manager set when one of the recorded managers left (a removal)
+// or the registration set grew (a join), so a removal-triggered rebalance
+// visits only the departed nodes' targets — found through the reverse
+// index — and a join-triggered one walks every target but short-circuits
+// the unchanged assignments. Handoff candidates are the union of the old
+// and new sets: the old set is by construction exactly the target's live
+// tracker set (registration seeds it, every rebalance re-establishes it),
+// so no live replica escapes the pessimism scan. Replicas frozen on
+// long-expelled managers are not candidates — they are equally invisible
+// to min-vote reads, which only consult the current assignment.
 func (c *Cluster) rebalanceManagers() {
 	c.mu.Lock()
 	c.rebalance = false
 	full := c.rebalanceFull
 	c.rebalanceFull = false
+	removed := c.pendingRemoved
+	c.pendingRemoved = nil
 	p := c.period
 	mgrByID := make(map[msg.NodeID]*reputation.Manager, len(c.Managers))
-	ids := make([]msg.NodeID, 0, len(c.Managers))
 	for id, m := range c.Managers {
 		mgrByID[id] = m
-		ids = append(ids, id)
+	}
+	var targets []msg.NodeID
+	if full {
+		targets = c.Dir.All()
+	} else {
+		seen := make(map[msg.NodeID]bool)
+		for _, r := range removed {
+			for t := range c.mgrTargets[r] {
+				if !seen[t] {
+					seen[t] = true
+					targets = append(targets, t)
+				}
+			}
+		}
+		sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
 	}
 	c.mu.Unlock()
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 
 	// A replica's pessimism is its per-period blame rate — the score is
 	// comp − blame/r, so the lowest score is the highest rate, not the
@@ -857,35 +977,34 @@ func (c *Cluster) rebalanceManagers() {
 		return rate(a) > rate(b)
 	}
 	transfers := 0
-	for _, target := range c.Dir.All() {
+	for _, target := range targets {
 		newSet := c.Dir.Managers(target, c.Opts.Rep.M)
-		if !full {
-			// A removal never strips an alive manager of responsibility, so
-			// only targets with a gaining (responsible but not yet
-			// tracking) manager need any work — and no drops are needed.
-			gaining := false
-			for _, m := range newSet {
-				if mgr, ok := mgrByID[m]; ok {
-					if _, tracked := mgr.Snapshot(target); !tracked {
-						gaining = true
-						break
-					}
-				}
-			}
-			if !gaining {
-				continue
-			}
+		c.mu.Lock()
+		oldSet := c.lastMgrs[target]
+		if slices.Equal(oldSet, newSet) {
+			c.mu.Unlock()
+			continue
 		}
-		responsible := make(map[msg.NodeID]bool, len(newSet))
+		c.setAssignmentLocked(target, newSet)
+		c.mu.Unlock()
+		cand := make([]msg.NodeID, 0, len(oldSet)+len(newSet))
+		cand = append(cand, oldSet...)
 		for _, m := range newSet {
-			responsible[m] = true
+			if !slices.Contains(oldSet, m) {
+				cand = append(cand, m)
+			}
 		}
+		sort.Slice(cand, func(i, j int) bool { return cand[i] < cand[j] })
 		// The most pessimistic replica seeds (or upgrades) the responsible
 		// managers, so the min-vote score cannot jump up through a handoff.
 		var best reputation.Entry
 		bestOK := false
-		for _, id := range ids {
-			if e, ok := mgrByID[id].Snapshot(target); ok {
+		for _, id := range cand {
+			mgr, ok := mgrByID[id]
+			if !ok {
+				continue
+			}
+			if e, tracked := mgr.Snapshot(target); tracked {
 				if !bestOK || worse(e, best) {
 					best, bestOK = e, true
 				}
@@ -915,14 +1034,20 @@ func (c *Cluster) rebalanceManagers() {
 			}
 		}
 		if !full {
+			// A removal never strips an alive manager of responsibility:
+			// gains only, no drops.
 			continue
 		}
-		for _, id := range ids {
-			if responsible[id] {
+		for _, id := range cand {
+			if slices.Contains(newSet, id) {
 				continue
 			}
-			if _, tracked := mgrByID[id].Snapshot(target); tracked {
-				mgrByID[id].Drop(target)
+			mgr, ok := mgrByID[id]
+			if !ok {
+				continue
+			}
+			if _, tracked := mgr.Snapshot(target); tracked {
+				mgr.Drop(target)
 			}
 		}
 	}

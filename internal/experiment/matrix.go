@@ -243,6 +243,12 @@ type MatrixConfig struct {
 	Reps int
 	// Workers fans repetitions across goroutines (0 = GOMAXPROCS).
 	Workers int
+	// Shards partitions the discrete-event engine inside each repetition
+	// (0 = serial legacy engine, −1 = one shard per CPU, n ≥ 1 = exactly
+	// n). Scenarios the engine cannot shard deterministically run serial
+	// regardless; for the rest, results are byte-identical for every
+	// shard count ≥ 1.
+	Shards int
 }
 
 // MatrixRow is the aggregated outcome of one scenario on one backend.
@@ -296,6 +302,10 @@ type shape struct {
 	Scenario
 	n, adv int
 	dur    time.Duration
+	// shards is the engine-shard request passed through to every
+	// repetition's cluster (scenarios that are not shardable — direct
+	// blame, per-node conditions — fall back to the serial engine there).
+	shards int
 }
 
 func (s Scenario) resolve(quick bool) shape {
@@ -373,6 +383,7 @@ func (sh shape) options(backend runtime.Kind, seed uint64) cluster.Options {
 		N:       sh.n,
 		Seed:    seed,
 		Backend: backend,
+		Shards:  sh.shards,
 		Gossip: gossip.Config{
 			F:              sh.F,
 			Period:         sh.Period,
@@ -593,6 +604,7 @@ func Matrix(ctx context.Context, cfg MatrixConfig) (*Table, *MatrixResult, error
 			continue
 		}
 		sh := sc.resolve(cfg.Quick)
+		sh.shards = cfg.Shards
 		scRoot := root.Derive(sc.Name)
 
 		// Calibrate b̃ and η once per scenario from an honest pilot (always

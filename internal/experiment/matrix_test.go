@@ -87,21 +87,34 @@ func rowFingerprint(rows []MatrixRow) string {
 	return b.String()
 }
 
-// TestMatrixDeterministicPerBackend runs one matrix scenario twice with the
-// same seed and asserts byte-identical outcomes on the deterministic
-// backend: the registry, the per-rep seed derivation and the parallel
-// repetition driver must not leak scheduling into the results.
+// TestMatrixDeterministicPerBackend runs one matrix scenario under varied
+// execution knobs with the same seed and asserts byte-identical outcomes on
+// the deterministic backend: the registry, the per-rep seed derivation, the
+// parallel repetition driver and the sharded engine must not leak
+// scheduling into the results.
 func TestMatrixDeterministicPerBackend(t *testing.T) {
 	// history-forgery is the regression scenario: the forger's rewrite
 	// draws consume randomness in audit-snapshot record order, so a
-	// map-ordered history snapshot made seeded runs diverge.
-	for _, filter := range []string{"fanout-decrease", "history-forgery"} {
+	// map-ordered history snapshot made seeded runs diverge. blame-spam is
+	// the message-mode scenario, the one that actually runs sharded — its
+	// rows must be identical for every shard count.
+	for _, tc := range []struct {
+		filter string
+		shards []int // engine shard counts beyond the base run's
+	}{
+		{"fanout-decrease", nil},
+		{"history-forgery", nil},
+		{"blame-spam", []int{2, 8}},
+	} {
 		cfg := MatrixConfig{
 			Quick:    true,
-			Filter:   filter,
+			Filter:   tc.filter,
 			Backends: []runtime.Kind{runtime.KindSim},
 			Seed:     42,
 			Reps:     2,
+		}
+		if tc.shards != nil {
+			cfg.Shards = 1
 		}
 		_, a, errA := Matrix(context.Background(), cfg)
 		cfg.Workers = 1 // worker count must not change a single bit either
@@ -110,11 +123,22 @@ func TestMatrixDeterministicPerBackend(t *testing.T) {
 			t.Fatal(errA, errB)
 		}
 		if a.ScenariosRun != 1 || b.ScenariosRun != 1 {
-			t.Fatalf("filter %q matched %d/%d scenarios, want 1", filter, a.ScenariosRun, b.ScenariosRun)
+			t.Fatalf("filter %q matched %d/%d scenarios, want 1", tc.filter, a.ScenariosRun, b.ScenariosRun)
 		}
 		fa, fb := rowFingerprint(a.Rows), rowFingerprint(b.Rows)
 		if fa != fb {
-			t.Fatalf("two identically seeded %s runs diverged:\n--- first ---\n%s--- second ---\n%s", filter, fa, fb)
+			t.Fatalf("two identically seeded %s runs diverged:\n--- first ---\n%s--- second ---\n%s", tc.filter, fa, fb)
+		}
+		for _, s := range tc.shards {
+			cfg.Shards = s
+			_, c, err := Matrix(context.Background(), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fc := rowFingerprint(c.Rows); fc != fa {
+				t.Fatalf("%s with %d engine shards diverged from 1 shard:\n--- S=1 ---\n%s--- S=%d ---\n%s",
+					tc.filter, s, fa, s, fc)
+			}
 		}
 	}
 }

@@ -276,6 +276,7 @@ func init() {
 			if p.Duration > 0 {
 				cfg.Duration = p.Duration
 			}
+			cfg.Shards = p.Shards
 			tab, res, err := Scale(ctx, cfg)
 			if err != nil {
 				return nil, err
@@ -310,6 +311,7 @@ func init() {
 				Filter:   p.Filter,
 				Seed:     p.Seed,
 				Workers:  p.Workers,
+				Shards:   p.Shards,
 			})
 			if err != nil {
 				return nil, err

@@ -47,6 +47,14 @@ type Params struct {
 	// result parameter, and the document of a seeded run must not depend on
 	// the machine that produced it.
 	Workers int `json:"-"`
+	// Shards partitions the discrete-event engine within a run (cluster
+	// experiments that opt in: scale, matrix): 0 = the serial single-heap
+	// engine, −1 = one shard per CPU, n ≥ 1 = exactly n shards. Results
+	// are bit-identical for every shard count ≥ 1 — the engine's lockstep
+	// merge guarantees it — so like Workers this is an execution knob,
+	// excluded from the JSON echo. Only 0 (the serial engine, with its
+	// shared randomness stream) changes results.
+	Shards int `json:"-"`
 	// Backends restricts execution backends. Nil means the experiment
 	// default (sim; for the matrix, every backend a scenario declares).
 	// Single-backend experiments use the first entry.
@@ -58,9 +66,9 @@ type Params struct {
 }
 
 // DefaultParams returns the neutral parameter set: every override off, the
-// Delta/Pdcc sentinels at −1.
+// Delta/Pdcc sentinels at −1 and the engine sharding on auto.
 func DefaultParams() Params {
-	return Params{Delta: -1, Pdcc: -1}
+	return Params{Delta: -1, Pdcc: -1, Shards: -1}
 }
 
 // backend returns the single execution backend the params select.

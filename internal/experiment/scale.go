@@ -43,6 +43,11 @@ type ScaleConfig struct {
 	MeanLoss float64
 	Duration time.Duration
 	Seed     uint64
+	// Shards partitions the discrete-event engine (0 = serial legacy
+	// engine, −1 = one shard per CPU, n ≥ 1 = exactly n). The workload is
+	// message-mode with uniform 5 ms base latency, so it is always
+	// eligible; results are byte-identical for every shard count ≥ 1.
+	Shards int
 }
 
 // DefaultScaleConfig returns the 10k-node scenario.
@@ -67,6 +72,7 @@ func DefaultScaleConfig() ScaleConfig {
 		MeanLoss: 0.01,
 		Duration: 20 * time.Second,
 		Seed:     23,
+		Shards:   -1,
 	}
 }
 
@@ -129,6 +135,7 @@ func (cfg ScaleConfig) scaleOptions(n int) cluster.Options {
 		// The discrete-event engine: 10k real sockets or goroutines is a
 		// deployment question, not this workload's.
 		Backend: runtime.KindSim,
+		Shards:  cfg.Shards,
 		Gossip: gossip.Config{
 			F:              cfg.F,
 			Period:         cfg.Period,

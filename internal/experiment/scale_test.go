@@ -4,6 +4,8 @@ import (
 	"context"
 	"testing"
 	"time"
+
+	"lifting/internal/cluster"
 )
 
 // TestScaleVerdictScaleInvariant runs the scale workload at a reduced
@@ -37,6 +39,42 @@ func TestScaleVerdictScaleInvariant(t *testing.T) {
 	}
 	if res.Target.DetectionMean <= 0 || res.Target.DetectionMean > cfg.Duration {
 		t.Fatalf("mean detection %v outside the run", res.Target.DetectionMean)
+	}
+}
+
+// TestScaleShardInvariant pins the sharded engine's contract at the
+// workload level: one calibration, then the same seeded population run
+// under 1, 2 and 8 engine shards must produce identical results — same
+// expulsions, same virtual detection times, same event count. (Serial — 0
+// shards — legitimately differs: it draws network randomness from one
+// shared stream instead of per-node streams.)
+func TestScaleShardInvariant(t *testing.T) {
+	cfg := DefaultScaleConfig()
+	cfg.N = 600
+	cfg.Duration = 15 * time.Second
+	cal, err := cluster.Calibrate(context.Background(), cfg.scaleOptions(cfg.BaselineN), cfg.Duration)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eta := -10 * cal.ScoreStd
+	var ref ScaleRun
+	for i, s := range []int{1, 2, 8} {
+		cfg.Shards = s
+		run, err := cfg.scaleRun(context.Background(), cfg.N, cal.Compensation, eta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run.Elapsed = 0 // wall clock is the one legitimately varying field
+		if i == 0 {
+			ref = run
+			if !run.CohortExpelled() || !run.HonestClean() {
+				t.Fatalf("S=1 verdict %q, want cohort expelled and honest clean", run.Verdict())
+			}
+			continue
+		}
+		if run != ref {
+			t.Fatalf("S=%d diverged from S=1:\n S=1: %+v\n S=%d: %+v", s, ref, s, run)
+		}
 	}
 }
 

@@ -15,17 +15,32 @@ const reliableSetupFactor = 3
 
 // SimNet delivers messages through the discrete-event engine. It is the
 // simulation-side implementation of Network.
+//
+// Under a serial engine all sends draw loss and jitter from one shared
+// stream, in send order — the legacy behavior, preserved bit for bit.
+// Under a sharded engine sends from different nodes run concurrently, so
+// each sender draws from its own derived stream and tracks its own uplink,
+// keyed by node id: the draw sequence then depends only on the sender's own
+// event order, which is what makes results shard-count-invariant.
 type SimNet struct {
 	engine    *sim.Engine
 	rand      *rng.Stream
 	collector *metrics.Collector
 	handlers  map[msg.NodeID]Handler
 	conds     map[msg.NodeID]*Conditions
-	uplink    map[msg.NodeID]time.Duration // uplink busy-until, per node
+	uplink    map[msg.NodeID]time.Duration // uplink busy-until, per node (serial)
 	defaults  Conditions
+
+	// Sharded-engine state. Only a node's own shard touches its slots
+	// during a window; the slices grow in Attach, which is global-phase
+	// work.
+	sharded    bool
+	nodeRand   []*rng.Stream
+	nodeUplink []time.Duration
 }
 
 var _ Network = (*SimNet)(nil)
+var _ sim.Sink = (*SimNet)(nil)
 
 // NewSimNet creates a network on the given engine. rand is the loss/latency
 // randomness source; collector may be nil to disable accounting; defaults
@@ -39,6 +54,7 @@ func NewSimNet(engine *sim.Engine, rand *rng.Stream, collector *metrics.Collecto
 		conds:     make(map[msg.NodeID]*Conditions),
 		uplink:    make(map[msg.NodeID]time.Duration),
 		defaults:  defaults,
+		sharded:   engine.Sharded(),
 	}
 }
 
@@ -49,6 +65,17 @@ func (n *SimNet) Attach(id msg.NodeID, h Handler) {
 		return
 	}
 	n.handlers[id] = h
+	if n.sharded {
+		for len(n.nodeRand) <= int(id) {
+			n.nodeRand = append(n.nodeRand, nil)
+			n.nodeUplink = append(n.nodeUplink, 0)
+		}
+		if n.nodeRand[id] == nil {
+			// Derivation hashes the parent seed with the id — independent
+			// of attach order, so churn joins stay deterministic.
+			n.nodeRand[id] = n.rand.ForNode(uint32(id))
+		}
+	}
 }
 
 // SetConditions overrides the connection quality of a node.
@@ -75,6 +102,9 @@ func (n *SimNet) SetDown(id msg.NodeID, down bool) {
 
 // Send implements Network. The message is delivered through the event queue
 // after uplink serialization and propagation delay, unless it is lost.
+// Under a sharded engine Send must be called from the sending node's own
+// callbacks (or the global phase) — the same serialization the rest of a
+// node's state already requires.
 func (n *SimNet) Send(from, to msg.NodeID, m msg.Message, mode Mode) {
 	size := m.WireSize()
 	if n.collector != nil {
@@ -86,45 +116,65 @@ func (n *SimNet) Send(from, to msg.NodeID, m msg.Message, mode Mode) {
 		n.drop(m)
 		return
 	}
+	rand := n.rand
+	now := n.engine.Now()
+	if n.sharded {
+		rand = n.nodeRand[from]
+		now = n.engine.NodeNow(int(from))
+	}
 	if mode == Unreliable {
-		if n.rand.Bernoulli(src.LossOut) || n.rand.Bernoulli(dst.LossIn) {
+		if rand.Bernoulli(src.LossOut) || rand.Bernoulli(dst.LossIn) {
 			n.drop(m)
 			return
 		}
 	}
 
-	now := n.engine.Now()
 	start := now
-	if busy := n.uplink[from]; busy > start {
+	var busy time.Duration
+	if n.sharded {
+		busy = n.nodeUplink[from]
+	} else {
+		busy = n.uplink[from]
+	}
+	if busy > start {
 		start = busy
 	}
 	var tx time.Duration
 	if src.UplinkBps > 0 {
 		tx = time.Duration(float64(size) / src.UplinkBps * float64(time.Second))
 	}
-	n.uplink[from] = start + tx
+	if n.sharded {
+		n.nodeUplink[from] = start + tx
+	} else {
+		n.uplink[from] = start + tx
+	}
 
 	latency := src.LatencyBase/2 + dst.LatencyBase/2
 	jitter := src.LatencyJitter/2 + dst.LatencyJitter/2
 	if jitter > 0 {
-		latency += time.Duration(n.rand.Float64() * float64(jitter))
+		latency += time.Duration(rand.Float64() * float64(jitter))
 	}
 	if mode == Reliable {
 		latency *= reliableSetupFactor
 	}
 
-	deliverAt := start + tx + latency - now
-	n.engine.After(deliverAt, func() {
-		h, ok := n.handlers[to]
-		if !ok || n.ConditionsOf(to).Down {
-			n.drop(m)
-			return
-		}
-		if n.collector != nil {
-			n.collector.OnDeliver(to, m, size)
-		}
-		h.HandleMessage(from, m)
-	})
+	n.engine.Deliver(int32(from), int32(to), start+tx+latency-now, n, m, int32(size))
+}
+
+// Deliver implements sim.Sink: the arrival half of Send, fired by the
+// engine at delivery time. Handler lookup and down-ness are evaluated on
+// arrival, exactly as the closure-based path did.
+func (n *SimNet) Deliver(from, to int32, payload any, size int32) {
+	m := payload.(msg.Message)
+	h, ok := n.handlers[msg.NodeID(to)]
+	if !ok || n.ConditionsOf(msg.NodeID(to)).Down {
+		n.drop(m)
+		return
+	}
+	if n.collector != nil {
+		n.collector.OnDeliver(msg.NodeID(to), m, int(size))
+	}
+	h.HandleMessage(msg.NodeID(from), m)
 }
 
 func (n *SimNet) drop(m msg.Message) {

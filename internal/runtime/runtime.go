@@ -162,9 +162,11 @@ func (s *SimBackend) Engine() *sim.Engine { return s.engine }
 // SimNet exposes the underlying simulated network.
 func (s *SimBackend) SimNet() *net.SimNet { return s.netw }
 
-// Context implements Runtime: every simulated node shares the engine, which
-// serializes the whole run on one goroutine.
-func (s *SimBackend) Context(msg.NodeID) sim.Context { return s.engine }
+// Context implements Runtime: under a serial engine every node shares the
+// engine (the whole run is one goroutine); under a sharded engine each node
+// gets its shard-bound domain, which serializes that node's callbacks on
+// its shard.
+func (s *SimBackend) Context(id msg.NodeID) sim.Context { return s.engine.Domain(int(id)) }
 
 // Attach implements Runtime.
 func (s *SimBackend) Attach(id msg.NodeID, h net.Handler) { s.netw.Attach(id, h) }
@@ -196,13 +198,15 @@ const runChunkEvents = 8192
 
 // Run implements Runtime: events execute in exactly the order of an
 // uninterrupted engine.Run, with a cancellation check between bounded
-// bursts.
+// bursts. RunChunk returning 0 is the done signal for both engine modes —
+// the sharded engine advances in whole lookahead windows, so a burst may
+// overshoot the chunk size but never reports 0 while work remains.
 func (s *SimBackend) Run(ctx context.Context, until time.Duration) error {
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		if s.engine.RunChunk(until, runChunkEvents) < runChunkEvents {
+		if s.engine.RunChunk(until, runChunkEvents) == 0 {
 			return ctx.Err()
 		}
 	}
