@@ -11,17 +11,18 @@ test:
 
 # The concurrent halves of the runtime seam under the race detector, plus
 # the reputation substrate (manager boards are hit from node goroutines
-# while the harness ticks periods and hands state off) and the sharded
+# while the harness ticks periods and hands state off), the sharded
 # discrete-event engine (node events run on shard goroutines inside
-# lookahead windows).
+# lookahead windows) and the metrics collector (striped atomic counters
+# hammered from sender goroutines while scrapers render the exposition).
 race:
-	$(GO) test -race -timeout 600s ./internal/live/ ./internal/cluster/ ./internal/transport/ ./internal/reputation/ ./internal/membership/ ./internal/sim/
+	$(GO) test -race -timeout 600s ./internal/live/ ./internal/cluster/ ./internal/transport/ ./internal/reputation/ ./internal/membership/ ./internal/sim/ ./internal/metrics/
 
 # Regenerate the perf trajectory document for this PR, gating on the
 # previous PR's baseline (normalized by the calibration loop, so a slower
 # machine does not read as a regression).
 bench:
-	$(GO) run ./cmd/lifting-bench -check -baseline BENCH_PR5.json -out BENCH_PR6.json
+	$(GO) run ./cmd/lifting-bench -check -baseline BENCH_PR6.json -out BENCH_PR7.json
 
 # Extended fuzzing of the network-facing decoder (the committed seed corpus
 # replays on every plain `go test`).

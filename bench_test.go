@@ -228,7 +228,7 @@ func BenchmarkTable5BandwidthOverhead(b *testing.B) {
 	p.N = 80
 	p.Duration = 10 * time.Second
 	for i := 0; i < b.N; i++ {
-		tab, _ := experiment.Table5(context.Background(), p, []int{674_000}, []float64{0, 1})
+		tab, _, _ := experiment.Table5(context.Background(), p, []int{674_000}, []float64{0, 1})
 		b.ReportMetric(mustPct(b, tab.Rows[0][1]), "overhead-pdcc0")
 		b.ReportMetric(mustPct(b, tab.Rows[0][2]), "overhead-pdcc1")
 	}

@@ -6,8 +6,8 @@
 //
 // Usage:
 //
-//	go run ./cmd/lifting-bench -out BENCH_PR6.json
-//	go run ./cmd/lifting-bench -check -baseline BENCH_PR5.json
+//	go run ./cmd/lifting-bench -out BENCH_PR7.json
+//	go run ./cmd/lifting-bench -check -baseline BENCH_PR6.json
 //
 // or, equivalently, `make bench`. With -check the run additionally compares
 // every benchmark against the baseline report and exits nonzero on a > 1.3×
@@ -64,14 +64,16 @@ type suite struct {
 }
 
 // suites covers the perf trajectory the roadmap tracks: the codec hot path,
-// the reputation-substrate hot paths (manager lookup at 10k nodes, cached
-// vs from-scratch, and the blame-flush cycle), the experiment-registry
-// dispatch and the structured-JSON encoder (the machine-readable output
-// every consumer now parses), the two Monte-Carlo workhorses (serial and
-// parallel), the cluster-scale churn workload, and the adversary-matrix
-// sweep throughput (the regression net's own cost).
+// the metrics-collector hot path (every send/deliver crosses it, so it must
+// stay allocation-free), the reputation-substrate hot paths (manager lookup
+// at 10k nodes, cached vs from-scratch, and the blame-flush cycle), the
+// experiment-registry dispatch and the structured-JSON encoder (the
+// machine-readable output every consumer now parses), the two Monte-Carlo
+// workhorses (serial and parallel), the cluster-scale churn workload, and
+// the adversary-matrix sweep throughput (the regression net's own cost).
 var suites = []suite{
 	{pkg: "./internal/msg/", pattern: "BenchmarkEncode$|BenchmarkEncodeFresh$|BenchmarkDecode$|BenchmarkFrameRoundTrip$", benchtime: "200000x"},
+	{pkg: "./internal/metrics/", pattern: "BenchmarkMetricsHotPath$|BenchmarkMetricsHotPathParallel$", benchtime: "2000000x"},
 	{pkg: "./internal/membership/", pattern: "BenchmarkManagers$|BenchmarkManagersUncached$", benchtime: "200000x"},
 	{pkg: "./internal/reputation/", pattern: "BenchmarkClientFlush$", benchtime: "5000x"},
 	{pkg: "./internal/sim/", pattern: "BenchmarkEngineDrain$|BenchmarkEngineSharded$", benchtime: "2000000x"},
@@ -85,7 +87,7 @@ func main() {
 
 func run(args []string) int {
 	fs := flag.NewFlagSet("lifting-bench", flag.ContinueOnError)
-	out := fs.String("out", "BENCH_PR6.json", "output JSON path")
+	out := fs.String("out", "BENCH_PR7.json", "output JSON path")
 	baseline := fs.String("baseline", "", "baseline report to compare against (used by -check)")
 	check := fs.Bool("check", false, "after writing -out, compare against -baseline and exit 1 on >1.3x normalized ns/op regressions")
 	if err := fs.Parse(args); err != nil {

@@ -38,8 +38,10 @@ import (
 	"lifting/internal/core"
 	"lifting/internal/freerider"
 	"lifting/internal/gossip"
+	"lifting/internal/metrics"
 	"lifting/internal/msg"
 	"lifting/internal/net"
+	"lifting/internal/obs"
 	"lifting/internal/reputation"
 	"lifting/internal/stream"
 	"lifting/internal/transport"
@@ -76,6 +78,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, interrupt
 		payload  = fs.Int("payload", 1316, "chunk payload size, bytes")
 		freeride = fs.Float64("freeride", 0, "degree of freeriding in all three dimensions (0 = honest)")
 		report   = fs.Bool("report", false, "after the run, read every node's score over the wire and print SCORE lines")
+		httpAddr = fs.String("http", "", "serve /metrics, /status and /debug/pprof/ on this address (empty = disabled)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -112,9 +115,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, interrupt
 	}
 	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
 
+	collector := metrics.NewCollector()
 	rt := transport.New(transport.Options{
-		Seed: *seed ^ uint64(self), // per-process loss/jitter draws
-		Book: book,
+		Seed:      *seed ^ uint64(self), // per-process loss/jitter draws
+		Book:      book,
+		Collector: collector,
 	})
 	if *loss > 0 {
 		rt.SetConditions(self, net.Uniform(*loss, 0))
@@ -157,7 +162,39 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, interrupt
 		OnExpel: func(target msg.NodeID, reason msg.BlameReason) {
 			fmt.Fprintf(stdout, "EXPEL %d %s\n", target, reason)
 		},
+		Collector: collector,
 	})
+
+	if *httpAddr != "" {
+		reg := metrics.NewRegistry()
+		collector.Register(reg)
+		srv := obs.New(reg, func() obs.Status {
+			st := obs.Status{
+				NodeID:          uint32(self),
+				Period:          uint64(host.Period()),
+				MembershipEpoch: host.Dir.Epoch(),
+				Members:         len(host.Dir.All()),
+				PeerBookSize:    len(book.IDs()),
+			}
+			for target := range host.Expelled() {
+				st.Expelled = append(st.Expelled, uint32(target))
+			}
+			sort.Slice(st.Expelled, func(i, j int) bool { return st.Expelled[i] < st.Expelled[j] })
+			for target, score := range host.LocalScores() {
+				st.Scores = append(st.Scores, obs.Score{Node: uint32(target), Score: score})
+			}
+			sort.Slice(st.Scores, func(i, j int) bool { return st.Scores[i].Node < st.Scores[j].Node })
+			return st
+		})
+		httpBound, err := srv.Start(*httpAddr)
+		if err != nil {
+			fmt.Fprintf(stderr, "lifting-node: %v\n", err)
+			rt.Close()
+			return 1
+		}
+		defer srv.Close()
+		fmt.Fprintf(stdout, "HTTP %d %s\n", self, httpBound)
+	}
 
 	host.Start()
 	if *source {

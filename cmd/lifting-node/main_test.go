@@ -3,8 +3,11 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
+	"io"
 	gonet "net"
+	"net/http"
 	"os/exec"
 	"path/filepath"
 	"strconv"
@@ -201,6 +204,15 @@ func TestMultiProcessDeployment(t *testing.T) {
 	}
 	peers := strings.Join(peerSpecs, ",")
 
+	// Reserve a TCP port for node 1's observability endpoint, scraped below
+	// while the deployment runs.
+	tl, err := gonet.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpAddr := tl.Addr().String()
+	tl.Close()
+
 	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
 	defer cancel()
 
@@ -230,6 +242,9 @@ func TestMultiProcessDeployment(t *testing.T) {
 		if msg.NodeID(i) == scenRider {
 			args = append(args, "-freeride", fmt.Sprintf("%g", scenDelta))
 		}
+		if i == 1 {
+			args = append(args, "-http", httpAddr)
+		}
 		cmd := exec.CommandContext(ctx, bin, args...)
 		cmd.Stdout = &outs[i]
 		cmd.Stderr = &outs[i]
@@ -238,6 +253,11 @@ func TestMultiProcessDeployment(t *testing.T) {
 		}
 		cmds[i] = cmd
 	}
+	// While the nodes stream, scrape node 1's observability endpoints over
+	// real HTTP: the exposition must be well-formed and already carry
+	// protocol traffic and redundancy accounting.
+	scrapeObservability(t, httpAddr)
+
 	for i, cmd := range cmds {
 		if err := cmd.Wait(); err != nil {
 			t.Errorf("node %d exited with %v:\n%s", i, err, outs[i].String())
@@ -292,4 +312,112 @@ func TestMultiProcessDeployment(t *testing.T) {
 			t.Errorf("honest node %d marked expelled in the deployment (sim expelled none)", id)
 		}
 	}
+}
+
+// scrapeObservability polls a running node's /metrics and /status until the
+// node is past warmup and traffic counters are nonzero, then asserts the
+// exposition is well-formed and the status document is coherent. It must
+// finish before the node's -duration elapses, so it retries quickly.
+func scrapeObservability(t *testing.T, addr string) {
+	t.Helper()
+	client := &http.Client{Timeout: 2 * time.Second}
+	get := func(path string) (string, string, error) {
+		resp, err := client.Get("http://" + addr + path)
+		if err != nil {
+			return "", "", err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return "", "", err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return "", "", fmt.Errorf("%s: status %d", path, resp.StatusCode)
+		}
+		return string(body), resp.Header.Get("Content-Type"), nil
+	}
+
+	var exposition, ctype string
+	deadline := time.Now().Add(scenDur)
+	for {
+		var err error
+		exposition, ctype, err = get("/metrics")
+		// The per-kind counters only emit samples once nonzero, so a
+		// useful-chunk sample line is itself the nonzero-traffic check.
+		if err == nil && strings.Contains(exposition, "lifting_useful_chunks_total ") &&
+			!strings.Contains(exposition, "\nlifting_useful_chunks_total 0\n") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no useful-chunk traffic on /metrics before deadline (err=%v):\n%s", err, exposition)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	if !strings.HasPrefix(ctype, "text/plain; version=0.0.4") {
+		t.Errorf("/metrics Content-Type = %q", ctype)
+	}
+	for _, name := range []string{
+		"lifting_verification_overhead_ratio ",
+		"lifting_duplicate_chunks_total",
+		"lifting_useful_chunks_total ",
+		`lifting_sent_messages_total{kind="propose"} `,
+		`lifting_recv_messages_total{kind="serve"} `,
+		"lifting_protocol_bytes_total ",
+		"lifting_verification_bytes_total ",
+		"lifting_serve_latency_seconds_count ",
+	} {
+		if !strings.Contains(exposition, name) {
+			t.Errorf("/metrics missing %q:\n%s", name, exposition)
+		}
+	}
+	// Well-formed text exposition: every line is a comment or `name[{labels}]
+	// value` with a parseable value.
+	for _, line := range strings.Split(strings.TrimRight(exposition, "\n"), "\n") {
+		if strings.HasPrefix(line, "# ") || line == "" {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Errorf("malformed exposition line %q", line)
+			continue
+		}
+		if _, err := strconv.ParseFloat(line[sp+1:], 64); err != nil {
+			t.Errorf("unparseable sample value in line %q: %v", line, err)
+		}
+	}
+
+	status, sctype, err := get("/status")
+	if err != nil {
+		t.Fatalf("/status: %v", err)
+	}
+	if !strings.HasPrefix(sctype, "application/json") {
+		t.Errorf("/status Content-Type = %q", sctype)
+	}
+	var st struct {
+		NodeID        uint32  `json:"node_id"`
+		Period        uint64  `json:"period"`
+		Members       int     `json:"members"`
+		PeerBookSize  int     `json:"peer_book_size"`
+		UptimeSeconds float64 `json:"uptime_seconds"`
+	}
+	if err := json.Unmarshal([]byte(status), &st); err != nil {
+		t.Fatalf("/status is not JSON: %v\n%s", err, status)
+	}
+	if st.NodeID != 1 {
+		t.Errorf("/status node_id = %d, want 1", st.NodeID)
+	}
+	if st.Members != scenN {
+		t.Errorf("/status members = %d, want %d", st.Members, scenN)
+	}
+	// The book carries the 4 configured peers plus our own bound address,
+	// which the transport registers when the node joins.
+	if st.PeerBookSize != scenN {
+		t.Errorf("/status peer_book_size = %d, want %d", st.PeerBookSize, scenN)
+	}
+	if st.UptimeSeconds <= 0 {
+		t.Errorf("/status uptime_seconds = %v", st.UptimeSeconds)
+	}
+	t.Logf("scraped /metrics (%d bytes) and /status: period %d, %d members",
+		len(exposition), st.Period, st.Members)
 }

@@ -117,6 +117,13 @@ type Options struct {
 	// goroutines with no lock held; synchronize externally if it mutates
 	// shared state.
 	OnBlame func(target msg.NodeID, value float64, reason msg.BlameReason)
+	// OnPeriodSnapshot, if non-nil, receives a deterministic metrics
+	// snapshot at the start of every score period, before the period's
+	// flushes and expulsion checks. Under the sharded engine it fires in
+	// the global phase with every shard parked at the barrier, so the
+	// counts are byte-identical across shard and worker counts; the
+	// callback receives a value copy and cannot perturb the run.
+	OnPeriodSnapshot func(p msg.Period, s metrics.Snapshot)
 }
 
 // Cluster is an assembled system.
@@ -208,6 +215,18 @@ func (s boardSink) Blame(target msg.NodeID, value float64, reason msg.BlameReaso
 	if s.c.Opts.OnBlame != nil {
 		s.c.Opts.OnBlame(target, value, reason)
 	}
+}
+
+// countingSink wraps a BlameSink with per-reason issue accounting. The
+// counter adds commute, so wrapping does not affect sharded determinism.
+type countingSink struct {
+	coll  *metrics.Collector
+	inner core.BlameSink
+}
+
+func (s countingSink) Blame(target msg.NodeID, value float64, reason msg.BlameReason) {
+	s.coll.OnBlameIssued(reason.String())
+	s.inner.Blame(target, value, reason)
 }
 
 // auditorProxy routes audit responses to the cluster's auditor once it
@@ -348,6 +367,7 @@ func (c *Cluster) buildNode(id msg.NodeID) {
 		Dir:      c.Dir,
 		Rand:     nodeRand.Derive("gossip"),
 		Behavior: behavior,
+		Metrics:  c.Collector,
 	}
 
 	var playout *stream.Playout
@@ -368,6 +388,7 @@ func (c *Cluster) buildNode(id msg.NodeID) {
 			client = reputation.NewClient(id, c.repCfg, netw, c.Dir)
 			sink = client
 		}
+		sink = countingSink{coll: c.Collector, inner: sink}
 		verifier = core.NewVerifier(id, opts.Core, ctx, netw, nodeRand.Derive("verify"), node.History(), behavior, sink)
 		var aux auxChain
 		aux = append(aux, verifier)
@@ -609,6 +630,11 @@ func (c *Cluster) scheduleTick(p msg.Period) {
 // flushes and manager ticks. Under the live backend it runs on a harness
 // goroutine outside any node lock.
 func (c *Cluster) tick(p msg.Period) {
+	if c.Opts.OnPeriodSnapshot != nil {
+		// Sampled before the period's flushes so the snapshot reflects
+		// exactly the traffic of completed periods.
+		c.Opts.OnPeriodSnapshot(p, c.Collector.SnapshotAt(uint64(p)))
+	}
 	c.mu.Lock()
 	c.period = p
 	clients := make([]ownedClient, len(c.clients))
@@ -682,6 +708,7 @@ func (c *Cluster) expel(id msg.NodeID) {
 	c.Expelled[id] = c.RT.Now()
 	node := c.Nodes[id]
 	c.mu.Unlock()
+	c.Collector.OnExpel()
 	if c.Opts.ExpelOnDetection {
 		c.remove(id, node)
 	}
@@ -764,8 +791,10 @@ func (c *Cluster) Auditor(onOutcome func(core.AuditOutcome)) *core.Auditor {
 		c.mu.Unlock()
 		sink = client
 	}
+	sink = countingSink{coll: c.Collector, inner: sink}
 	c.auditor = core.NewAuditor(0, c.Opts.Core, c.RT.Context(0), c.RT.Network(), c.root.Derive("auditor"), sink,
 		func(out core.AuditOutcome) {
+			c.Collector.OnAuditOutcome(out.Responded, !out.Expel)
 			if out.Expel {
 				c.expelFrom(0, out.Target)
 			}

@@ -8,6 +8,7 @@ import (
 	"lifting/internal/core"
 	"lifting/internal/gossip"
 	"lifting/internal/membership"
+	"lifting/internal/metrics"
 	"lifting/internal/msg"
 	"lifting/internal/reputation"
 	"lifting/internal/rng"
@@ -55,6 +56,11 @@ type NodeOptions struct {
 	ExpectedR    int
 	// OnExpel, if non-nil, observes every expulsion this node learns about.
 	OnExpel func(target msg.NodeID, reason msg.BlameReason)
+	// Collector, if non-nil, receives this node's traffic, redundancy and
+	// verification accounting. Pass the same collector to the runtime
+	// (transport.Options.Collector) to add wire-level send/recv/drop
+	// counts; the host adds the gossip- and reputation-plane events.
+	Collector *metrics.Collector
 }
 
 // NodeHost is one assembled node of a distributed deployment.
@@ -135,6 +141,7 @@ func NewNodeHost(rt runtime.Runtime, opts NodeOptions) *NodeHost {
 		Dir:      h.Dir,
 		Rand:     nodeRand.Derive("gossip"),
 		Behavior: behavior,
+		Metrics:  opts.Collector,
 	}
 	node := gossip.NewNode(id, gcfg, deps)
 
@@ -142,7 +149,11 @@ func NewNodeHost(rt runtime.Runtime, opts NodeOptions) *NodeHost {
 		repCfg := opts.Rep
 		repCfg.OnExpel = h.onExpel
 		h.client = reputation.NewClient(id, repCfg, netw, h.Dir)
-		h.Verifier = core.NewVerifier(id, opts.Core, ctx, netw, nodeRand.Derive("verify"), node.History(), behavior, h.client)
+		var sink core.BlameSink = h.client
+		if opts.Collector != nil {
+			sink = countingSink{coll: opts.Collector, inner: sink}
+		}
+		h.Verifier = core.NewVerifier(id, opts.Core, ctx, netw, nodeRand.Derive("verify"), node.History(), behavior, sink)
 		h.Manager = reputation.NewManager(id, repCfg, netw, h.Dir)
 		h.reader = reputation.NewReader(id, repCfg, ctx, netw, h.Dir, 2*gcfg.Period)
 		deps.Monitor = h.Verifier
@@ -179,6 +190,9 @@ func (h *NodeHost) onExpel(target msg.NodeID, reason msg.BlameReason) {
 	}
 	h.expelled[target] = reason
 	h.mu.Unlock()
+	if h.Opts.Collector != nil {
+		h.Opts.Collector.OnExpel()
+	}
 	h.Dir.Expel(target)
 	if target == h.Opts.ID {
 		h.RT.Exec(target, h.Node.Stop)
@@ -235,6 +249,17 @@ func (h *NodeHost) Expelled() map[msg.NodeID]msg.BlameReason {
 		out[id] = r
 	}
 	return out
+}
+
+// LocalScores returns this node's manager-duty view: the score each tracked
+// target holds on the local manager copy. It is a partial, local view — the
+// authoritative score is the min-vote over all M copies — but it is exactly
+// what an operator wants from a single daemon's /status.
+func (h *NodeHost) LocalScores() map[msg.NodeID]float64 {
+	if h.Manager == nil {
+		return nil
+	}
+	return h.Manager.Scores()
 }
 
 // StartStream schedules chunk injections for the given duration. Only the

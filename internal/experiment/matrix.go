@@ -267,6 +267,12 @@ type MatrixRow struct {
 	Gap float64
 	// HonestExpelled counts honest expulsions across all reps.
 	HonestExpelled int
+	// Overhead is verification bytes over dissemination bytes, summed
+	// across all reps (the Table 5 ratio, measured on the attack workload).
+	Overhead float64
+	// DupRatio is duplicate serves over all serves across all reps — the
+	// gossip redundancy the adversary's fanout distortion induces.
+	DupRatio float64
 	// Failures lists violated oracle bounds (empty = pass).
 	Failures []string
 	Elapsed  time.Duration
@@ -295,6 +301,9 @@ type repOutcome struct {
 	honestFlagged, honestTotal int
 	honestMean, advMean        float64
 	honestExpelled             int
+	// Wire accounting for the row's overhead/redundancy columns.
+	protoBytes, verifBytes  uint64
+	dupChunks, usefulChunks uint64
 }
 
 // shape is a Scenario with sizing defaults resolved.
@@ -486,6 +495,10 @@ func (sh shape) runRep(ctx context.Context, backend runtime.Kind, seed uint64, c
 		isAdv[id] = true
 	}
 	out := repOutcome{}
+	_, out.protoBytes = c.Collector.ProtocolTotals()
+	_, out.verifBytes = c.Collector.VerificationTotals()
+	out.dupChunks = c.Collector.DupChunks()
+	out.usefulChunks = c.Collector.UsefulChunks()
 	scores := c.Scores()
 	ids := make([]msg.NodeID, 0, len(scores))
 	for id := range scores {
@@ -643,6 +656,7 @@ func Matrix(ctx context.Context, cfg MatrixConfig) (*Table, *MatrixResult, error
 				Eta:      eta,
 			}
 			var advDet, advTot, honFlag, honTot int
+			var proto, verif, dup, useful uint64
 			for _, o := range outs {
 				advDet += o.advDetected
 				advTot += o.advTotal
@@ -650,12 +664,22 @@ func Matrix(ctx context.Context, cfg MatrixConfig) (*Table, *MatrixResult, error
 				honTot += o.honestTotal
 				row.Gap += o.honestMean - o.advMean
 				row.HonestExpelled += o.honestExpelled
+				proto += o.protoBytes
+				verif += o.verifBytes
+				dup += o.dupChunks
+				useful += o.usefulChunks
 			}
 			if advTot > 0 {
 				row.Detection = float64(advDet) / float64(advTot)
 			}
 			if honTot > 0 {
 				row.FalsePositives = float64(honFlag) / float64(honTot)
+			}
+			if proto > 0 {
+				row.Overhead = float64(verif) / float64(proto)
+			}
+			if dup+useful > 0 {
+				row.DupRatio = float64(dup) / float64(dup+useful)
 			}
 			row.Gap /= float64(n)
 			sc.Oracle.check(&row)
@@ -673,15 +697,17 @@ func Matrix(ctx context.Context, cfg MatrixConfig) (*Table, *MatrixResult, error
 
 	t := &Table{
 		Title:   "Adversary matrix — §4/§5 attacks × statistical oracles",
-		Columns: []string{"scenario", "attack", "backend", "reps", "η", "detection α", "false pos β", "gap", "verdict"},
+		Columns: []string{"scenario", "attack", "backend", "reps", "η", "detection α", "false pos β", "gap", "overhead", "dup serves", "verdict"},
 	}
 	for _, r := range res.Rows {
 		t.AddRow(r.Scenario, r.Attack, r.Backend.String(),
 			F(float64(r.Reps), 0), F(r.Eta, 2), Pct(r.Detection),
-			Pct(r.FalsePositives), F(r.Gap, 2), r.Verdict())
+			Pct(r.FalsePositives), F(r.Gap, 2), Pct(r.Overhead),
+			Pct(r.DupRatio), r.Verdict())
 	}
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("%d scenarios, %d rows; b̃ and η calibrated per scenario from an honest pilot", res.ScenariosRun, len(res.Rows)),
+		"overhead = verification bytes / dissemination bytes on the attack workload; dup serves = duplicate / all serves",
 		"score scenarios classify score < η; audit scenarios use the §5.3 expulsion verdict (or majority-unconfirmed history for forgers)",
 		"blame-spam's α is 0 by design — bad-mouthers are unidentifiable; its oracle is that no honest node crosses η or is expelled")
 	return t, res, nil

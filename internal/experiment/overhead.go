@@ -70,7 +70,15 @@ func Table3(ctx context.Context, p PlanetLabConfig, pdccs []float64) (*Table, er
 // The shape to reproduce: overhead grows with pdcc and shrinks as the
 // stream rate grows (verification traffic is rate-independent while the
 // payload is not).
-func Table5(ctx context.Context, p PlanetLabConfig, bitrates []int, pdccs []float64) (*Table, error) {
+// OverheadPoint is one measured cell of Table 5.
+type OverheadPoint struct {
+	BitrateBps int
+	Pdcc       float64
+	// Ratio is verification bytes / dissemination bytes.
+	Ratio float64
+}
+
+func Table5(ctx context.Context, p PlanetLabConfig, bitrates []int, pdccs []float64) (*Table, []OverheadPoint, error) {
 	if len(bitrates) == 0 {
 		bitrates = []int{674_000, 1_082_000, 2_036_000}
 	}
@@ -86,6 +94,7 @@ func Table5(ctx context.Context, p PlanetLabConfig, bitrates []int, pdccs []floa
 		1_082_000: {"0.69%", "3.51%", "5.04%"},
 		2_036_000: {"0.38%", "1.69%", "2.76%"},
 	}
+	var points []OverheadPoint
 	for _, rate := range bitrates {
 		row := []string{F(float64(rate)/1000, 0) + " kbps"}
 		for _, pdcc := range pdccs {
@@ -99,9 +108,11 @@ func Table5(ctx context.Context, p PlanetLabConfig, bitrates []int, pdccs []floa
 			c.StartStream(pc.Duration)
 			if err := c.RunContext(ctx, pc.Duration+time.Second); err != nil {
 				c.Close()
-				return nil, err
+				return nil, nil, err
 			}
-			row = append(row, Pct(c.Collector.Overhead()))
+			ratio := c.Collector.Overhead()
+			points = append(points, OverheadPoint{BitrateBps: rate, Pdcc: pdcc, Ratio: ratio})
+			row = append(row, Pct(ratio))
 		}
 		if ref, ok := paper[rate]; ok && len(pdccs) == 3 {
 			row = append(row, "paper: "+ref[0]+" / "+ref[1]+" / "+ref[2])
@@ -111,7 +122,7 @@ func Table5(ctx context.Context, p PlanetLabConfig, bitrates []int, pdccs []floa
 	if len(pdccs) == 3 {
 		t.Columns = append(t.Columns, "paper (pdcc 0 / 0.5 / 1)")
 	}
-	return t, nil
+	return t, points, nil
 }
 
 func pdccHeader(pdccs []float64) []string {

@@ -101,7 +101,7 @@ func TestFig1Shape(t *testing.T) {
 func TestTable5OverheadShape(t *testing.T) {
 	p := smallPL()
 	p.Duration = 10 * time.Second
-	tab, err := Table5(context.Background(), p, []int{674_000, 2_036_000}, []float64{0, 1})
+	tab, points, err := Table5(context.Background(), p, []int{674_000, 2_036_000}, []float64{0, 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,6 +122,26 @@ func TestTable5OverheadShape(t *testing.T) {
 	// Magnitudes in the paper's ballpark: ≤ ~12% at pdcc=1, ≥ ~0.1% at 0.
 	if low1 > 0.15 || low0 < 0.001 {
 		t.Fatalf("overhead magnitudes off: pdcc0=%v pdcc1=%v", low0, low1)
+	}
+	// The measured points mirror the rendered cells exactly.
+	if len(points) != 4 {
+		t.Fatalf("points = %+v", points)
+	}
+	for _, pt := range points {
+		var cell float64
+		switch {
+		case pt.BitrateBps == 674_000 && pt.Pdcc == 0:
+			cell = low0
+		case pt.BitrateBps == 674_000 && pt.Pdcc == 1:
+			cell = low1
+		case pt.BitrateBps == 2_036_000 && pt.Pdcc == 0:
+			cell = high0
+		default:
+			cell = high1
+		}
+		if diff := pt.Ratio - cell; diff > 0.001 || diff < -0.001 {
+			t.Fatalf("point %+v disagrees with rendered cell %v", pt, cell)
+		}
 	}
 }
 

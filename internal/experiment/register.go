@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"context"
+	"fmt"
 	"strings"
 	"time"
 
@@ -214,12 +215,45 @@ func init() {
 		Describe:      "relative bandwidth overhead across stream rates and pdcc",
 		DefaultParams: Params{N: 300, Seed: 42, Delta: -1, Pdcc: -1},
 		Run: func(ctx context.Context, p Params, obs Observer) (*Result, error) {
-			tab, err := Table5(ctx, planetLabConfig(p), nil, nil)
+			tab, points, err := Table5(ctx, planetLabConfig(p), nil, nil)
 			if err != nil {
 				return nil, err
 			}
 			out := newResult("table5", p)
 			out.addTable(obs, tab)
+			ratio := map[[2]int]float64{}
+			for _, pt := range points {
+				out.addMetric(fmt.Sprintf("overhead-%dkbps-pdcc%.2f", pt.BitrateBps/1000, pt.Pdcc), pt.Ratio)
+				ratio[[2]int{pt.BitrateBps, int(pt.Pdcc * 100)}] = pt.Ratio
+			}
+			// The standing overhead oracle. The paper's headline is <8%
+			// bandwidth overhead at full cross-checking (674 kbps, pdcc=1,
+			// measured 8.01%); our reproduction lands at ~8.8% because acks
+			// are costlier here (see EXPERIMENTS.md), so the worst cell is
+			// gated with a 2-point tolerance while the higher stream rates —
+			// where the claim is unambiguous — must stay strictly under 8%.
+			if r, ok := ratio[[2]int{674_000, 100}]; ok && (r <= 0 || r >= 0.10) {
+				out.fail("overhead at 674 kbps / pdcc=1 is %.2f%%, want within (0%%, 10%%)", 100*r)
+			}
+			for _, rate := range []int{1_082_000, 2_036_000} {
+				if r, ok := ratio[[2]int{rate, 100}]; ok && (r <= 0 || r >= 0.08) {
+					out.fail("overhead at %d kbps / pdcc=1 is %.2f%%, want under the paper's 8%%", rate/1000, 100*r)
+				}
+			}
+			// And Table 5's two shapes: overhead grows with pdcc and
+			// shrinks as the stream rate grows.
+			for _, rate := range []int{674_000, 1_082_000, 2_036_000} {
+				r0, ok0 := ratio[[2]int{rate, 0}]
+				r1, ok1 := ratio[[2]int{rate, 100}]
+				if ok0 && ok1 && r1 <= r0 {
+					out.fail("overhead at %d kbps not increasing in pdcc: %.2f%% → %.2f%%", rate/1000, 100*r0, 100*r1)
+				}
+			}
+			low, okLow := ratio[[2]int{674_000, 100}]
+			high, okHigh := ratio[[2]int{2_036_000, 100}]
+			if okLow && okHigh && high >= low {
+				out.fail("overhead did not shrink with bitrate: %.2f%% (674k) vs %.2f%% (2036k)", 100*low, 100*high)
+			}
 			return out, nil
 		},
 	})
@@ -285,6 +319,19 @@ func init() {
 			out.addTable(obs, tab)
 			out.addMetric("target-freeriders-expelled", float64(res.Target.FreeridersExpelled))
 			out.addMetric("target-honest-expelled", float64(res.Target.HonestExpelled))
+			out.addMetric("target-overhead", res.Target.Overhead())
+			out.addMetric("target-dup-ratio", res.Target.DupRatio())
+			out.MetricsSnapshots = res.TargetSnapshots
+			// The scale workload uses 4x chunks (fewer, larger serves), so
+			// its verification overhead is NOT Table 5's figure — but it
+			// must stay in the same order of magnitude, and the stream must
+			// be overwhelmingly useful traffic.
+			if o := res.Target.Overhead(); o <= 0 || o >= 0.25 {
+				out.fail("target verification overhead %.2f%% outside (0%%, 25%%)", 100*o)
+			}
+			if d := res.Target.DupRatio(); d >= 0.5 {
+				out.fail("duplicate serves are the majority of received serves: %.2f%%", 100*d)
+			}
 			// The gate is the expected verdict at BOTH populations, not mere
 			// agreement: two identically-broken runs must still fail.
 			for _, r := range []ScaleRun{res.Baseline, res.Target} {

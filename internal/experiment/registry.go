@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"lifting/internal/metrics"
 	"lifting/internal/runtime"
 )
 
@@ -124,6 +125,12 @@ type Result struct {
 	Tables []*Table `json:"tables"`
 	// Metrics are the headline scalars, in a fixed per-experiment order.
 	Metrics []Metric `json:"metrics,omitempty"`
+	// MetricsSnapshots is the run's periodic metrics section: cumulative
+	// traffic/redundancy/verification counts sampled on sim-time period
+	// boundaries. Counts and integer ratios only — no wall-clock — so a
+	// seeded run's document is byte-identical across repetitions, worker
+	// counts and engine shard counts.
+	MetricsSnapshots []metrics.Snapshot `json:"metrics_snapshots,omitempty"`
 	// Verdict is the pass/fail outcome.
 	Verdict Verdict `json:"verdict"`
 }

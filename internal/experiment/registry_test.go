@@ -179,7 +179,7 @@ func TestJSONGoldenSchema(t *testing.T) {
 	res := results[0]
 	assertKeys(t, "result", res,
 		[]string{"experiment", "paper", "params", "tables", "verdict"},
-		[]string{"metrics"})
+		[]string{"metrics", "metrics_snapshots"})
 
 	var params map[string]json.RawMessage
 	if err := json.Unmarshal(res["params"], &params); err != nil {

@@ -9,6 +9,7 @@ import (
 	"lifting/internal/freerider"
 	"lifting/internal/gossip"
 	"lifting/internal/membership"
+	"lifting/internal/metrics"
 	"lifting/internal/msg"
 	"lifting/internal/net"
 	"lifting/internal/reputation"
@@ -85,8 +86,27 @@ type ScaleRun struct {
 	DetectionMean time.Duration
 	// Events is the number of discrete events the engine executed.
 	Events uint64
+	// OverheadPpm is the verification overhead (verification bytes /
+	// dissemination bytes) in parts per million — integral so the run
+	// stays a comparable struct and seeded output stays byte-stable.
+	OverheadPpm uint64
+	// DupChunks and UsefulChunks split received serves into redundant
+	// copies and first deliveries.
+	DupChunks, UsefulChunks uint64
 	// Elapsed is the wall-clock cost of the run.
 	Elapsed time.Duration
+}
+
+// Overhead returns the verification overhead as a ratio.
+func (r ScaleRun) Overhead() float64 { return float64(r.OverheadPpm) / 1e6 }
+
+// DupRatio returns the share of received serves that were redundant.
+func (r ScaleRun) DupRatio() float64 {
+	total := r.DupChunks + r.UsefulChunks
+	if total == 0 {
+		return 0
+	}
+	return float64(r.DupChunks) / float64(total)
 }
 
 // CohortExpelled reports whether every freerider was expelled.
@@ -116,7 +136,14 @@ type ScaleResult struct {
 	// Agree reports whether the target population reproduced the baseline's
 	// verdict.
 	Agree bool
+	// TargetSnapshots are the target run's periodic metrics snapshots
+	// (every snapshotEvery periods), deterministic across shard and worker
+	// counts — they become the JSON document's metrics_snapshots section.
+	TargetSnapshots []metrics.Snapshot
 }
+
+// snapshotEvery is the period sampling interval of the metrics snapshots.
+const snapshotEvery = 5
 
 // chunkPayload is 4x the paper's 1316-byte chunk at the same bitrate: 8
 // chunks per gossip period instead of 32. The chunk rate sets both the
@@ -170,18 +197,26 @@ func (cfg ScaleConfig) scaleOptions(n int) cluster.Options {
 }
 
 // scaleRun executes one population with the shared compensation/threshold.
-func (cfg ScaleConfig) scaleRun(ctx context.Context, n int, compensation, eta float64) (ScaleRun, error) {
+// Alongside the outcome it returns the run's periodic metrics snapshots,
+// sampled on period boundaries (sim time), every snapshotEvery periods.
+func (cfg ScaleConfig) scaleRun(ctx context.Context, n int, compensation, eta float64) (ScaleRun, []metrics.Snapshot, error) {
 	start := time.Now()
 	opts := cfg.scaleOptions(n)
 	opts.Rep.Compensation = compensation
 	opts.Rep.Eta = eta
 	opts.ExpelOnDetection = true
+	var snaps []metrics.Snapshot
+	opts.OnPeriodSnapshot = func(p msg.Period, snap metrics.Snapshot) {
+		if p%snapshotEvery == 0 {
+			snaps = append(snaps, snap)
+		}
+	}
 	c := cluster.New(opts)
 	c.Start()
 	c.StartStream(cfg.Duration)
 	if err := c.RunContext(ctx, cfg.Duration+2*cfg.Period); err != nil {
 		c.Close()
-		return ScaleRun{}, err
+		return ScaleRun{}, nil, err
 	}
 	c.Close()
 
@@ -189,6 +224,13 @@ func (cfg ScaleConfig) scaleRun(ctx context.Context, n int, compensation, eta fl
 	if c.Engine != nil {
 		run.Events = c.Engine.Events()
 	}
+	_, vb := c.Collector.VerificationTotals()
+	_, pb := c.Collector.ProtocolTotals()
+	if pb > 0 {
+		run.OverheadPpm = vb * 1_000_000 / pb
+	}
+	run.DupChunks = c.Collector.DupChunks()
+	run.UsefulChunks = c.Collector.UsefulChunks()
 	var latency time.Duration
 	for id, at := range c.Expelled {
 		if c.Freeriders[id] {
@@ -201,7 +243,7 @@ func (cfg ScaleConfig) scaleRun(ctx context.Context, n int, compensation, eta fl
 	if run.FreeridersExpelled > 0 {
 		run.DetectionMean = latency / time.Duration(run.FreeridersExpelled)
 	}
-	return run, nil
+	return run, snaps, nil
 }
 
 // Scale runs the scale workload: calibrate at the baseline population, run
@@ -223,10 +265,10 @@ func Scale(ctx context.Context, cfg ScaleConfig) (*Table, *ScaleResult, error) {
 	eta := -10 * cal.ScoreStd
 
 	res := &ScaleResult{Compensation: cal.Compensation, Eta: eta}
-	if res.Baseline, err = cfg.scaleRun(ctx, cfg.BaselineN, cal.Compensation, eta); err != nil {
+	if res.Baseline, _, err = cfg.scaleRun(ctx, cfg.BaselineN, cal.Compensation, eta); err != nil {
 		return nil, nil, err
 	}
-	if res.Target, err = cfg.scaleRun(ctx, cfg.N, cal.Compensation, eta); err != nil {
+	if res.Target, res.TargetSnapshots, err = cfg.scaleRun(ctx, cfg.N, cal.Compensation, eta); err != nil {
 		return nil, nil, err
 	}
 	res.Agree = res.Baseline.Verdict() == res.Target.Verdict()
@@ -238,7 +280,7 @@ func Scale(ctx context.Context, cfg ScaleConfig) (*Table, *ScaleResult, error) {
 	t := &Table{
 		Title: "Scale — expulsion verdict at baseline vs large population (message-mode reputation)",
 		Columns: []string{"population", "freeriders", "expelled", "honest expelled",
-			"mean detection", "events", "verdict"},
+			"mean detection", "events", "overhead", "dup serves", "verdict"},
 	}
 	for _, r := range []ScaleRun{res.Baseline, res.Target} {
 		t.AddRow(
@@ -248,6 +290,8 @@ func Scale(ctx context.Context, cfg ScaleConfig) (*Table, *ScaleResult, error) {
 			F(float64(r.HonestExpelled), 0),
 			r.DetectionMean.Round(time.Millisecond).String(),
 			F(float64(r.Events), 0),
+			Pct(r.Overhead()),
+			Pct(r.DupRatio()),
 			r.Verdict(),
 		)
 	}
@@ -258,6 +302,7 @@ func Scale(ctx context.Context, cfg ScaleConfig) (*Table, *ScaleResult, error) {
 	t.Notes = append(t.Notes,
 		"verdicts agree: "+agree,
 		"b̃ = "+F(cal.Compensation, 2)+" blame/period and η = "+F(eta, 2)+" calibrated once at baseline scale (per-node traffic depends on f, not N)",
-		"all blames and expulsions travel as messages to each target's M managers; manager assignment served from the epoch cache")
+		"all blames and expulsions travel as messages to each target's M managers; manager assignment served from the epoch cache",
+		"overhead = verification bytes / dissemination bytes (Table 5's metric); dup serves = share of received serves the node already held")
 	return t, res, nil
 }

@@ -1,7 +1,9 @@
 package experiment
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"testing"
 	"time"
 
@@ -40,6 +42,37 @@ func TestScaleVerdictScaleInvariant(t *testing.T) {
 	if res.Target.DetectionMean <= 0 || res.Target.DetectionMean > cfg.Duration {
 		t.Fatalf("mean detection %v outside the run", res.Target.DetectionMean)
 	}
+
+	// The periodic metrics section: sampled every snapshotEvery periods,
+	// monotone in period and in every cumulative count, with the JSON keys
+	// the document schema promises.
+	snaps := res.TargetSnapshots
+	if len(snaps) < 2 {
+		t.Fatalf("target run produced %d snapshots", len(snaps))
+	}
+	for i := 1; i < len(snaps); i++ {
+		if snaps[i].Period <= snaps[i-1].Period {
+			t.Fatalf("snapshot periods not increasing: %d then %d", snaps[i-1].Period, snaps[i].Period)
+		}
+		if snaps[i].UsefulChunks < snaps[i-1].UsefulChunks {
+			t.Fatalf("useful chunks not cumulative at snapshot %d", i)
+		}
+	}
+	last := snaps[len(snaps)-1]
+	if last.UsefulChunks == 0 || last.ProtocolBytes == 0 || last.VerificationBytes == 0 {
+		t.Fatalf("final snapshot empty: %+v", last)
+	}
+	encoded, err := json.Marshal(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"period"`, `"kinds"`, `"protocol_bytes"`, `"verification_bytes"`,
+		`"overhead_ppm"`, `"dup_chunks"`, `"useful_chunks"`, `"blames_received"`,
+		`"audits"`, `"expulsions"`, `"serve_latency"`} {
+		if !bytes.Contains(encoded, []byte(key)) {
+			t.Fatalf("snapshot JSON missing %s: %s", key, encoded)
+		}
+	}
 }
 
 // TestScaleShardInvariant pins the sharded engine's contract at the
@@ -58,22 +91,39 @@ func TestScaleShardInvariant(t *testing.T) {
 	}
 	eta := -10 * cal.ScoreStd
 	var ref ScaleRun
+	var refSnaps []byte
 	for i, s := range []int{1, 2, 8} {
 		cfg.Shards = s
-		run, err := cfg.scaleRun(context.Background(), cfg.N, cal.Compensation, eta)
+		run, snaps, err := cfg.scaleRun(context.Background(), cfg.N, cal.Compensation, eta)
 		if err != nil {
 			t.Fatal(err)
 		}
 		run.Elapsed = 0 // wall clock is the one legitimately varying field
+		encoded, err := json.Marshal(snaps)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if i == 0 {
-			ref = run
+			ref, refSnaps = run, encoded
 			if !run.CohortExpelled() || !run.HonestClean() {
 				t.Fatalf("S=1 verdict %q, want cohort expelled and honest clean", run.Verdict())
+			}
+			if len(snaps) == 0 {
+				t.Fatal("run produced no metrics snapshots")
+			}
+			if run.UsefulChunks == 0 || run.OverheadPpm == 0 {
+				t.Fatalf("redundancy/overhead accounting empty: %+v", run)
 			}
 			continue
 		}
 		if run != ref {
 			t.Fatalf("S=%d diverged from S=1:\n S=1: %+v\n S=%d: %+v", s, ref, s, run)
+		}
+		// The metrics snapshots — every counter, every histogram bucket —
+		// must be byte-identical across shard counts too: they are sampled
+		// at global-phase barriers over commuting atomic adds.
+		if !bytes.Equal(encoded, refSnaps) {
+			t.Fatalf("S=%d metrics snapshots diverged from S=1:\n S=1: %s\n S=%d: %s", s, refSnaps, s, encoded)
 		}
 	}
 }

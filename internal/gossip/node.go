@@ -16,6 +16,7 @@ import (
 
 	"lifting/internal/history"
 	"lifting/internal/membership"
+	"lifting/internal/metrics"
 	"lifting/internal/msg"
 	"lifting/internal/net"
 	"lifting/internal/rng"
@@ -88,6 +89,9 @@ type Deps struct {
 	// OnChunk, if non-nil, fires once per distinct chunk received, with the
 	// arrival time (feeds the playout/health metric).
 	OnChunk func(c msg.ChunkID, at time.Duration)
+	// Metrics, if non-nil, receives redundancy accounting: duplicate vs
+	// useful serves and the propose→serve latency per accepted chunk.
+	Metrics *metrics.Collector
 }
 
 // Node is one participant in the dissemination protocol.
@@ -407,11 +411,20 @@ func (n *Node) onRequest(from msg.NodeID, m *msg.Request) {
 
 func (n *Node) onServe(from msg.NodeID, m *msg.Serve) {
 	if n.have[m.Chunk] {
+		// Pure redundancy on the wire: a second copy of a chunk this node
+		// already holds (a lost ack, overlapping proposals, a retry race).
+		if n.deps.Metrics != nil {
+			n.deps.Metrics.OnDuplicateChunk(n.id)
+		}
 		return
 	}
 	if !n.requestedFrom[m.Chunk][from] {
 		// Unsolicited serve; the protocol only accepts chunks in P ∩ R.
 		return
+	}
+	if n.deps.Metrics != nil {
+		// lastRequest is about to be cleared below — read the latency now.
+		n.deps.Metrics.OnUsefulChunk(n.id, n.deps.Ctx.Now()-n.lastRequest[m.Chunk])
 	}
 	delete(n.requestedFrom, m.Chunk)
 	delete(n.lastRequest, m.Chunk)

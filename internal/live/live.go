@@ -264,7 +264,7 @@ func (r *Runtime) Send(from, to msg.NodeID, m msg.Message, mode net.Mode) {
 
 	if drop || dstCtx == nil {
 		if r.collector != nil {
-			r.collector.OnDrop(m)
+			r.collector.OnDrop(m, size)
 		}
 		return
 	}
@@ -277,7 +277,7 @@ func (r *Runtime) Send(from, to msg.NodeID, m msg.Message, mode net.Mode) {
 		decoded, err := msg.Decode(encoded)
 		if err != nil {
 			if r.collector != nil {
-				r.collector.OnDrop(m)
+				r.collector.OnDrop(m, size)
 			}
 			return
 		}
@@ -291,7 +291,7 @@ func (r *Runtime) Send(from, to msg.NodeID, m msg.Message, mode net.Mode) {
 		}
 	})
 	if !delivered && r.collector != nil {
-		r.collector.OnDrop(m)
+		r.collector.OnDrop(m, size)
 	}
 }
 

@@ -1,121 +1,347 @@
 // Package metrics collects message and byte counters for the dissemination
 // protocol and LiFTinG's verifications. It feeds the overhead accounting of
-// Table 3 (message counts) and Table 5 (bandwidth overhead) of the paper.
+// Table 3 (message counts) and Table 5 (bandwidth overhead) of the paper,
+// the /metrics endpoint of lifting-node, and the deterministic metrics
+// snapshots embedded in the lifting.experiments/v1 JSON document.
 package metrics
 
 import (
+	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"lifting/internal/msg"
 )
 
-// PerNode aggregates traffic for a single node.
-type PerNode struct {
-	SentMsgs  uint64
-	SentBytes uint64
-	RecvMsgs  uint64
-	RecvBytes uint64
+// kindSlots is the size of the per-kind counter arrays: kinds run 1..14
+// (KindPropose..KindAuditPollResp), slot 0 absorbs the zero Kind.
+const kindSlots = int(msg.KindAuditPollResp) + 1
+
+// numStripes spreads the per-kind counters across sender-id stripes so
+// concurrent senders (live goroutines, UDP readers, engine shards) do not
+// all contend on one cache line. Must be a power of two.
+const numStripes = 8
+
+// maxDense bounds the copy-on-write dense per-node slice. IDs at or above it
+// (notably msg.NoNode = 0xFFFFFFFF) fall back to a mutex-guarded map so a
+// stray huge ID cannot allocate gigabytes.
+const maxDense = 1 << 22
+
+// kindStripe holds one stripe of the global per-kind counters, padded to its
+// own cache lines.
+type kindStripe struct {
+	sentMsgs  [kindSlots]atomic.Uint64
+	sentBytes [kindSlots]atomic.Uint64
+	recvMsgs  [kindSlots]atomic.Uint64
+	recvBytes [kindSlots]atomic.Uint64
+	dropMsgs  [kindSlots]atomic.Uint64
+	dropBytes [kindSlots]atomic.Uint64
+	_         [64]byte
 }
 
-// Collector accumulates global and per-node traffic statistics. It is safe
-// for concurrent use (the live runtime delivers from many goroutines); under
-// the single-threaded simulator the lock is uncontended.
+// PerNode aggregates traffic for a single node.
+type PerNode struct {
+	SentMsgs     uint64
+	SentBytes    uint64
+	RecvMsgs     uint64
+	RecvBytes    uint64
+	DupChunks    uint64
+	UsefulChunks uint64
+}
+
+// nodeCounters is the live (atomic) form of PerNode.
+type nodeCounters struct {
+	sentMsgs     atomic.Uint64
+	sentBytes    atomic.Uint64
+	recvMsgs     atomic.Uint64
+	recvBytes    atomic.Uint64
+	dupChunks    atomic.Uint64
+	usefulChunks atomic.Uint64
+}
+
+func (n *nodeCounters) snapshot() PerNode {
+	return PerNode{
+		SentMsgs:     n.sentMsgs.Load(),
+		SentBytes:    n.sentBytes.Load(),
+		RecvMsgs:     n.recvMsgs.Load(),
+		RecvBytes:    n.recvBytes.Load(),
+		DupChunks:    n.dupChunks.Load(),
+		UsefulChunks: n.usefulChunks.Load(),
+	}
+}
+
+// Collector accumulates global and per-node traffic statistics. The record
+// path (OnSend/OnDeliver/OnDrop/OnDuplicateChunk/OnUsefulChunk) is
+// allocation-free and lock-free after a node's first message: per-kind
+// counters are striped atomics indexed by sender, per-node counters live in
+// a copy-on-write dense slice reached through an atomic pointer. Atomic adds
+// commute, so cumulative counts read at a sharded-engine barrier are
+// byte-identical regardless of shard or worker count.
 //
 // The zero value is not usable; create one with NewCollector.
 type Collector struct {
-	mu        sync.Mutex
-	sentMsgs  map[msg.Kind]uint64
-	sentBytes map[msg.Kind]uint64
-	dropped   map[msg.Kind]uint64
-	perNode   map[msg.NodeID]*PerNode
+	stripes [numStripes]kindStripe
+
+	// nodes is the dense per-node table: an atomically published slice
+	// indexed by NodeID. Readers load the pointer and index; growth and
+	// slot installation happen under growMu, republishing a longer slice
+	// that shares the existing *nodeCounters entries.
+	nodes  atomic.Pointer[[]*nodeCounters]
+	growMu sync.Mutex
+	// sparse catches IDs >= maxDense (msg.NoNode in particular).
+	sparse map[msg.NodeID]*nodeCounters
+
+	// Redundancy accounting (gossip plane).
+	dupChunks    atomic.Uint64
+	usefulChunks atomic.Uint64
+
+	// ServeLatency observes propose→serve latency: the time from a node
+	// requesting a chunk to the serve arriving.
+	ServeLatency *Histogram
+
+	// Verification-plane instrumentation.
+	blameMu      sync.Mutex
+	blamesIssued map[string]*atomic.Uint64
+
+	auditsResponded    atomic.Uint64
+	auditsUnresponsive atomic.Uint64
+	auditsPassed       atomic.Uint64
+	auditsFailed       atomic.Uint64
+	expulsions         atomic.Uint64
 }
 
 // NewCollector returns an empty collector.
 func NewCollector() *Collector {
-	return &Collector{
-		sentMsgs:  make(map[msg.Kind]uint64),
-		sentBytes: make(map[msg.Kind]uint64),
-		dropped:   make(map[msg.Kind]uint64),
-		perNode:   make(map[msg.NodeID]*PerNode),
+	c := &Collector{
+		sparse:       make(map[msg.NodeID]*nodeCounters),
+		blamesIssued: make(map[string]*atomic.Uint64),
+		ServeLatency: NewHistogram(HistogramBuckets),
 	}
+	empty := make([]*nodeCounters, 0)
+	c.nodes.Store(&empty)
+	return c
+}
+
+func kindIndex(k msg.Kind) int {
+	i := int(k)
+	if i >= kindSlots {
+		return 0
+	}
+	return i
+}
+
+func (c *Collector) stripe(id msg.NodeID) *kindStripe {
+	return &c.stripes[uint32(id)&(numStripes-1)]
+}
+
+// node returns the counters for id, installing them on first sight. The fast
+// path is one atomic pointer load plus a bounds check.
+func (c *Collector) node(id msg.NodeID) *nodeCounters {
+	if id < maxDense {
+		tab := *c.nodes.Load()
+		if int(id) < len(tab) {
+			if n := tab[id]; n != nil {
+				return n
+			}
+		}
+	}
+	return c.nodeSlow(id)
+}
+
+func (c *Collector) nodeSlow(id msg.NodeID) *nodeCounters {
+	c.growMu.Lock()
+	defer c.growMu.Unlock()
+	if id >= maxDense {
+		n, ok := c.sparse[id]
+		if !ok {
+			n = &nodeCounters{}
+			c.sparse[id] = n
+		}
+		return n
+	}
+	tab := *c.nodes.Load()
+	if int(id) < len(tab) && tab[id] != nil {
+		return tab[id]
+	}
+	size := len(tab)
+	if size == 0 {
+		size = 64
+	}
+	for size <= int(id) {
+		size *= 2
+	}
+	grown := make([]*nodeCounters, size)
+	copy(grown, tab)
+	n := &nodeCounters{}
+	grown[id] = n
+	c.nodes.Store(&grown)
+	return n
 }
 
 // OnSend records that from sent m (size bytes on the wire).
 func (c *Collector) OnSend(from msg.NodeID, m msg.Message, size int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.sentMsgs[m.Kind()]++
-	c.sentBytes[m.Kind()] += uint64(size)
+	s := c.stripe(from)
+	i := kindIndex(m.Kind())
+	s.sentMsgs[i].Add(1)
+	s.sentBytes[i].Add(uint64(size))
 	n := c.node(from)
-	n.SentMsgs++
-	n.SentBytes += uint64(size)
+	n.sentMsgs.Add(1)
+	n.sentBytes.Add(uint64(size))
 }
 
 // OnDeliver records that to received m (size bytes on the wire).
 func (c *Collector) OnDeliver(to msg.NodeID, m msg.Message, size int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	s := c.stripe(to)
+	i := kindIndex(m.Kind())
+	s.recvMsgs[i].Add(1)
+	s.recvBytes[i].Add(uint64(size))
 	n := c.node(to)
-	n.RecvMsgs++
-	n.RecvBytes += uint64(size)
+	n.recvMsgs.Add(1)
+	n.recvBytes.Add(uint64(size))
 }
 
-// OnDrop records that a message of the given kind was lost in transit.
-func (c *Collector) OnDrop(m msg.Message) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.dropped[m.Kind()]++
+// OnDrop records that a message of the given kind (size bytes on the wire)
+// was lost in transit.
+func (c *Collector) OnDrop(m msg.Message, size int) {
+	s := c.stripe(m.From())
+	i := kindIndex(m.Kind())
+	s.dropMsgs[i].Add(1)
+	s.dropBytes[i].Add(uint64(size))
 }
 
-func (c *Collector) node(id msg.NodeID) *PerNode {
-	n, ok := c.perNode[id]
+// OnDuplicateChunk records that node id received a serve for a chunk it
+// already held — pure redundancy on the wire.
+func (c *Collector) OnDuplicateChunk(id msg.NodeID) {
+	c.dupChunks.Add(1)
+	c.node(id).dupChunks.Add(1)
+}
+
+// OnUsefulChunk records that node id received a new chunk, latency after
+// requesting it (propose→serve latency).
+func (c *Collector) OnUsefulChunk(id msg.NodeID, latency time.Duration) {
+	c.usefulChunks.Add(1)
+	c.node(id).usefulChunks.Add(1)
+	c.ServeLatency.Observe(latency)
+}
+
+// OnBlameIssued records a blame emitted locally, keyed by reason.
+func (c *Collector) OnBlameIssued(reason string) {
+	c.blameMu.Lock()
+	ctr, ok := c.blamesIssued[reason]
 	if !ok {
-		n = &PerNode{}
-		c.perNode[id] = n
+		ctr = &atomic.Uint64{}
+		c.blamesIssued[reason] = ctr
 	}
-	return n
+	c.blameMu.Unlock()
+	ctr.Add(1)
+}
+
+// OnAuditOutcome records one completed audit: whether the target responded
+// and whether its history passed (no expulsion recommended).
+func (c *Collector) OnAuditOutcome(responded, passed bool) {
+	if responded {
+		c.auditsResponded.Add(1)
+	} else {
+		c.auditsUnresponsive.Add(1)
+	}
+	if passed {
+		c.auditsPassed.Add(1)
+	} else {
+		c.auditsFailed.Add(1)
+	}
+}
+
+// OnExpel records one expulsion decision.
+func (c *Collector) OnExpel() { c.expulsions.Add(1) }
+
+// sum folds one counter class over every stripe.
+func (c *Collector) sum(pick func(*kindStripe) *[kindSlots]atomic.Uint64, k msg.Kind) uint64 {
+	i := kindIndex(k)
+	var total uint64
+	for s := range c.stripes {
+		total += pick(&c.stripes[s])[i].Load()
+	}
+	return total
 }
 
 // SentMsgs returns the number of messages of the given kind sent.
 func (c *Collector) SentMsgs(k msg.Kind) uint64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.sentMsgs[k]
+	return c.sum(func(s *kindStripe) *[kindSlots]atomic.Uint64 { return &s.sentMsgs }, k)
 }
 
 // SentBytes returns the number of bytes of the given kind sent.
 func (c *Collector) SentBytes(k msg.Kind) uint64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.sentBytes[k]
+	return c.sum(func(s *kindStripe) *[kindSlots]atomic.Uint64 { return &s.sentBytes }, k)
+}
+
+// RecvMsgs returns the number of messages of the given kind delivered.
+func (c *Collector) RecvMsgs(k msg.Kind) uint64 {
+	return c.sum(func(s *kindStripe) *[kindSlots]atomic.Uint64 { return &s.recvMsgs }, k)
+}
+
+// RecvBytes returns the number of bytes of the given kind delivered.
+func (c *Collector) RecvBytes(k msg.Kind) uint64 {
+	return c.sum(func(s *kindStripe) *[kindSlots]atomic.Uint64 { return &s.recvBytes }, k)
 }
 
 // Dropped returns the number of messages of the given kind lost in transit.
 func (c *Collector) Dropped(k msg.Kind) uint64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.dropped[k]
+	return c.sum(func(s *kindStripe) *[kindSlots]atomic.Uint64 { return &s.dropMsgs }, k)
+}
+
+// DroppedBytes returns the number of bytes of the given kind lost in
+// transit.
+func (c *Collector) DroppedBytes(k msg.Kind) uint64 {
+	return c.sum(func(s *kindStripe) *[kindSlots]atomic.Uint64 { return &s.dropBytes }, k)
 }
 
 // Node returns a copy of the per-node counters for id.
 func (c *Collector) Node(id msg.NodeID) PerNode {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if n, ok := c.perNode[id]; ok {
-		return *n
+	if id < maxDense {
+		tab := *c.nodes.Load()
+		if int(id) < len(tab) && tab[id] != nil {
+			return tab[id].snapshot()
+		}
+		return PerNode{}
 	}
-	return PerNode{}
+	c.growMu.Lock()
+	n, ok := c.sparse[id]
+	c.growMu.Unlock()
+	if !ok {
+		return PerNode{}
+	}
+	return n.snapshot()
 }
 
-// Totals sums counters over every kind for which include returns true and
-// reports (messages, bytes).
+// DupChunks returns the total number of duplicate chunks received.
+func (c *Collector) DupChunks() uint64 { return c.dupChunks.Load() }
+
+// UsefulChunks returns the total number of useful (first-copy) chunks
+// received.
+func (c *Collector) UsefulChunks() uint64 { return c.usefulChunks.Load() }
+
+// Expulsions returns the number of expulsion decisions recorded.
+func (c *Collector) Expulsions() uint64 { return c.expulsions.Load() }
+
+// BlamesIssued returns the locally issued blame counts keyed by reason.
+func (c *Collector) BlamesIssued() map[string]uint64 {
+	c.blameMu.Lock()
+	defer c.blameMu.Unlock()
+	out := make(map[string]uint64, len(c.blamesIssued))
+	for reason, ctr := range c.blamesIssued {
+		out[reason] = ctr.Load()
+	}
+	return out
+}
+
+// Totals sums sent counters over every kind for which include returns true
+// and reports (messages, bytes).
 func (c *Collector) Totals(include func(msg.Kind) bool) (msgs, bytes uint64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for k, n := range c.sentMsgs {
+	for k := msg.Kind(1); int(k) < kindSlots; k++ {
 		if include(k) {
-			msgs += n
-			bytes += c.sentBytes[k]
+			msgs += c.SentMsgs(k)
+			bytes += c.SentBytes(k)
 		}
 	}
 	return msgs, bytes
@@ -143,4 +369,179 @@ func (c *Collector) Overhead() float64 {
 		return 0
 	}
 	return float64(vb) / float64(pb)
+}
+
+// KindCount is one message kind's traffic totals inside a Snapshot.
+type KindCount struct {
+	Kind      string `json:"kind"`
+	SentMsgs  uint64 `json:"sent_msgs"`
+	SentBytes uint64 `json:"sent_bytes"`
+	RecvMsgs  uint64 `json:"recv_msgs"`
+	RecvBytes uint64 `json:"recv_bytes"`
+	DropMsgs  uint64 `json:"dropped_msgs,omitempty"`
+	DropBytes uint64 `json:"dropped_bytes,omitempty"`
+}
+
+// ReasonCount is one blame reason's count inside a Snapshot.
+type ReasonCount struct {
+	Reason string `json:"reason"`
+	Count  uint64 `json:"count"`
+}
+
+// AuditCounts summarizes audit outcomes inside a Snapshot.
+type AuditCounts struct {
+	Responded    uint64 `json:"responded"`
+	Unresponsive uint64 `json:"unresponsive"`
+	Passed       uint64 `json:"passed"`
+	Failed       uint64 `json:"failed"`
+}
+
+// Snapshot is a deterministic dump of the collector's cumulative state:
+// integer counts and one derived ratio, no wall-clock anywhere. Taken at a
+// sim-time period boundary (all engine shards parked at the barrier) it is
+// byte-identical across shard and worker counts, because every field is a
+// sum of commuting atomic adds over a shard-independent event set.
+type Snapshot struct {
+	Period            uint64            `json:"period"`
+	Kinds             []KindCount       `json:"kinds"`
+	ProtocolBytes     uint64            `json:"protocol_bytes"`
+	VerificationBytes uint64            `json:"verification_bytes"`
+	OverheadPpm       uint64            `json:"overhead_ppm"`
+	DupChunks         uint64            `json:"dup_chunks"`
+	UsefulChunks      uint64            `json:"useful_chunks"`
+	BlamesIssued      []ReasonCount     `json:"blames_issued,omitempty"`
+	BlamesReceived    uint64            `json:"blames_received"`
+	Audits            AuditCounts       `json:"audits"`
+	Expulsions        uint64            `json:"expulsions"`
+	ServeLatency      HistogramSnapshot `json:"serve_latency"`
+}
+
+// SnapshotAt captures the collector's cumulative state, stamped with the
+// given period number. Kinds with no traffic at all are omitted; the rest
+// appear in wire-kind order.
+func (c *Collector) SnapshotAt(period uint64) Snapshot {
+	s := Snapshot{
+		Period:       period,
+		DupChunks:    c.dupChunks.Load(),
+		UsefulChunks: c.usefulChunks.Load(),
+		Expulsions:   c.expulsions.Load(),
+		Audits: AuditCounts{
+			Responded:    c.auditsResponded.Load(),
+			Unresponsive: c.auditsUnresponsive.Load(),
+			Passed:       c.auditsPassed.Load(),
+			Failed:       c.auditsFailed.Load(),
+		},
+		ServeLatency:   c.ServeLatency.Snapshot(),
+		BlamesReceived: c.RecvMsgs(msg.KindBlame),
+	}
+	for k := msg.Kind(1); int(k) < kindSlots; k++ {
+		kc := KindCount{
+			Kind:      k.String(),
+			SentMsgs:  c.SentMsgs(k),
+			SentBytes: c.SentBytes(k),
+			RecvMsgs:  c.RecvMsgs(k),
+			RecvBytes: c.RecvBytes(k),
+			DropMsgs:  c.Dropped(k),
+			DropBytes: c.DroppedBytes(k),
+		}
+		if kc.SentMsgs == 0 && kc.RecvMsgs == 0 && kc.DropMsgs == 0 {
+			continue
+		}
+		if k.IsVerification() {
+			s.VerificationBytes += kc.SentBytes
+		} else {
+			s.ProtocolBytes += kc.SentBytes
+		}
+		s.Kinds = append(s.Kinds, kc)
+	}
+	if s.ProtocolBytes > 0 {
+		// Parts-per-million keeps the ratio integral: integer division is
+		// exact and deterministic where float formatting invites drift.
+		s.OverheadPpm = s.VerificationBytes * 1_000_000 / s.ProtocolBytes
+	}
+	c.blameMu.Lock()
+	for reason, ctr := range c.blamesIssued {
+		if v := ctr.Load(); v > 0 {
+			s.BlamesIssued = append(s.BlamesIssued, ReasonCount{Reason: reason, Count: v})
+		}
+	}
+	c.blameMu.Unlock()
+	sort.Slice(s.BlamesIssued, func(i, j int) bool {
+		return s.BlamesIssued[i].Reason < s.BlamesIssued[j].Reason
+	})
+	return s
+}
+
+// Register installs the collector's metric families into reg for Prometheus
+// exposition. All values are read at scrape time; recording never touches
+// the registry.
+func (c *Collector) Register(reg *Registry) {
+	perKind := func(pick func(k msg.Kind) uint64) func() []LabeledValue {
+		return func() []LabeledValue {
+			var out []LabeledValue
+			for k := msg.Kind(1); int(k) < kindSlots; k++ {
+				if v := pick(k); v > 0 {
+					out = append(out, LabeledValue{
+						Labels: [][2]string{{"kind", k.String()}},
+						Value:  v,
+					})
+				}
+			}
+			return out
+		}
+	}
+	reg.NewLabeledCounterFunc("lifting_sent_messages_total",
+		"Messages sent, by wire kind.", perKind(c.SentMsgs))
+	reg.NewLabeledCounterFunc("lifting_sent_bytes_total",
+		"Bytes sent on the wire, by kind.", perKind(c.SentBytes))
+	reg.NewLabeledCounterFunc("lifting_recv_messages_total",
+		"Messages delivered, by wire kind.", perKind(c.RecvMsgs))
+	reg.NewLabeledCounterFunc("lifting_recv_bytes_total",
+		"Bytes delivered, by kind.", perKind(c.RecvBytes))
+	reg.NewLabeledCounterFunc("lifting_dropped_messages_total",
+		"Messages lost in transit, by kind.", perKind(c.Dropped))
+	reg.NewLabeledCounterFunc("lifting_dropped_bytes_total",
+		"Bytes lost in transit, by kind.", perKind(c.DroppedBytes))
+	reg.NewCounterFunc("lifting_protocol_bytes_total",
+		"Bytes sent by the dissemination protocol (propose/request/serve).",
+		func() uint64 { _, b := c.ProtocolTotals(); return b })
+	reg.NewCounterFunc("lifting_verification_bytes_total",
+		"Bytes sent by LiFTinG verifications.",
+		func() uint64 { _, b := c.VerificationTotals(); return b })
+	reg.NewGaugeFunc("lifting_verification_overhead_ratio",
+		"Verification bytes divided by dissemination bytes (Table 5; paper claims <8%).",
+		c.Overhead)
+	reg.NewCounterFunc("lifting_duplicate_chunks_total",
+		"Serves received for chunks the node already held.", c.DupChunks)
+	reg.NewCounterFunc("lifting_useful_chunks_total",
+		"Serves that delivered a new chunk.", c.UsefulChunks)
+	reg.NewLabeledCounterFunc("lifting_blames_issued_total",
+		"Blames issued locally, by reason.", func() []LabeledValue {
+			c.blameMu.Lock()
+			out := make([]LabeledValue, 0, len(c.blamesIssued))
+			for reason, ctr := range c.blamesIssued {
+				out = append(out, LabeledValue{
+					Labels: [][2]string{{"reason", reason}},
+					Value:  ctr.Load(),
+				})
+			}
+			c.blameMu.Unlock()
+			return sortLabeled(out)
+		})
+	reg.NewCounterFunc("lifting_blames_received_total",
+		"Blame messages delivered to this collector's nodes.",
+		func() uint64 { return c.RecvMsgs(msg.KindBlame) })
+	reg.NewLabeledCounterFunc("lifting_audit_outcomes_total",
+		"Completed audits, by response and verdict.", func() []LabeledValue {
+			return []LabeledValue{
+				{Labels: [][2]string{{"result", "failed"}}, Value: c.auditsFailed.Load()},
+				{Labels: [][2]string{{"result", "passed"}}, Value: c.auditsPassed.Load()},
+				{Labels: [][2]string{{"result", "responded"}}, Value: c.auditsResponded.Load()},
+				{Labels: [][2]string{{"result", "unresponsive"}}, Value: c.auditsUnresponsive.Load()},
+			}
+		})
+	reg.NewCounterFunc("lifting_expulsions_total",
+		"Expulsion decisions recorded.", c.Expulsions)
+	reg.NewHistogramMetric("lifting_serve_latency_seconds",
+		"Propose-to-serve latency: request sent to chunk delivered.", c.ServeLatency)
 }

@@ -113,7 +113,7 @@ func (n *SimNet) Send(from, to msg.NodeID, m msg.Message, mode Mode) {
 	src := n.ConditionsOf(from)
 	dst := n.ConditionsOf(to)
 	if src.Down || dst.Down {
-		n.drop(m)
+		n.drop(m, size)
 		return
 	}
 	rand := n.rand
@@ -124,7 +124,7 @@ func (n *SimNet) Send(from, to msg.NodeID, m msg.Message, mode Mode) {
 	}
 	if mode == Unreliable {
 		if rand.Bernoulli(src.LossOut) || rand.Bernoulli(dst.LossIn) {
-			n.drop(m)
+			n.drop(m, size)
 			return
 		}
 	}
@@ -168,7 +168,7 @@ func (n *SimNet) Deliver(from, to int32, payload any, size int32) {
 	m := payload.(msg.Message)
 	h, ok := n.handlers[msg.NodeID(to)]
 	if !ok || n.ConditionsOf(msg.NodeID(to)).Down {
-		n.drop(m)
+		n.drop(m, int(size))
 		return
 	}
 	if n.collector != nil {
@@ -177,8 +177,8 @@ func (n *SimNet) Deliver(from, to int32, payload any, size int32) {
 	h.HandleMessage(msg.NodeID(from), m)
 }
 
-func (n *SimNet) drop(m msg.Message) {
+func (n *SimNet) drop(m msg.Message, size int) {
 	if n.collector != nil {
-		n.collector.OnDrop(m)
+		n.collector.OnDrop(m, size)
 	}
 }

@@ -264,3 +264,38 @@ func TestDeterministicDelivery(t *testing.T) {
 		}
 	}
 }
+
+// TestTrafficConservation pins the collector symmetry PR 7 fixed: on the
+// sim backend every sent message (and byte) is delivered or recorded as a
+// drop — exactly one of the two — once the engine drains. Lossless runs
+// must show zero drops; lossy runs must balance to the message.
+func TestTrafficConservation(t *testing.T) {
+	for _, loss := range []float64{0, 0.2} {
+		eng, n, col := newNet(t, Uniform(loss, time.Millisecond))
+		rx := &capture{}
+		n.Attach(2, rx)
+		const total = 5000
+		for i := 0; i < total; i++ {
+			n.Send(1, 2, &msg.ScoreReq{Sender: 1, Target: 2}, Unreliable)
+		}
+		eng.RunAll()
+		k := msg.KindScoreReq
+		if col.SentMsgs(k) != total {
+			t.Fatalf("loss=%v: sent %d, want %d", loss, col.SentMsgs(k), total)
+		}
+		if got := col.RecvMsgs(k) + col.Dropped(k); got != total {
+			t.Fatalf("loss=%v: delivered %d + dropped %d != sent %d",
+				loss, col.RecvMsgs(k), col.Dropped(k), total)
+		}
+		if got := col.RecvBytes(k) + col.DroppedBytes(k); got != col.SentBytes(k) {
+			t.Fatalf("loss=%v: byte accounting unbalanced: %d + %d != %d",
+				loss, col.RecvBytes(k), col.DroppedBytes(k), col.SentBytes(k))
+		}
+		if loss == 0 && col.Dropped(k) != 0 {
+			t.Fatalf("lossless run recorded %d drops", col.Dropped(k))
+		}
+		if loss > 0 && col.Dropped(k) == 0 {
+			t.Fatal("lossy run recorded no drops")
+		}
+	}
+}

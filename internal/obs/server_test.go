@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"lifting/internal/metrics"
+	"lifting/internal/msg"
+)
+
+func get(t *testing.T, url string) (string, http.Header) {
+	t.Helper()
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", url, err)
+	}
+	return string(body), resp.Header
+}
+
+func TestServerEndpoints(t *testing.T) {
+	c := metrics.NewCollector()
+	serve := &msg.Serve{Sender: 1, Chunk: 1, PayloadSize: 1000}
+	c.OnSend(1, serve, serve.WireSize())
+	c.OnDeliver(2, serve, serve.WireSize())
+	reg := metrics.NewRegistry()
+	c.Register(reg)
+
+	srv := New(reg, func() Status {
+		return Status{
+			NodeID:          3,
+			Period:          12,
+			MembershipEpoch: 2,
+			Members:         5,
+			PeerBookSize:    4,
+			Expelled:        []uint32{7},
+			Scores:          []Score{{Node: 1, Score: -0.5}, {Node: 2, Score: 0.1}},
+		}
+	})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer srv.Close()
+
+	body, hdr := get(t, "http://"+addr+"/metrics")
+	if !strings.HasPrefix(hdr.Get("Content-Type"), "text/plain") {
+		t.Fatalf("metrics content type: %q", hdr.Get("Content-Type"))
+	}
+	for _, want := range []string{
+		"lifting_verification_overhead_ratio",
+		`lifting_sent_messages_total{kind="serve"} 1`,
+		"# TYPE lifting_serve_latency_seconds histogram",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	body, hdr = get(t, "http://"+addr+"/status")
+	if hdr.Get("Content-Type") != "application/json" {
+		t.Fatalf("status content type: %q", hdr.Get("Content-Type"))
+	}
+	var st Status
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("status not JSON: %v\n%s", err, body)
+	}
+	if st.NodeID != 3 || st.Period != 12 || st.Members != 5 || st.PeerBookSize != 4 {
+		t.Fatalf("status fields: %+v", st)
+	}
+	if st.UptimeSeconds <= 0 {
+		t.Fatalf("uptime not stamped: %+v", st)
+	}
+	if len(st.Scores) != 2 || st.Scores[0].Node != 1 {
+		t.Fatalf("scores: %+v", st.Scores)
+	}
+
+	body, _ = get(t, "http://"+addr+"/debug/pprof/cmdline")
+	if len(body) == 0 {
+		t.Fatal("pprof cmdline empty")
+	}
+
+	body, _ = get(t, "http://"+addr+"/")
+	if !strings.Contains(body, "/metrics") {
+		t.Fatalf("index page: %q", body)
+	}
+}
+
+func TestServerClose(t *testing.T) {
+	srv := New(metrics.NewRegistry(), func() Status { return Status{} })
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	client := &http.Client{Timeout: time.Second}
+	if _, err := client.Get("http://" + addr + "/metrics"); err == nil {
+		t.Fatal("server still serving after Close")
+	}
+}

@@ -129,6 +129,18 @@ func (m *Manager) Score(target msg.NodeID) (float64, bool) {
 	return m.board.Score(target), true
 }
 
+// Scores returns the manager's current normalized score for every target it
+// tracks — the local manager-duty view an operator sees on /status.
+func (m *Manager) Scores() map[msg.NodeID]float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[msg.NodeID]float64)
+	m.board.Each(func(id msg.NodeID, _ Entry) {
+		out[id] = m.board.Score(id)
+	})
+	return out
+}
+
 // HandleMessage processes reputation traffic addressed to this node. It
 // reports whether the message kind belonged to the reputation layer.
 func (m *Manager) HandleMessage(from msg.NodeID, mm msg.Message) bool {

@@ -404,7 +404,7 @@ func (r *Runtime) Send(from, to msg.NodeID, m msg.Message, mode net.Mode) {
 	addr, known := r.book.Lookup(to)
 	if drop || !known || sender == nil {
 		if r.collector != nil {
-			r.collector.OnDrop(m)
+			r.collector.OnDrop(m, size)
 		}
 		return
 	}
@@ -422,7 +422,7 @@ func (r *Runtime) Send(from, to msg.NodeID, m msg.Message, mode net.Mode) {
 		r.bufs.Put(bufp)
 		if errors.Is(err, msg.ErrPayloadTooLarge) {
 			if r.collector != nil {
-				r.collector.OnDrop(m)
+				r.collector.OnDrop(m, size)
 			}
 			return
 		}
@@ -433,7 +433,7 @@ func (r *Runtime) Send(from, to msg.NodeID, m msg.Message, mode net.Mode) {
 	write := func() {
 		_, werr := sender.conn.WriteToUDP(frame, addr)
 		if werr != nil && r.collector != nil {
-			r.collector.OnDrop(m)
+			r.collector.OnDrop(m, size)
 		}
 		r.bufs.Put(bufp)
 	}
@@ -488,7 +488,7 @@ func (r *Runtime) recvLoop(n *nodeCtx) {
 		lost := flags&msg.FlagReliable == 0 && r.bernoulli(cond.LossIn)
 		if cond.Down || lost {
 			if r.collector != nil {
-				r.collector.OnDrop(m)
+				r.collector.OnDrop(m, m.WireSize())
 			}
 			continue
 		}

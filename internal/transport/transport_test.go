@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"io"
 	gonet "net"
 	"sync"
 	"testing"
@@ -361,5 +362,78 @@ func TestBookLearnDoesNotClobberSeeds(t *testing.T) {
 	}
 	if ids := b.IDs(); len(ids) != 2 || ids[0] != 1 || ids[1] != 2 {
 		t.Fatalf("IDs = %v", ids)
+	}
+}
+
+// TestMetricsConcurrentSendersScrape hammers one shared collector from
+// concurrent sender goroutines over real UDP sockets while a scraper
+// renders the exposition and snapshots — the daemon's /metrics access
+// pattern, run under -race by CI and `make race`.
+func TestMetricsConcurrentSendersScrape(t *testing.T) {
+	coll := metrics.NewCollector()
+	reg := metrics.NewRegistry()
+	coll.Register(reg)
+	rt := New(Options{Seed: 1, Collector: coll})
+	defer rt.Close()
+
+	const nodes = 4
+	sinks := make([]*collect, nodes)
+	for i := 0; i < nodes; i++ {
+		sinks[i] = &collect{}
+		rt.Attach(msg.NodeID(i), sinks[i])
+	}
+
+	stop := make(chan struct{})
+	var scraper sync.WaitGroup
+	scraper.Add(1)
+	go func() {
+		defer scraper.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				reg.WritePrometheus(io.Discard)
+				_ = coll.SnapshotAt(0)
+			}
+		}
+	}()
+
+	var senders sync.WaitGroup
+	for i := 0; i < nodes; i++ {
+		senders.Add(1)
+		go func(from msg.NodeID) {
+			defer senders.Done()
+			for j := 0; j < 500; j++ {
+				to := msg.NodeID((int(from) + 1 + j%(nodes-1)) % nodes)
+				rt.Send(from, to, &msg.Propose{Sender: from, Period: msg.Period(j), Chunks: []msg.ChunkID{msg.ChunkID(j)}}, net.Unreliable)
+				if j%50 == 49 {
+					time.Sleep(time.Millisecond) // don't outrun loopback socket buffers
+				}
+			}
+		}(msg.NodeID(i))
+	}
+	senders.Wait()
+	// UDP offers no delivery guarantee even on loopback (bursts can overrun
+	// socket buffers), so wait for a solid majority, not all 2000.
+	waitFor(t, "deliveries", func() bool {
+		n := 0
+		for _, s := range sinks {
+			n += s.count()
+		}
+		return n >= nodes*250
+	})
+	close(stop)
+	scraper.Wait()
+
+	if got := coll.SentMsgs(msg.KindPropose); got != nodes*500 {
+		t.Fatalf("sent counter = %d, want %d", got, nodes*500)
+	}
+	if coll.RecvMsgs(msg.KindPropose) == 0 {
+		t.Fatal("no deliveries counted")
+	}
+	snap := coll.SnapshotAt(0)
+	if snap.ProtocolBytes == 0 {
+		t.Fatal("no protocol bytes accounted")
 	}
 }
