@@ -13,16 +13,18 @@ test:
 # the reputation substrate (manager boards are hit from node goroutines
 # while the harness ticks periods and hands state off), the sharded
 # discrete-event engine (node events run on shard goroutines inside
-# lookahead windows) and the metrics collector (striped atomic counters
-# hammered from sender goroutines while scrapers render the exposition).
+# lookahead windows), the metrics collector (striped atomic counters
+# hammered from sender goroutines while scrapers render the exposition)
+# and the content plane (chunk stores and the HTTP gateway serve shared
+# payload slices to concurrent readers).
 race:
-	$(GO) test -race -timeout 600s ./internal/live/ ./internal/cluster/ ./internal/transport/ ./internal/reputation/ ./internal/membership/ ./internal/sim/ ./internal/metrics/
+	$(GO) test -race -timeout 600s ./internal/live/ ./internal/cluster/ ./internal/transport/ ./internal/reputation/ ./internal/membership/ ./internal/sim/ ./internal/metrics/ ./internal/content/ ./internal/gateway/
 
 # Regenerate the perf trajectory document for this PR, gating on the
 # previous PR's baseline (normalized by the calibration loop, so a slower
 # machine does not read as a regression).
 bench:
-	$(GO) run ./cmd/lifting-bench -check -baseline BENCH_PR6.json -out BENCH_PR7.json
+	$(GO) run ./cmd/lifting-bench -check -baseline BENCH_PR7.json -out BENCH_PR8.json
 
 # Extended fuzzing of the network-facing decoder (the committed seed corpus
 # replays on every plain `go test`).

@@ -92,3 +92,44 @@ func TestCompare(t *testing.T) {
 		t.Fatalf("raw compare = %d regressions, want 2\n%s", n, buf.String())
 	}
 }
+
+func TestCompareDualGateToleratesCalibrationNoise(t *testing.T) {
+	// The current calibration landed on an unloaded instant (2x "faster"
+	// machine), inflating the normalized ratio of an unchanged benchmark to
+	// 2.4x while its raw ratio is 1.2x. The dual gate must not flag it.
+	base := Report{
+		CalibrationNs: 100,
+		Benchmarks:    []Result{{Name: "BenchmarkA", Package: "p", NsPerOp: 100}},
+	}
+	cur := Report{
+		CalibrationNs: 50,
+		Benchmarks:    []Result{{Name: "BenchmarkA", Package: "p", NsPerOp: 120}},
+	}
+	var buf strings.Builder
+	if n := compare(base, cur, &buf); n != 0 {
+		t.Fatalf("compare = %d regressions, want 0\n%s", n, buf.String())
+	}
+	if !strings.Contains(buf.String(), "tolerated: raw 1.20x") {
+		t.Errorf("output missing tolerated annotation:\n%s", buf.String())
+	}
+	if got := regressedResults(base, cur); len(got) != 0 {
+		t.Errorf("regressedResults = %+v, want none", got)
+	}
+	// A real regression exceeds both ratios and is still flagged.
+	cur.Benchmarks[0].NsPerOp = 300
+	if got := regressedResults(base, cur); len(got) != 1 {
+		t.Errorf("regressedResults = %+v, want 1", got)
+	}
+}
+
+func TestModPath(t *testing.T) {
+	cases := map[string]string{
+		"./internal/sim/": "lifting/internal/sim",
+		"./":              "lifting",
+	}
+	for in, want := range cases {
+		if got := modPath(in); got != want {
+			t.Errorf("modPath(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

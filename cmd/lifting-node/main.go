@@ -37,6 +37,7 @@ import (
 	"lifting/internal/cluster"
 	"lifting/internal/core"
 	"lifting/internal/freerider"
+	"lifting/internal/gateway"
 	"lifting/internal/gossip"
 	"lifting/internal/metrics"
 	"lifting/internal/msg"
@@ -79,6 +80,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, interrupt
 		freeride = fs.Float64("freeride", 0, "degree of freeriding in all three dimensions (0 = honest)")
 		report   = fs.Bool("report", false, "after the run, read every node's score over the wire and print SCORE lines")
 		httpAddr = fs.String("http", "", "serve /metrics, /status and /debug/pprof/ on this address (empty = disabled)")
+		gwAddr   = fs.String("gateway", "", "serve the HTTP stream gateway (/stream/chunk/{id}) on this address (empty = disabled)")
+		gwSource = fs.String("gateway-source", "", "upstream gateway base URL for chunks this node does not hold (e.g. the source's gateway)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -194,6 +197,25 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, interrupt
 		}
 		defer srv.Close()
 		fmt.Fprintf(stdout, "HTTP %d %s\n", self, httpBound)
+	}
+
+	if *gwAddr != "" {
+		gwOpts := gateway.Options{Store: host.Store, Upstream: *gwSource}
+		if *source {
+			// Only the source's gateway regenerates arbitrary chunks: it
+			// knows the canonical stream. Everyone else serves what the
+			// gossip plane delivered, falling back to -gateway-source.
+			gwOpts.Origin = host.Content
+		}
+		gw := gateway.New(gwOpts)
+		gwBound, err := gw.Start(*gwAddr)
+		if err != nil {
+			fmt.Fprintf(stderr, "lifting-node: %v\n", err)
+			rt.Close()
+			return 1
+		}
+		defer gw.Close()
+		fmt.Fprintf(stdout, "GATEWAY %d %s\n", self, gwBound)
 	}
 
 	host.Start()

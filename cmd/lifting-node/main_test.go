@@ -16,8 +16,10 @@ import (
 	"time"
 
 	"lifting/internal/cluster"
+	"lifting/internal/content"
 	"lifting/internal/core"
 	"lifting/internal/freerider"
+	"lifting/internal/gateway"
 	"lifting/internal/gossip"
 	"lifting/internal/membership"
 	"lifting/internal/msg"
@@ -204,14 +206,20 @@ func TestMultiProcessDeployment(t *testing.T) {
 	}
 	peers := strings.Join(peerSpecs, ",")
 
-	// Reserve a TCP port for node 1's observability endpoint, scraped below
-	// while the deployment runs.
-	tl, err := gonet.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
+	// Reserve TCP ports: node 1's observability endpoint, plus two stream
+	// gateways — the source's (with origin regeneration) and node 2's (store
+	// backed, upstream = the source's gateway) — both exercised below while
+	// the deployment runs.
+	tcpPorts := make([]string, 3)
+	for i := range tcpPorts {
+		tl, err := gonet.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		tcpPorts[i] = tl.Addr().String()
+		tl.Close()
 	}
-	httpAddr := tl.Addr().String()
-	tl.Close()
+	httpAddr, srcGwAddr, edgeGwAddr := tcpPorts[0], tcpPorts[1], tcpPorts[2]
 
 	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
 	defer cancel()
@@ -235,7 +243,8 @@ func TestMultiProcessDeployment(t *testing.T) {
 		if i == 0 {
 			// The source reports; it finishes first so every peer is still
 			// up to answer its score reads.
-			args = append(args, "-source", "-report", "-duration", scenDur.String())
+			args = append(args, "-source", "-report", "-duration", scenDur.String(),
+				"-gateway", srcGwAddr)
 		} else {
 			args = append(args, "-duration", (scenDur + 1500*time.Millisecond).String())
 		}
@@ -245,6 +254,9 @@ func TestMultiProcessDeployment(t *testing.T) {
 		if i == 1 {
 			args = append(args, "-http", httpAddr)
 		}
+		if i == 2 {
+			args = append(args, "-gateway", edgeGwAddr, "-gateway-source", "http://"+srcGwAddr)
+		}
 		cmd := exec.CommandContext(ctx, bin, args...)
 		cmd.Stdout = &outs[i]
 		cmd.Stderr = &outs[i]
@@ -253,9 +265,13 @@ func TestMultiProcessDeployment(t *testing.T) {
 		}
 		cmds[i] = cmd
 	}
-	// While the nodes stream, scrape node 1's observability endpoints over
-	// real HTTP: the exposition must be well-formed and already carry
-	// protocol traffic and redundancy accounting.
+	// While the nodes stream, download stream bytes through node 2's HTTP
+	// gateway and verify every payload against the canonical content
+	// generation — the end-to-end hash check of the content plane.
+	scrapeGateway(t, edgeGwAddr)
+	// ...and scrape node 1's observability endpoints over real HTTP: the
+	// exposition must be well-formed and already carry protocol traffic and
+	// redundancy accounting.
 	scrapeObservability(t, httpAddr)
 
 	for i, cmd := range cmds {
@@ -312,6 +328,95 @@ func TestMultiProcessDeployment(t *testing.T) {
 			t.Errorf("honest node %d marked expelled in the deployment (sim expelled none)", id)
 		}
 	}
+}
+
+// scrapeGateway downloads stream bytes through a running node's HTTP
+// gateway and verifies them end-to-end: every payload must match the
+// canonical content generation for the deployment seed, whether it came
+// from the node's own chunk store (gossip-delivered) or was fetched through
+// the upstream chain from the source's origin gateway. It must finish
+// before the node's -duration elapses, so it retries quickly.
+func scrapeGateway(t *testing.T, gwAddr string) {
+	t.Helper()
+	base := "http://" + gwAddr
+	client := &http.Client{Timeout: 2 * time.Second}
+	// The content seed every process derives from the shared -seed; the test
+	// regenerates the canonical payloads independently from it.
+	contentSeed := rng.New(scenSeed).Derive("content").Seed()
+	deadline := time.Now().Add(scenDur)
+
+	// A chunk far beyond the streamed range: never gossiped, so it can only
+	// arrive through the upstream chain — node 2's gateway falls back to the
+	// source's gateway, whose origin regenerates it. FetchChunk verifies the
+	// payload against the advertised hash; the test re-verifies against the
+	// canonical bytes.
+	const farChunk = msg.ChunkID(1 << 20)
+	var payload []byte
+	for {
+		var err error
+		payload, _, err = gateway.FetchChunk(client, base, farChunk)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("gateway upstream fetch of chunk %d never succeeded: %v", farChunk, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if want := content.Generate(contentSeed, farChunk, 1316); !bytes.Equal(payload, want) {
+		t.Fatalf("upstream-fetched chunk %d differs from canonical generation", farChunk)
+	}
+
+	// Wait until gossip has delivered chunks into node 2's store, then
+	// download the newest one the gateway advertises and verify it too.
+	var have []uint32
+	var newest msg.ChunkID
+	for {
+		resp, err := client.Get(base + "/stream/have")
+		if err == nil {
+			err = json.NewDecoder(resp.Body).Decode(&have)
+			resp.Body.Close()
+		}
+		// /stream/have unions the store with the gateway cache, which
+		// already holds farChunk — only a different id proves the gossip
+		// plane delivered payload bytes into this node's store.
+		found := false
+		for _, id := range have {
+			if msg.ChunkID(id) != farChunk {
+				newest, found = msg.ChunkID(id), true
+			}
+		}
+		if err == nil && found {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no gossip-delivered chunk on /stream/have before deadline (err=%v, have=%v)", err, have)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	payload, _, err := gateway.FetchChunk(client, base, newest)
+	if err != nil {
+		t.Fatalf("fetching gossip-delivered chunk %d: %v", newest, err)
+	}
+	if want := content.Generate(contentSeed, newest, 1316); !bytes.Equal(payload, want) {
+		t.Fatalf("gossip-delivered chunk %d differs from canonical generation", newest)
+	}
+
+	resp, err := client.Get(base + "/stream/stats")
+	if err != nil {
+		t.Fatalf("gateway /stream/stats: %v", err)
+	}
+	var st gateway.Stats
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("gateway stats JSON: %v", err)
+	}
+	if st.Requests < 2 || st.BytesServed == 0 {
+		t.Fatalf("gateway stats = %+v, want >=2 requests and nonzero bytes", st)
+	}
+	t.Logf("gateway: verified upstream chunk %d and store chunk %d (%d chunks advertised, %d bytes served)",
+		farChunk, newest, len(have), st.BytesServed)
 }
 
 // scrapeObservability polls a running node's /metrics and /status until the

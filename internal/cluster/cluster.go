@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"lifting/internal/analysis"
+	"lifting/internal/content"
 	"lifting/internal/core"
 	"lifting/internal/gossip"
 	"lifting/internal/membership"
@@ -111,6 +112,13 @@ type Options struct {
 	ExpectedR int
 	// TrackPlayout enables per-node playout recording for health curves.
 	TrackPlayout bool
+	// StoreCapacity is the per-node chunk store capacity in chunks (0 =
+	// sized from the stream rate and gossip period via
+	// content.StoreCapacityFor). The content plane — real payload
+	// bytes in serves, hash verification on receipt — is on whenever Stream
+	// is a valid configuration; an invalid/zero Stream keeps the legacy
+	// modelled-size behavior.
+	StoreCapacity int
 	// OnBlame, if non-nil, observes every blame emission (diagnostics and
 	// per-reason accounting in experiments). Only effective in direct mode.
 	// Under the live backend it is invoked concurrently from node
@@ -137,6 +145,10 @@ type Cluster struct {
 	Net       *net.SimNet
 	Dir       *membership.Directory
 	Collector *metrics.Collector
+	// Content is the stream's canonical payload source (nil when the
+	// content plane is off). Its memoized slices are shared by every
+	// node's store, so large populations hold one copy of the stream.
+	Content   *content.Source
 	Nodes     map[msg.NodeID]*gossip.Node
 	Verifiers map[msg.NodeID]*core.Verifier
 	Managers  map[msg.NodeID]*reputation.Manager
@@ -288,6 +300,12 @@ func New(opts Options) *Cluster {
 		lastMgrs:   make(map[msg.NodeID][]msg.NodeID),
 		mgrTargets: make(map[msg.NodeID]map[msg.NodeID]bool),
 	}
+	if opts.Stream.Validate() == nil {
+		// The content seed derives from the root exactly as NodeHost derives
+		// it, so an in-process cluster and a multi-process deployment of the
+		// same seed broadcast byte-identical streams.
+		c.Content = content.NewSource(c.root.Derive("content").Seed(), opts.Stream.ChunkPayload)
+	}
 
 	if opts.Backend == runtime.KindSim {
 		var engine *sim.Engine
@@ -370,10 +388,43 @@ func (c *Cluster) buildNode(id msg.NodeID) {
 		Metrics:  c.Collector,
 	}
 
+	if c.Content != nil {
+		capacity := opts.StoreCapacity
+		if capacity <= 0 {
+			capacity = content.StoreCapacityFor(opts.Stream.ChunkInterval(), opts.Gossip.Period)
+		}
+		deps.Store = content.NewStore(capacity)
+	}
+
 	var playout *stream.Playout
 	if opts.TrackPlayout {
 		playout = stream.NewPlayout(opts.Stream)
-		deps.OnChunk = func(ch msg.ChunkID, at time.Duration) { playout.Received(ch, at) }
+	}
+	if playout != nil || c.Content != nil {
+		// QoE accounting rides the same per-chunk callback as playout
+		// tracking. The closure state (previous arrival) is only touched
+		// from the node's serialized execution context, and the collector
+		// sums are commuting integer adds, so sharded runs stay
+		// byte-identical across shard counts.
+		var interval time.Duration
+		if c.Content != nil {
+			interval = opts.Stream.ChunkInterval()
+		}
+		var lastArrival time.Duration
+		seenArrival := false
+		deps.OnChunk = func(ch msg.ChunkID, at time.Duration) {
+			if playout != nil {
+				playout.Received(ch, at)
+			}
+			if c.Content == nil {
+				return
+			}
+			c.Collector.OnStreamLag(at - opts.Stream.GenTime(ch))
+			if seenArrival {
+				c.Collector.OnJitter((at - lastArrival) - interval)
+			}
+			lastArrival, seenArrival = at, true
+		}
 	}
 
 	node := gossip.NewNode(id, gcfg, deps)
@@ -743,7 +794,14 @@ func (c *Cluster) StartStream(duration time.Duration) {
 		if at > duration {
 			break
 		}
-		ctx.After(at, func() { source.InjectChunk(ch) })
+		ctx.After(at, func() {
+			if c.Content != nil {
+				payload, hash := c.Content.Chunk(ch)
+				source.InjectChunkData(ch, payload, hash)
+			} else {
+				source.InjectChunk(ch)
+			}
+		})
 		if p, ok := c.Playouts[0]; ok {
 			p.Received(ch, at)
 		}

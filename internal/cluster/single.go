@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"lifting/internal/content"
 	"lifting/internal/core"
 	"lifting/internal/gossip"
 	"lifting/internal/membership"
@@ -61,6 +62,11 @@ type NodeOptions struct {
 	// (transport.Options.Collector) to add wire-level send/recv/drop
 	// counts; the host adds the gossip- and reputation-plane events.
 	Collector *metrics.Collector
+	// StoreCapacity is the node's chunk store capacity in chunks (0 =
+	// sized from the stream rate and gossip period via
+	// content.StoreCapacityFor). As in the full cluster, the content
+	// plane is on whenever Stream is a valid configuration.
+	StoreCapacity int
 }
 
 // NodeHost is one assembled node of a distributed deployment.
@@ -72,6 +78,13 @@ type NodeHost struct {
 	// Verifier and Manager are nil when LiFTinG is disabled.
 	Verifier *core.Verifier
 	Manager  *reputation.Manager
+	// Store is the node's chunk store and Content the stream's canonical
+	// payload source; both are nil when the content plane is off. The HTTP
+	// stream gateway reads the store concurrently with node callbacks (the
+	// store is internally locked) and uses Content — on the source node —
+	// to regenerate chunks that have aged out of the store.
+	Store   *content.Store
+	Content *content.Source
 
 	client *reputation.Client
 	reader *reputation.Reader
@@ -142,6 +155,30 @@ func NewNodeHost(rt runtime.Runtime, opts NodeOptions) *NodeHost {
 		Rand:     nodeRand.Derive("gossip"),
 		Behavior: behavior,
 		Metrics:  opts.Collector,
+	}
+	if opts.Stream.Validate() == nil {
+		// Same derivation as the in-process cluster: every process of a
+		// deployment — and any in-process run of the same seed — generates
+		// byte-identical chunk payloads.
+		h.Content = content.NewSource(rng.New(opts.Seed).Derive("content").Seed(), opts.Stream.ChunkPayload)
+		capacity := opts.StoreCapacity
+		if capacity <= 0 {
+			capacity = content.StoreCapacityFor(opts.Stream.ChunkInterval(), opts.Gossip.Period)
+		}
+		h.Store = content.NewStore(capacity)
+		deps.Store = h.Store
+		if col := opts.Collector; col != nil {
+			interval := opts.Stream.ChunkInterval()
+			var lastArrival time.Duration
+			seenArrival := false
+			deps.OnChunk = func(ch msg.ChunkID, at time.Duration) {
+				col.OnStreamLag(at - opts.Stream.GenTime(ch))
+				if seenArrival {
+					col.OnJitter((at - lastArrival) - interval)
+				}
+				lastArrival, seenArrival = at, true
+			}
+		}
 	}
 	node := gossip.NewNode(id, gcfg, deps)
 
@@ -277,7 +314,14 @@ func (h *NodeHost) StartStream(duration time.Duration) {
 		if at > duration {
 			break
 		}
-		ctx.After(at, func() { h.Node.InjectChunk(ch) })
+		ctx.After(at, func() {
+			if h.Content != nil {
+				payload, hash := h.Content.Chunk(ch)
+				h.Node.InjectChunkData(ch, payload, hash)
+			} else {
+				h.Node.InjectChunk(ch)
+			}
+		})
 	}
 }
 

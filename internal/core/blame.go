@@ -34,6 +34,11 @@ func FanoutBlame(f, reported int) float64 {
 // f, the same as an entirely invalid propose phase.
 func NoAckBlame(f int) float64 { return float64(f) }
 
+// InvalidPayloadBlame returns the blame for serving a chunk whose payload is
+// missing or fails hash verification: f, the same as not serving at all —
+// garbage bytes disseminate nothing.
+func InvalidPayloadBlame(f int) float64 { return float64(f) }
+
 // ContradictionBlame returns the blame for contradictory (or missing)
 // confirm testimonies: 1 per invalid proposal, per Table 1.
 func ContradictionBlame(contradictions int) float64 {

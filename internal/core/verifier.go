@@ -176,6 +176,24 @@ func (v *Verifier) OnServeReceived(server msg.NodeID, chunk msg.ChunkID) {
 	}
 }
 
+// OnServeInvalid implements gossip.Monitor: content-plane verification. A
+// serve whose payload is missing or fails hash verification is as useless as
+// no serve at all, so the server is blamed f immediately. The chunk is
+// cleared from the pending serve check so the serve timeout does not blame
+// the same failure twice.
+func (v *Verifier) OnServeInvalid(server msg.NodeID, chunk msg.ChunkID) {
+	for _, sc := range v.serveChecks {
+		if sc.resolved || sc.server != server {
+			continue
+		}
+		if sc.missing[chunk] {
+			delete(sc.missing, chunk)
+			break
+		}
+	}
+	v.blame(server, InvalidPayloadBlame(v.cfg.F), msg.ReasonInvalidPayload)
+}
+
 // OnServed implements gossip.Monitor: direct cross-checking, server side.
 // The receiver must acknowledge forwarding the served chunks within the ack
 // timeout, or be blamed f (§5.2).

@@ -273,6 +273,13 @@ type MatrixRow struct {
 	// DupRatio is duplicate serves over all serves across all reps — the
 	// gossip redundancy the adversary's fanout distortion induces.
 	DupRatio float64
+	// GoodputBytes is the verified payload first-delivered over the content
+	// plane, summed across all reps. Every scenario streams real bytes, so a
+	// zero here fails the row regardless of its oracle.
+	GoodputBytes uint64
+	// StreamLag and StreamJitter are the mean chunk lag and inter-arrival
+	// jitter, averaged over reps.
+	StreamLag, StreamJitter time.Duration
 	// Failures lists violated oracle bounds (empty = pass).
 	Failures []string
 	Elapsed  time.Duration
@@ -304,6 +311,9 @@ type repOutcome struct {
 	// Wire accounting for the row's overhead/redundancy columns.
 	protoBytes, verifBytes  uint64
 	dupChunks, usefulChunks uint64
+	// Content-plane QoE for the row's goodput/lag/jitter columns.
+	goodputBytes            uint64
+	lagMeanNs, jitterMeanNs uint64
 }
 
 // shape is a Scenario with sizing defaults resolved.
@@ -499,6 +509,9 @@ func (sh shape) runRep(ctx context.Context, backend runtime.Kind, seed uint64, c
 	_, out.verifBytes = c.Collector.VerificationTotals()
 	out.dupChunks = c.Collector.DupChunks()
 	out.usefulChunks = c.Collector.UsefulChunks()
+	out.goodputBytes = c.Collector.GoodputBytes()
+	out.lagMeanNs = c.Collector.StreamLagMeanNs()
+	out.jitterMeanNs = c.Collector.StreamJitterMeanNs()
 	scores := c.Scores()
 	ids := make([]msg.NodeID, 0, len(scores))
 	for id := range scores {
@@ -657,6 +670,7 @@ func Matrix(ctx context.Context, cfg MatrixConfig) (*Table, *MatrixResult, error
 			}
 			var advDet, advTot, honFlag, honTot int
 			var proto, verif, dup, useful uint64
+			var lagNs, jitterNs uint64
 			for _, o := range outs {
 				advDet += o.advDetected
 				advTot += o.advTotal
@@ -668,6 +682,9 @@ func Matrix(ctx context.Context, cfg MatrixConfig) (*Table, *MatrixResult, error
 				verif += o.verifBytes
 				dup += o.dupChunks
 				useful += o.usefulChunks
+				row.GoodputBytes += o.goodputBytes
+				lagNs += o.lagMeanNs
+				jitterNs += o.jitterMeanNs
 			}
 			if advTot > 0 {
 				row.Detection = float64(advDet) / float64(advTot)
@@ -682,7 +699,15 @@ func Matrix(ctx context.Context, cfg MatrixConfig) (*Table, *MatrixResult, error
 				row.DupRatio = float64(dup) / float64(dup+useful)
 			}
 			row.Gap /= float64(n)
+			row.StreamLag = time.Duration(lagNs / uint64(n))
+			row.StreamJitter = time.Duration(jitterNs / uint64(n))
 			sc.Oracle.check(&row)
+			// Universal QoE oracle: every scenario streams real payload, so
+			// zero goodput means the content plane itself broke — fail the
+			// row even when the detection oracle is satisfied.
+			if row.GoodputBytes == 0 {
+				row.Failures = append(row.Failures, "no goodput")
+			}
 			row.Elapsed = time.Since(start)
 			res.Rows = append(res.Rows, row)
 			if len(row.Failures) > 0 {
@@ -697,17 +722,21 @@ func Matrix(ctx context.Context, cfg MatrixConfig) (*Table, *MatrixResult, error
 
 	t := &Table{
 		Title:   "Adversary matrix — §4/§5 attacks × statistical oracles",
-		Columns: []string{"scenario", "attack", "backend", "reps", "η", "detection α", "false pos β", "gap", "overhead", "dup serves", "verdict"},
+		Columns: []string{"scenario", "attack", "backend", "reps", "η", "detection α", "false pos β", "gap", "overhead", "dup serves", "goodput", "lag", "jitter", "verdict"},
 	}
 	for _, r := range res.Rows {
 		t.AddRow(r.Scenario, r.Attack, r.Backend.String(),
 			F(float64(r.Reps), 0), F(r.Eta, 2), Pct(r.Detection),
 			Pct(r.FalsePositives), F(r.Gap, 2), Pct(r.Overhead),
-			Pct(r.DupRatio), r.Verdict())
+			Pct(r.DupRatio), F(float64(r.GoodputBytes), 0)+" B",
+			r.StreamLag.Round(time.Millisecond).String(),
+			r.StreamJitter.Round(time.Millisecond).String(),
+			r.Verdict())
 	}
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("%d scenarios, %d rows; b̃ and η calibrated per scenario from an honest pilot", res.ScenariosRun, len(res.Rows)),
 		"overhead = verification bytes / dissemination bytes on the attack workload; dup serves = duplicate / all serves",
+		"goodput = verified payload bytes first-delivered (zero fails the row); lag/jitter = mean chunk delay and inter-arrival deviation",
 		"score scenarios classify score < η; audit scenarios use the §5.3 expulsion verdict (or majority-unconfirmed history for forgers)",
 		"blame-spam's α is 0 by design — bad-mouthers are unidentifiable; its oracle is that no honest node crosses η or is expelled")
 	return t, res, nil

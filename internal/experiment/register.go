@@ -321,6 +321,9 @@ func init() {
 			out.addMetric("target-honest-expelled", float64(res.Target.HonestExpelled))
 			out.addMetric("target-overhead", res.Target.Overhead())
 			out.addMetric("target-dup-ratio", res.Target.DupRatio())
+			out.addMetric("target-goodput-bytes", float64(res.Target.GoodputBytes))
+			out.addMetric("target-stream-lag", res.Target.StreamLag().Seconds())
+			out.addMetric("target-stream-jitter", res.Target.StreamJitter().Seconds())
 			out.MetricsSnapshots = res.TargetSnapshots
 			// The scale workload uses 4x chunks (fewer, larger serves), so
 			// its verification overhead is NOT Table 5's figure — but it
@@ -331,6 +334,20 @@ func init() {
 			}
 			if d := res.Target.DupRatio(); d >= 0.5 {
 				out.fail("duplicate serves are the majority of received serves: %.2f%%", 100*d)
+			}
+			// QoE oracles: the content plane must actually deliver verified
+			// payload, with first arrivals trailing the source by less than
+			// the run and spacing close to the chunk interval.
+			for _, r := range []ScaleRun{res.Baseline, res.Target} {
+				if r.GoodputBytes == 0 {
+					out.fail("scale N=%d delivered no verified payload (goodput 0)", r.N)
+				}
+				if lag := r.StreamLag(); lag <= 0 || lag >= cfg.Duration {
+					out.fail("scale N=%d mean stream lag %s outside (0, %s)", r.N, lag, cfg.Duration)
+				}
+				if jit := r.StreamJitter(); jit >= cfg.Period {
+					out.fail("scale N=%d mean jitter %s >= gossip period %s", r.N, jit, cfg.Period)
+				}
 			}
 			// The gate is the expected verdict at BOTH populations, not mere
 			// agreement: two identically-broken runs must still fail.

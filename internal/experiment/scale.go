@@ -93,9 +93,22 @@ type ScaleRun struct {
 	// DupChunks and UsefulChunks split received serves into redundant
 	// copies and first deliveries.
 	DupChunks, UsefulChunks uint64
+	// GoodputBytes is the verified chunk payload delivered to first-time
+	// receivers — the content plane's QoE headline.
+	GoodputBytes uint64
+	// StreamLagMeanNs and StreamJitterMeanNs are the mean source-to-receiver
+	// chunk lag and the mean inter-arrival deviation from the chunk interval,
+	// in integer nanoseconds so the run stays a comparable struct.
+	StreamLagMeanNs, StreamJitterMeanNs uint64
 	// Elapsed is the wall-clock cost of the run.
 	Elapsed time.Duration
 }
+
+// StreamLag returns the mean chunk lag as a duration.
+func (r ScaleRun) StreamLag() time.Duration { return time.Duration(r.StreamLagMeanNs) }
+
+// StreamJitter returns the mean inter-arrival jitter as a duration.
+func (r ScaleRun) StreamJitter() time.Duration { return time.Duration(r.StreamJitterMeanNs) }
 
 // Overhead returns the verification overhead as a ratio.
 func (r ScaleRun) Overhead() float64 { return float64(r.OverheadPpm) / 1e6 }
@@ -231,6 +244,9 @@ func (cfg ScaleConfig) scaleRun(ctx context.Context, n int, compensation, eta fl
 	}
 	run.DupChunks = c.Collector.DupChunks()
 	run.UsefulChunks = c.Collector.UsefulChunks()
+	run.GoodputBytes = c.Collector.GoodputBytes()
+	run.StreamLagMeanNs = c.Collector.StreamLagMeanNs()
+	run.StreamJitterMeanNs = c.Collector.StreamJitterMeanNs()
 	var latency time.Duration
 	for id, at := range c.Expelled {
 		if c.Freeriders[id] {
@@ -280,7 +296,8 @@ func Scale(ctx context.Context, cfg ScaleConfig) (*Table, *ScaleResult, error) {
 	t := &Table{
 		Title: "Scale — expulsion verdict at baseline vs large population (message-mode reputation)",
 		Columns: []string{"population", "freeriders", "expelled", "honest expelled",
-			"mean detection", "events", "overhead", "dup serves", "verdict"},
+			"mean detection", "events", "overhead", "dup serves",
+			"goodput", "lag", "jitter", "verdict"},
 	}
 	for _, r := range []ScaleRun{res.Baseline, res.Target} {
 		t.AddRow(
@@ -292,6 +309,9 @@ func Scale(ctx context.Context, cfg ScaleConfig) (*Table, *ScaleResult, error) {
 			F(float64(r.Events), 0),
 			Pct(r.Overhead()),
 			Pct(r.DupRatio()),
+			F(float64(r.GoodputBytes), 0)+" B",
+			r.StreamLag().Round(time.Millisecond).String(),
+			r.StreamJitter().Round(time.Millisecond).String(),
 			r.Verdict(),
 		)
 	}
@@ -303,6 +323,7 @@ func Scale(ctx context.Context, cfg ScaleConfig) (*Table, *ScaleResult, error) {
 		"verdicts agree: "+agree,
 		"b̃ = "+F(cal.Compensation, 2)+" blame/period and η = "+F(eta, 2)+" calibrated once at baseline scale (per-node traffic depends on f, not N)",
 		"all blames and expulsions travel as messages to each target's M managers; manager assignment served from the epoch cache",
-		"overhead = verification bytes / dissemination bytes (Table 5's metric); dup serves = share of received serves the node already held")
+		"overhead = verification bytes / dissemination bytes (Table 5's metric); dup serves = share of received serves the node already held",
+		"goodput = verified payload bytes first-delivered over the content plane; lag = mean source-to-receiver chunk delay; jitter = mean inter-arrival deviation from the chunk interval")
 	return t, res, nil
 }

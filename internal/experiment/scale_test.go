@@ -43,6 +43,21 @@ func TestScaleVerdictScaleInvariant(t *testing.T) {
 		t.Fatalf("mean detection %v outside the run", res.Target.DetectionMean)
 	}
 
+	// Content-plane QoE: the stream carries real verified payload, arrivals
+	// trail the source by less than the run, and spacing stays within a
+	// gossip period of the chunk interval.
+	for _, run := range []ScaleRun{res.Baseline, res.Target} {
+		if run.GoodputBytes == 0 {
+			t.Errorf("N=%d: no goodput", run.N)
+		}
+		if lag := run.StreamLag(); lag <= 0 || lag >= cfg.Duration {
+			t.Errorf("N=%d: mean stream lag %v outside (0, %v)", run.N, lag, cfg.Duration)
+		}
+		if jit := run.StreamJitter(); jit >= cfg.Period {
+			t.Errorf("N=%d: mean jitter %v >= period %v", run.N, jit, cfg.Period)
+		}
+	}
+
 	// The periodic metrics section: sampled every snapshotEvery periods,
 	// monotone in period and in every cumulative count, with the JSON keys
 	// the document schema promises.
@@ -62,13 +77,17 @@ func TestScaleVerdictScaleInvariant(t *testing.T) {
 	if last.UsefulChunks == 0 || last.ProtocolBytes == 0 || last.VerificationBytes == 0 {
 		t.Fatalf("final snapshot empty: %+v", last)
 	}
+	if last.GoodputBytes == 0 || last.StreamLagMeanNs == 0 {
+		t.Fatalf("final snapshot has no QoE accounting: %+v", last)
+	}
 	encoded, err := json.Marshal(last)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, key := range []string{`"period"`, `"kinds"`, `"protocol_bytes"`, `"verification_bytes"`,
 		`"overhead_ppm"`, `"dup_chunks"`, `"useful_chunks"`, `"blames_received"`,
-		`"audits"`, `"expulsions"`, `"serve_latency"`} {
+		`"audits"`, `"expulsions"`, `"serve_latency"`,
+		`"goodput_bytes"`, `"invalid_serves"`, `"stream_lag_mean_ns"`, `"stream_jitter_mean_ns"`} {
 		if !bytes.Contains(encoded, []byte(key)) {
 			t.Fatalf("snapshot JSON missing %s: %s", key, encoded)
 		}
@@ -113,6 +132,9 @@ func TestScaleShardInvariant(t *testing.T) {
 			}
 			if run.UsefulChunks == 0 || run.OverheadPpm == 0 {
 				t.Fatalf("redundancy/overhead accounting empty: %+v", run)
+			}
+			if run.GoodputBytes == 0 || run.StreamLagMeanNs == 0 {
+				t.Fatalf("QoE accounting empty: %+v", run)
 			}
 			continue
 		}

@@ -151,6 +151,10 @@ type Monitor interface {
 	OnRequestSent(proposer msg.NodeID, p msg.Period, requested []msg.ChunkID)
 	// OnServeReceived fires when a requested chunk arrives.
 	OnServeReceived(server msg.NodeID, chunk msg.ChunkID)
+	// OnServeInvalid fires when a requested chunk arrives with a missing or
+	// hash-mismatched payload and is rejected (content-plane verification;
+	// feeds the blame path like an undelivered serve).
+	OnServeInvalid(server msg.NodeID, chunk msg.ChunkID)
 	// OnServed fires when the node serves chunks to a requester (starts the
 	// direct cross-checking of §5.2: the receiver must ack and further
 	// propose).
@@ -171,6 +175,9 @@ func (NopMonitor) OnRequestSent(msg.NodeID, msg.Period, []msg.ChunkID) {}
 
 // OnServeReceived implements Monitor.
 func (NopMonitor) OnServeReceived(msg.NodeID, msg.ChunkID) {}
+
+// OnServeInvalid implements Monitor.
+func (NopMonitor) OnServeInvalid(msg.NodeID, msg.ChunkID) {}
 
 // OnServed implements Monitor.
 func (NopMonitor) OnServed(msg.NodeID, msg.Period, []msg.ChunkID) {}

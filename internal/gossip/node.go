@@ -14,6 +14,7 @@ import (
 	"sort"
 	"time"
 
+	"lifting/internal/content"
 	"lifting/internal/history"
 	"lifting/internal/membership"
 	"lifting/internal/metrics"
@@ -92,6 +93,12 @@ type Deps struct {
 	// Metrics, if non-nil, receives redundancy accounting: duplicate vs
 	// useful serves and the propose→serve latency per accepted chunk.
 	Metrics *metrics.Collector
+	// Store, if non-nil, turns on the content plane: serves carry the real
+	// payload bytes held in the store, and incoming serves are verified
+	// against their content hash before acceptance — an invalid payload is
+	// rejected and blamed like an undelivered serve. Nil keeps the
+	// modelled-size behavior (serves carry only PayloadSize).
+	Store *content.Store
 }
 
 // Node is one participant in the dissemination protocol.
@@ -220,6 +227,23 @@ func (n *Node) InjectChunk(c msg.ChunkID) {
 	n.have[c] = true
 	n.pending = append(n.pending, c)
 }
+
+// InjectChunkData hands the node a chunk together with its canonical payload
+// bytes: the stream source's entry point under the content plane. The
+// payload slice is retained by the store, not copied.
+func (n *Node) InjectChunkData(c msg.ChunkID, payload []byte, hash uint64) {
+	if n.have[c] {
+		return
+	}
+	if n.deps.Store != nil {
+		n.deps.Store.Put(c, payload, hash)
+	}
+	n.have[c] = true
+	n.pending = append(n.pending, c)
+}
+
+// Store returns the node's chunk store (nil in modelled-only runs).
+func (n *Node) Store() *content.Store { return n.deps.Store }
 
 // proposePhase runs one propose phase and reschedules itself.
 func (n *Node) proposePhase() {
@@ -397,12 +421,23 @@ func (n *Node) onRequest(from msg.NodeID, m *msg.Request) {
 	}
 	served := n.deps.Behavior.FilterServe(n.deps.Rand, valid)
 	for _, c := range served {
-		n.deps.Net.Send(n.id, from, &msg.Serve{
+		serve := &msg.Serve{
 			Sender:      n.id,
 			Period:      m.Period,
 			Chunk:       c,
 			PayloadSize: n.cfg.ChunkPayload,
-		}, net.Unreliable)
+		}
+		if n.deps.Store != nil {
+			// A store miss (evicted, or never verified in) sends the serve
+			// without payload; the receiver rejects and blames it, which is
+			// exactly what proposing undeliverable chunks deserves.
+			if payload, hash, ok := n.deps.Store.Get(c); ok {
+				serve.PayloadSize = len(payload)
+				serve.Hash = hash
+				serve.Payload = payload
+			}
+		}
+		n.deps.Net.Send(n.id, from, serve, net.Unreliable)
 	}
 	if len(served) > 0 {
 		n.deps.Monitor.OnServed(from, m.Period, served)
@@ -422,9 +457,26 @@ func (n *Node) onServe(from msg.NodeID, m *msg.Serve) {
 		// Unsolicited serve; the protocol only accepts chunks in P ∩ R.
 		return
 	}
+	if n.deps.Store != nil {
+		if !content.Verify(m.Payload, m.Hash) {
+			// Missing or corrupted payload: reject before accepting, leaving
+			// lastRequest and the offer list intact so the armed retry timer
+			// re-requests the chunk from a different proposer.
+			if n.deps.Metrics != nil {
+				n.deps.Metrics.OnInvalidServe(n.id)
+			}
+			n.deps.Monitor.OnServeInvalid(from, m.Chunk)
+			return
+		}
+		n.deps.Store.Put(m.Chunk, m.Payload, m.Hash)
+	}
 	if n.deps.Metrics != nil {
 		// lastRequest is about to be cleared below — read the latency now.
-		n.deps.Metrics.OnUsefulChunk(n.id, n.deps.Ctx.Now()-n.lastRequest[m.Chunk])
+		payloadBytes := m.PayloadSize
+		if m.Payload != nil {
+			payloadBytes = len(m.Payload)
+		}
+		n.deps.Metrics.OnUsefulChunk(n.id, n.deps.Ctx.Now()-n.lastRequest[m.Chunk], payloadBytes)
 	}
 	delete(n.requestedFrom, m.Chunk)
 	delete(n.lastRequest, m.Chunk)

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"lifting/internal/content"
 	"lifting/internal/membership"
 	"lifting/internal/metrics"
 	"lifting/internal/msg"
@@ -338,6 +339,7 @@ type recordingMonitor struct {
 	proposePhases int
 	requests      int
 	servesSeen    int
+	servesInvalid int
 	served        int
 }
 
@@ -346,6 +348,7 @@ func (r *recordingMonitor) OnProposePhase(msg.Period, []msg.NodeID, []msg.ChunkI
 }
 func (r *recordingMonitor) OnRequestSent(msg.NodeID, msg.Period, []msg.ChunkID) { r.requests++ }
 func (r *recordingMonitor) OnServeReceived(msg.NodeID, msg.ChunkID)             { r.servesSeen++ }
+func (r *recordingMonitor) OnServeInvalid(msg.NodeID, msg.ChunkID)              { r.servesInvalid++ }
 func (r *recordingMonitor) OnServed(msg.NodeID, msg.Period, []msg.ChunkID)      { r.served++ }
 
 func TestMonitorHooksFire(t *testing.T) {
@@ -411,5 +414,108 @@ func TestDeterministicDissemination(t *testing.T) {
 	}
 	if run() != run() {
 		t.Fatal("two identical runs diverged")
+	}
+}
+
+func TestContentPlaneDissemination(t *testing.T) {
+	// With stores wired in, real payload bytes reach every node and verify
+	// against the source's hashes; goodput accounts for each first copy.
+	cfg := testConfig()
+	w := &world{
+		eng:   sim.NewEngine(),
+		dir:   membership.Sequential(20),
+		nodes: make(map[msg.NodeID]*Node, 20),
+		col:   metrics.NewCollector(),
+	}
+	root := rng.New(42)
+	w.netw = net.NewSimNet(w.eng, root.Derive("net"), w.col, net.Uniform(0, time.Millisecond))
+	for i := 0; i < 20; i++ {
+		id := msg.NodeID(i)
+		node := NewNode(id, cfg, Deps{
+			Ctx:     w.eng,
+			Net:     w.netw,
+			Dir:     w.dir,
+			Rand:    root.ForNode(uint32(i)),
+			Metrics: w.col,
+			Store:   content.NewStore(0),
+		})
+		w.nodes[id] = node
+		w.netw.Attach(id, node)
+		node.Start()
+	}
+	src := content.NewSource(7, 512)
+	payload, hash := src.Chunk(9)
+	w.nodes[0].InjectChunkData(9, payload, hash)
+	w.eng.Run(3 * time.Second)
+	for id, n := range w.nodes {
+		got, gotHash, ok := n.Store().Get(9)
+		if !ok {
+			t.Fatalf("node %d has no stored payload for chunk 9", id)
+		}
+		if gotHash != hash || !content.Verify(got, hash) {
+			t.Fatalf("node %d stored an invalid payload", id)
+		}
+	}
+	if g := w.col.GoodputBytes(); g != uint64(len(payload))*19 {
+		t.Fatalf("goodput = %d, want %d", g, uint64(len(payload))*19)
+	}
+	if w.col.InvalidServes() != 0 {
+		t.Fatalf("invalid serves = %d, want 0", w.col.InvalidServes())
+	}
+}
+
+func TestInvalidServeRejectedAndBlamed(t *testing.T) {
+	// A serve with a corrupted (or missing) payload must be rejected — the
+	// chunk stays missing, the monitor hears about it, and the outstanding
+	// request survives so the retry path can recover from another proposer.
+	cfg := testConfig()
+	eng := sim.NewEngine()
+	col := metrics.NewCollector()
+	netw := net.NewSimNet(eng, rng.New(1), col, net.Uniform(0, time.Millisecond))
+	mon := &recordingMonitor{}
+	r := NewNode(0, cfg, Deps{
+		Ctx:     eng,
+		Net:     netw,
+		Dir:     membership.Sequential(3),
+		Rand:    rng.New(2),
+		Monitor: mon,
+		Metrics: col,
+		Store:   content.NewStore(0),
+	})
+	netw.Attach(0, r)
+
+	payload, hash := content.NewSource(7, 256).Chunk(5)
+	r.HandleMessage(1, &msg.Propose{Sender: 1, Period: 1, Chunks: []msg.ChunkID{5}, Origins: []msg.NodeID{1}})
+
+	// Corrupted bytes under the right hash.
+	corrupt := append([]byte(nil), payload...)
+	corrupt[0] ^= 0xFF
+	r.HandleMessage(1, &msg.Serve{Sender: 1, Period: 1, Chunk: 5, PayloadSize: len(corrupt), Hash: hash, Payload: corrupt})
+	// A payload-less serve (store miss on the server side).
+	r.HandleMessage(1, &msg.Serve{Sender: 1, Period: 1, Chunk: 5, PayloadSize: cfg.ChunkPayload})
+	if r.Have(5) {
+		t.Fatal("node accepted an invalid payload")
+	}
+	if mon.servesInvalid != 2 {
+		t.Fatalf("OnServeInvalid fired %d times, want 2", mon.servesInvalid)
+	}
+	if col.InvalidServes() != 2 {
+		t.Fatalf("invalid serves = %d, want 2", col.InvalidServes())
+	}
+
+	// The request record must survive rejection: the same server can redeem
+	// itself (or a retry can go elsewhere) and the chunk is then accepted.
+	r.HandleMessage(1, &msg.Serve{Sender: 1, Period: 1, Chunk: 5, PayloadSize: len(payload), Hash: hash, Payload: payload})
+	if !r.Have(5) {
+		t.Fatal("node rejected a valid payload after an invalid one")
+	}
+	if got, _, ok := r.Store().Get(5); !ok || !content.Verify(got, hash) {
+		t.Fatal("accepted payload not stored")
+	}
+	if mon.servesSeen != 1 {
+		t.Fatalf("OnServeReceived fired %d times, want 1", mon.servesSeen)
+	}
+	if col.GoodputBytes() != uint64(len(payload)) {
+		t.Fatalf("goodput = %d, want %d", col.GoodputBytes(), len(payload))
 	}
 }

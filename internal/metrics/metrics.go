@@ -42,32 +42,38 @@ type kindStripe struct {
 
 // PerNode aggregates traffic for a single node.
 type PerNode struct {
-	SentMsgs     uint64
-	SentBytes    uint64
-	RecvMsgs     uint64
-	RecvBytes    uint64
-	DupChunks    uint64
-	UsefulChunks uint64
+	SentMsgs      uint64
+	SentBytes     uint64
+	RecvMsgs      uint64
+	RecvBytes     uint64
+	DupChunks     uint64
+	UsefulChunks  uint64
+	GoodputBytes  uint64
+	InvalidServes uint64
 }
 
 // nodeCounters is the live (atomic) form of PerNode.
 type nodeCounters struct {
-	sentMsgs     atomic.Uint64
-	sentBytes    atomic.Uint64
-	recvMsgs     atomic.Uint64
-	recvBytes    atomic.Uint64
-	dupChunks    atomic.Uint64
-	usefulChunks atomic.Uint64
+	sentMsgs      atomic.Uint64
+	sentBytes     atomic.Uint64
+	recvMsgs      atomic.Uint64
+	recvBytes     atomic.Uint64
+	dupChunks     atomic.Uint64
+	usefulChunks  atomic.Uint64
+	goodputBytes  atomic.Uint64
+	invalidServes atomic.Uint64
 }
 
 func (n *nodeCounters) snapshot() PerNode {
 	return PerNode{
-		SentMsgs:     n.sentMsgs.Load(),
-		SentBytes:    n.sentBytes.Load(),
-		RecvMsgs:     n.recvMsgs.Load(),
-		RecvBytes:    n.recvBytes.Load(),
-		DupChunks:    n.dupChunks.Load(),
-		UsefulChunks: n.usefulChunks.Load(),
+		SentMsgs:      n.sentMsgs.Load(),
+		SentBytes:     n.sentBytes.Load(),
+		RecvMsgs:      n.recvMsgs.Load(),
+		RecvBytes:     n.recvBytes.Load(),
+		DupChunks:     n.dupChunks.Load(),
+		UsefulChunks:  n.usefulChunks.Load(),
+		GoodputBytes:  n.goodputBytes.Load(),
+		InvalidServes: n.invalidServes.Load(),
 	}
 }
 
@@ -95,6 +101,17 @@ type Collector struct {
 	// Redundancy accounting (gossip plane).
 	dupChunks    atomic.Uint64
 	usefulChunks atomic.Uint64
+
+	// Content-plane QoE accounting: payload bytes of useful chunks
+	// (goodput), hash-verification rejections, and stream lag / inter-arrival
+	// jitter as integer-nanosecond totals plus sample counts, so means come
+	// from exact integer division instead of float accumulation.
+	goodputBytes  atomic.Uint64
+	invalidServes atomic.Uint64
+	lagTotalNs    atomic.Uint64
+	lagSamples    atomic.Uint64
+	jitterTotalNs atomic.Uint64
+	jitterSamples atomic.Uint64
 
 	// ServeLatency observes propose→serve latency: the time from a node
 	// requesting a chunk to the serve arriving.
@@ -217,12 +234,44 @@ func (c *Collector) OnDuplicateChunk(id msg.NodeID) {
 	c.node(id).dupChunks.Add(1)
 }
 
-// OnUsefulChunk records that node id received a new chunk, latency after
-// requesting it (propose→serve latency).
-func (c *Collector) OnUsefulChunk(id msg.NodeID, latency time.Duration) {
+// OnUsefulChunk records that node id received a new chunk of payloadBytes
+// payload, latency after requesting it (propose→serve latency). The payload
+// bytes accumulate into goodput — the QoE numerator.
+func (c *Collector) OnUsefulChunk(id msg.NodeID, latency time.Duration, payloadBytes int) {
 	c.usefulChunks.Add(1)
-	c.node(id).usefulChunks.Add(1)
+	c.goodputBytes.Add(uint64(payloadBytes))
+	n := c.node(id)
+	n.usefulChunks.Add(1)
+	n.goodputBytes.Add(uint64(payloadBytes))
 	c.ServeLatency.Observe(latency)
+}
+
+// OnInvalidServe records that node id rejected a serve whose payload was
+// missing or failed hash verification.
+func (c *Collector) OnInvalidServe(id msg.NodeID) {
+	c.invalidServes.Add(1)
+	c.node(id).invalidServes.Add(1)
+}
+
+// OnStreamLag records one chunk's stream lag: arrival time minus the source's
+// generation time. Negative lags (a chunk outracing its nominal schedule)
+// clamp to zero.
+func (c *Collector) OnStreamLag(lag time.Duration) {
+	if lag < 0 {
+		lag = 0
+	}
+	c.lagTotalNs.Add(uint64(lag))
+	c.lagSamples.Add(1)
+}
+
+// OnJitter records one inter-arrival jitter sample: the absolute deviation of
+// the gap between consecutive chunk arrivals from the nominal chunk interval.
+func (c *Collector) OnJitter(dev time.Duration) {
+	if dev < 0 {
+		dev = -dev
+	}
+	c.jitterTotalNs.Add(uint64(dev))
+	c.jitterSamples.Add(1)
 }
 
 // OnBlameIssued records a blame emitted locally, keyed by reason.
@@ -321,6 +370,30 @@ func (c *Collector) DupChunks() uint64 { return c.dupChunks.Load() }
 // received.
 func (c *Collector) UsefulChunks() uint64 { return c.usefulChunks.Load() }
 
+// GoodputBytes returns the total payload bytes of useful chunks delivered.
+func (c *Collector) GoodputBytes() uint64 { return c.goodputBytes.Load() }
+
+// InvalidServes returns the number of serves rejected by hash verification.
+func (c *Collector) InvalidServes() uint64 { return c.invalidServes.Load() }
+
+// StreamLagMeanNs returns the mean stream lag in nanoseconds (0 without
+// samples). Integer division keeps it deterministic.
+func (c *Collector) StreamLagMeanNs() uint64 {
+	if n := c.lagSamples.Load(); n > 0 {
+		return c.lagTotalNs.Load() / n
+	}
+	return 0
+}
+
+// StreamJitterMeanNs returns the mean inter-arrival jitter in nanoseconds (0
+// without samples).
+func (c *Collector) StreamJitterMeanNs() uint64 {
+	if n := c.jitterSamples.Load(); n > 0 {
+		return c.jitterTotalNs.Load() / n
+	}
+	return 0
+}
+
 // Expulsions returns the number of expulsion decisions recorded.
 func (c *Collector) Expulsions() uint64 { return c.expulsions.Load() }
 
@@ -402,18 +475,25 @@ type AuditCounts struct {
 // byte-identical across shard and worker counts, because every field is a
 // sum of commuting atomic adds over a shard-independent event set.
 type Snapshot struct {
-	Period            uint64            `json:"period"`
-	Kinds             []KindCount       `json:"kinds"`
-	ProtocolBytes     uint64            `json:"protocol_bytes"`
-	VerificationBytes uint64            `json:"verification_bytes"`
-	OverheadPpm       uint64            `json:"overhead_ppm"`
-	DupChunks         uint64            `json:"dup_chunks"`
-	UsefulChunks      uint64            `json:"useful_chunks"`
-	BlamesIssued      []ReasonCount     `json:"blames_issued,omitempty"`
-	BlamesReceived    uint64            `json:"blames_received"`
-	Audits            AuditCounts       `json:"audits"`
-	Expulsions        uint64            `json:"expulsions"`
-	ServeLatency      HistogramSnapshot `json:"serve_latency"`
+	Period            uint64      `json:"period"`
+	Kinds             []KindCount `json:"kinds"`
+	ProtocolBytes     uint64      `json:"protocol_bytes"`
+	VerificationBytes uint64      `json:"verification_bytes"`
+	OverheadPpm       uint64      `json:"overhead_ppm"`
+	DupChunks         uint64      `json:"dup_chunks"`
+	UsefulChunks      uint64      `json:"useful_chunks"`
+	// Content-plane QoE: payload bytes delivered as first copies, serves
+	// rejected by hash verification, and integer-nanosecond means of stream
+	// lag and inter-arrival jitter.
+	GoodputBytes       uint64            `json:"goodput_bytes"`
+	InvalidServes      uint64            `json:"invalid_serves"`
+	StreamLagMeanNs    uint64            `json:"stream_lag_mean_ns"`
+	StreamJitterMeanNs uint64            `json:"stream_jitter_mean_ns"`
+	BlamesIssued       []ReasonCount     `json:"blames_issued,omitempty"`
+	BlamesReceived     uint64            `json:"blames_received"`
+	Audits             AuditCounts       `json:"audits"`
+	Expulsions         uint64            `json:"expulsions"`
+	ServeLatency       HistogramSnapshot `json:"serve_latency"`
 }
 
 // SnapshotAt captures the collector's cumulative state, stamped with the
@@ -421,10 +501,14 @@ type Snapshot struct {
 // appear in wire-kind order.
 func (c *Collector) SnapshotAt(period uint64) Snapshot {
 	s := Snapshot{
-		Period:       period,
-		DupChunks:    c.dupChunks.Load(),
-		UsefulChunks: c.usefulChunks.Load(),
-		Expulsions:   c.expulsions.Load(),
+		Period:             period,
+		DupChunks:          c.dupChunks.Load(),
+		UsefulChunks:       c.usefulChunks.Load(),
+		GoodputBytes:       c.goodputBytes.Load(),
+		InvalidServes:      c.invalidServes.Load(),
+		StreamLagMeanNs:    c.StreamLagMeanNs(),
+		StreamJitterMeanNs: c.StreamJitterMeanNs(),
+		Expulsions:         c.expulsions.Load(),
 		Audits: AuditCounts{
 			Responded:    c.auditsResponded.Load(),
 			Unresponsive: c.auditsUnresponsive.Load(),
@@ -515,6 +599,16 @@ func (c *Collector) Register(reg *Registry) {
 		"Serves received for chunks the node already held.", c.DupChunks)
 	reg.NewCounterFunc("lifting_useful_chunks_total",
 		"Serves that delivered a new chunk.", c.UsefulChunks)
+	reg.NewCounterFunc("lifting_goodput_bytes_total",
+		"Payload bytes delivered as first copies (QoE goodput).", c.GoodputBytes)
+	reg.NewCounterFunc("lifting_invalid_serves_total",
+		"Serves rejected by content hash verification.", c.InvalidServes)
+	reg.NewGaugeFunc("lifting_stream_lag_seconds",
+		"Mean stream lag: chunk arrival minus source generation time.",
+		func() float64 { return float64(c.StreamLagMeanNs()) / 1e9 })
+	reg.NewGaugeFunc("lifting_stream_jitter_seconds",
+		"Mean inter-arrival jitter against the nominal chunk interval.",
+		func() float64 { return float64(c.StreamJitterMeanNs()) / 1e9 })
 	reg.NewLabeledCounterFunc("lifting_blames_issued_total",
 		"Blames issued locally, by reason.", func() []LabeledValue {
 			c.blameMu.Lock()

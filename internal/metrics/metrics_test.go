@@ -108,8 +108,8 @@ func TestOverheadZeroWithoutProtocolTraffic(t *testing.T) {
 
 func TestChunkAccounting(t *testing.T) {
 	c := NewCollector()
-	c.OnUsefulChunk(4, 20*time.Millisecond)
-	c.OnUsefulChunk(4, 40*time.Millisecond)
+	c.OnUsefulChunk(4, 20*time.Millisecond, 1316)
+	c.OnUsefulChunk(4, 40*time.Millisecond, 1316)
 	c.OnDuplicateChunk(4)
 	c.OnDuplicateChunk(5)
 	if c.UsefulChunks() != 2 || c.DupChunks() != 2 {
@@ -220,7 +220,7 @@ func TestConcurrentAccess(t *testing.T) {
 				c.OnSend(id, m, m.WireSize())
 				c.OnDeliver(id, m, m.WireSize())
 				c.OnDrop(m, m.WireSize())
-				c.OnUsefulChunk(id, time.Millisecond)
+				c.OnUsefulChunk(id, time.Millisecond, 1316)
 				c.OnDuplicateChunk(id)
 				c.OnBlameIssued("fanout")
 			}
@@ -277,7 +277,7 @@ func TestMetricsHotPathAllocs(t *testing.T) {
 		c.OnSend(1, serve, size)
 		c.OnDeliver(2, serve, size)
 		c.OnDrop(serve, size)
-		c.OnUsefulChunk(2, 10*time.Millisecond)
+		c.OnUsefulChunk(2, 10*time.Millisecond, 1316)
 		c.OnDuplicateChunk(2)
 	})
 	if allocs != 0 {

@@ -57,7 +57,7 @@ func TestExpositionWellFormed(t *testing.T) {
 	c.OnDeliver(2, serve, serve.WireSize())
 	c.OnSend(2, blame, blame.WireSize())
 	c.OnDrop(serve, serve.WireSize())
-	c.OnUsefulChunk(2, 30*time.Millisecond)
+	c.OnUsefulChunk(2, 30*time.Millisecond, 1316)
 	c.OnDuplicateChunk(2)
 	c.OnBlameIssued(`weird "reason"` + "\nwith newline")
 	c.OnAuditOutcome(true, false)
@@ -156,7 +156,7 @@ func BenchmarkMetricsHotPath(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		c.OnSend(1, serve, size)
 		c.OnDeliver(2, serve, size)
-		c.OnUsefulChunk(2, 10*time.Millisecond)
+		c.OnUsefulChunk(2, 10*time.Millisecond, 1316)
 	}
 }
 

@@ -10,9 +10,10 @@ import (
 
 // Codec errors.
 var (
-	ErrTruncated   = errors.New("msg: truncated message")
-	ErrUnknownKind = errors.New("msg: unknown message kind")
-	ErrTooLong     = errors.New("msg: list too long for wire format")
+	ErrTruncated     = errors.New("msg: truncated message")
+	ErrUnknownKind   = errors.New("msg: unknown message kind")
+	ErrTooLong       = errors.New("msg: list too long for wire format")
+	ErrPayloadBounds = errors.New("msg: chunk payload exceeds MaxChunkPayload")
 )
 
 const maxListLen = 1<<16 - 1
@@ -45,9 +46,22 @@ func AppendEncode(dst []byte, m Message) ([]byte, error) {
 			return nil, err
 		}
 	case *Serve:
-		w.u32(uint32(v.Period))
-		w.u32(uint32(v.Chunk))
-		w.u32(uint32(v.PayloadSize))
+		if v.PayloadSize < 0 || v.PayloadSize > MaxChunkPayload || len(v.Payload) > MaxChunkPayload {
+			return nil, ErrPayloadBounds
+		}
+		// Serves dominate wire traffic: reserve the fixed 24-byte body in
+		// one grow instead of five appends, then append the payload bytes
+		// directly after their 4-byte length (the zero-copy half of the
+		// hot encode path).
+		n := len(w.buf)
+		w.buf = append(w.buf, make([]byte, 24)...)
+		b := w.buf[n : n+24 : n+24]
+		binary.BigEndian.PutUint32(b[0:], uint32(v.Period))
+		binary.BigEndian.PutUint32(b[4:], uint32(v.Chunk))
+		binary.BigEndian.PutUint32(b[8:], uint32(v.PayloadSize))
+		binary.BigEndian.PutUint64(b[12:], v.Hash)
+		binary.BigEndian.PutUint32(b[20:], uint32(len(v.Payload)))
+		w.buf = append(w.buf, v.Payload...)
 	case *Ack:
 		w.u32(uint32(v.Period))
 		if err := w.chunkList(v.Chunks); err != nil {
@@ -165,6 +179,15 @@ func Decode(b []byte) (Message, error) {
 		if err == nil {
 			p, err = r.u32()
 			v.PayloadSize = int(p)
+			if err == nil && p > MaxChunkPayload {
+				err = ErrPayloadBounds
+			}
+		}
+		if err == nil {
+			v.Hash, err = r.u64()
+		}
+		if err == nil {
+			v.Payload, err = r.payload()
 		}
 		m = v
 	case KindAck:
@@ -447,6 +470,23 @@ func (r *reader) chunkList() ([]ChunkID, error) {
 		out[i] = ChunkID(v)
 	}
 	return out, nil
+}
+
+// payload reads a 4-byte-length-prefixed byte string, bounded by
+// MaxChunkPayload. The returned slice aliases the input buffer (zero-copy);
+// an empty payload decodes as nil so encodings stay canonical.
+func (r *reader) payload() ([]byte, error) {
+	n, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if n > MaxChunkPayload {
+		return nil, ErrPayloadBounds
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	return r.take(int(n))
 }
 
 func (r *reader) nodeList() ([]NodeID, error) {

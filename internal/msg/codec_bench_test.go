@@ -59,6 +59,46 @@ func BenchmarkDecode(b *testing.B) {
 	}
 }
 
+// BenchmarkEncodeServePayload measures the content-plane hot path: framing a
+// full-size video chunk with a reused buffer must stay 0-alloc.
+func BenchmarkEncodeServePayload(b *testing.B) {
+	payload := make([]byte, 1316)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	m := &Serve{Sender: 1, Period: 40, Chunk: 102, PayloadSize: len(payload), Hash: 99, Payload: payload}
+	var buf []byte
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = AppendFrame(buf[:0], m, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecodeServePayload measures the zero-copy decode of a
+// payload-carrying serve frame.
+func BenchmarkDecodeServePayload(b *testing.B) {
+	payload := make([]byte, 1316)
+	m := &Serve{Sender: 1, Period: 40, Chunk: 102, PayloadSize: len(payload), Hash: 99, Payload: payload}
+	frame, err := EncodeFrame(m, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := DecodeFrame(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkFrameRoundTrip(b *testing.B) {
 	msgs := benchMessages()
 	var buf []byte

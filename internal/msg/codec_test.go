@@ -16,6 +16,8 @@ func allMessages() []Message {
 		&Propose{Sender: 2, Period: 0, Chunks: nil, Origins: nil},
 		&Request{Sender: 3, Period: 9, Chunks: []ChunkID{3, 9}},
 		&Serve{Sender: 4, Period: 9, Chunk: 3, PayloadSize: 1316},
+		&Serve{Sender: 4, Period: 9, Chunk: 5, PayloadSize: 6,
+			Hash: 0xdeadbeefcafef00d, Payload: []byte{0xde, 0xad, 0xbe, 0xef, 0x00, 0x0d}},
 		&Ack{Sender: 5, Period: 10, Chunks: []ChunkID{3}, Partners: []NodeID{6, 7}},
 		&Confirm{Sender: 6, Suspect: 5, Period: 10, Chunks: []ChunkID{3}},
 		&ConfirmResp{Sender: 7, Suspect: 5, Period: 10, Confirmed: true},
@@ -154,6 +156,72 @@ func TestWireSizeMatchesScale(t *testing.T) {
 	}
 }
 
+func TestServePayloadBounds(t *testing.T) {
+	cases := []*Serve{
+		{Sender: 1, PayloadSize: -1},
+		{Sender: 1, PayloadSize: MaxChunkPayload + 1},
+		{Sender: 1, PayloadSize: 10, Payload: make([]byte, MaxChunkPayload+1)},
+	}
+	for i, m := range cases {
+		if _, err := Encode(m); !errors.Is(err, ErrPayloadBounds) {
+			t.Errorf("case %d: err = %v, want ErrPayloadBounds", i, err)
+		}
+	}
+	// A claimed payload length past the bound must error at decode too,
+	// before any allocation.
+	b, err := Encode(&Serve{Sender: 1, Period: 2, Chunk: 3, PayloadSize: 4, Payload: []byte{1, 2, 3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bomb := append([]byte(nil), b...)
+	// The payload length prefix is the last u32 before the payload bytes.
+	copy(bomb[len(bomb)-8:len(bomb)-4], []byte{0xFF, 0xFF, 0xFF, 0xFF})
+	if _, err := Decode(bomb); !errors.Is(err, ErrPayloadBounds) {
+		t.Fatalf("decode of oversize payload length: err = %v, want ErrPayloadBounds", err)
+	}
+}
+
+func TestDecodeServeAliasesInput(t *testing.T) {
+	// The hot receive path depends on decode not copying payload bytes; the
+	// transport clones once after reassembly instead.
+	payload := []byte{9, 8, 7, 6, 5}
+	b, err := Encode(&Serve{Sender: 1, Period: 2, Chunk: 3, PayloadSize: 5, Payload: payload})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m.(*Serve).Payload
+	if !reflect.DeepEqual(got, payload) {
+		t.Fatalf("payload = %v, want %v", got, payload)
+	}
+	if &got[0] != &b[len(b)-5] {
+		t.Fatal("decoded payload does not alias the input buffer")
+	}
+}
+
+func TestServeEmptyPayloadCanonical(t *testing.T) {
+	// A zero-length payload decodes as nil, so modelled-only serves stay the
+	// canonical form and encode is a fixed point either way.
+	b, err := Encode(&Serve{Sender: 1, Period: 2, Chunk: 3, PayloadSize: 1316})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.(*Serve).Payload != nil {
+		t.Fatal("empty payload should decode as nil")
+	}
+	b2, err := Encode(m)
+	if err != nil || !reflect.DeepEqual(b, b2) {
+		t.Fatalf("modelled serve is not an encode fixed point (err %v)", err)
+	}
+}
+
 func TestKindClassification(t *testing.T) {
 	for _, m := range allMessages() {
 		isProto := m.Kind() == KindPropose || m.Kind() == KindRequest || m.Kind() == KindServe
@@ -172,7 +240,7 @@ func TestKindAndReasonStrings(t *testing.T) {
 	if Kind(200).String() != "unknown" {
 		t.Fatal("unknown kind should stringify as unknown")
 	}
-	for r := ReasonUnknown; r <= ReasonPeriodStretch; r++ {
+	for r := ReasonUnknown; r <= ReasonInvalidPayload; r++ {
 		if r.String() == "" {
 			t.Errorf("reason %d has empty name", r)
 		}

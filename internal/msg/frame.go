@@ -23,14 +23,16 @@ import (
 // corruption that UDP's 16-bit checksum missed. DecodeFrame never panics on
 // arbitrary input; anything malformed yields an error.
 
-// Frame constants. Part of the wire format. FrameVersion 2 covers the
-// ScoreResp Tracked flag: the payload codec grew a byte, so daemons from
-// before the change must be rejected loudly (ErrBadVersion) instead of
-// having every ScoreResp die a silent length-mismatch death mid-deployment.
+// Frame constants. Part of the wire format. FrameVersion 3 covers the
+// content plane: Serve frames now carry real payload bytes plus a content
+// hash, and oversized messages ship as fragment frames (FlagFragment)
+// instead of being dropped. As with the v1→v2 bump, daemons from before the
+// change must be rejected loudly (ErrBadVersion) instead of having every
+// Serve die a silent codec death mid-deployment.
 const (
 	frameMagic0  = 'L'
 	frameMagic1  = 'F'
-	FrameVersion = 2
+	FrameVersion = 3
 	// FrameHeaderSize is the number of bytes preceding the payload.
 	FrameHeaderSize = 10
 	// MaxFramePayload is the largest payload that fits a single IPv4 UDP
@@ -38,10 +40,26 @@ const (
 	MaxFramePayload = 65507 - FrameHeaderSize
 )
 
-// FlagReliable marks traffic the protocol would send over a reliable
-// transport (audits); the UDP backend still ships it as a datagram but keeps
-// the class visible on the wire.
-const FlagReliable = 0x01
+// Frame flags.
+const (
+	// FlagReliable marks traffic the protocol would send over a reliable
+	// transport (audits); the UDP backend still ships it as a datagram but
+	// keeps the class visible on the wire.
+	FlagReliable = 0x01
+	// FlagFragment marks a frame carrying one fragment of an encoded
+	// message too large for a single datagram, prefixed by a fragment
+	// header (see AppendFragment). The transport reassembles fragments
+	// before decoding.
+	FlagFragment = 0x02
+)
+
+// FragmentHeaderSize is the size of the fragment header inside a
+// FlagFragment frame payload: message id (4), fragment index (2), fragment
+// count (2).
+const FragmentHeaderSize = 8
+
+// MaxFragmentBody is the message-byte capacity of one fragment frame.
+const MaxFragmentBody = MaxFramePayload - FragmentHeaderSize
 
 // Framing errors.
 var (
@@ -51,12 +69,17 @@ var (
 	ErrFrameLength     = errors.New("msg: frame length mismatch")
 	ErrBadChecksum     = errors.New("msg: frame checksum mismatch")
 	ErrPayloadTooLarge = errors.New("msg: payload exceeds max datagram size")
+	ErrBadFragment     = errors.New("msg: malformed fragment")
 )
 
 // AppendFrame appends a framed encoding of m to dst and returns the extended
 // slice. Passing a reused dst[:0] avoids per-message allocations on the send
-// path.
+// path. FlagFragment is rejected: a complete message is by definition not a
+// fragment (use AppendFragment to build fragment frames).
 func AppendFrame(dst []byte, m Message, flags uint8) ([]byte, error) {
+	if flags&FlagFragment != 0 {
+		return nil, fmt.Errorf("%w: FlagFragment on a complete message", ErrBadFragment)
+	}
 	start := len(dst)
 	dst = append(dst, frameMagic0, frameMagic1, FrameVersion, flags, 0, 0, 0, 0, 0, 0)
 	out, err := AppendEncode(dst, m)
@@ -72,15 +95,26 @@ func AppendFrame(dst []byte, m Message, flags uint8) ([]byte, error) {
 	return out, nil
 }
 
-// EncodeFrame frames m into a fresh byte slice ready to ship as one UDP
-// datagram.
-func EncodeFrame(m Message, flags uint8) ([]byte, error) {
-	return AppendFrame(make([]byte, 0, FrameHeaderSize+64), m, flags)
+// AppendRawFrame frames arbitrary payload bytes. The transport uses it to
+// ship fragment payloads; the framing (magic, version, length, CRC) is
+// identical to AppendFrame's.
+func AppendRawFrame(dst, payload []byte, flags uint8) ([]byte, error) {
+	if len(payload) > MaxFramePayload {
+		return nil, fmt.Errorf("%w: %d bytes", ErrPayloadTooLarge, len(payload))
+	}
+	var hdr [FrameHeaderSize]byte
+	hdr[0], hdr[1], hdr[2], hdr[3] = frameMagic0, frameMagic1, FrameVersion, flags
+	binary.BigEndian.PutUint16(hdr[4:], uint16(len(payload)))
+	binary.BigEndian.PutUint32(hdr[6:], crc32.ChecksumIEEE(payload))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...), nil
 }
 
-// DecodeFrame parses one datagram previously produced by AppendFrame,
-// returning the decoded message and the frame flags.
-func DecodeFrame(b []byte) (Message, uint8, error) {
+// RawFrame validates the frame header and checksum of one datagram and
+// returns its payload (aliasing b) and flags without decoding the message.
+// The transport's receive path uses it so fragment frames can be reassembled
+// before the codec runs.
+func RawFrame(b []byte) ([]byte, uint8, error) {
 	if len(b) < FrameHeaderSize {
 		return nil, 0, ErrFrameTooShort
 	}
@@ -98,6 +132,60 @@ func DecodeFrame(b []byte) (Message, uint8, error) {
 	}
 	if binary.BigEndian.Uint32(b[6:]) != crc32.ChecksumIEEE(payload) {
 		return nil, 0, ErrBadChecksum
+	}
+	return payload, flags, nil
+}
+
+// AppendFragment appends one fragment frame to dst: a FlagFragment frame
+// whose payload is the fragment header (msgID, index, count) followed by
+// body — a slice of a complete message encoding. flags are OR'd with
+// FlagFragment.
+func AppendFragment(dst []byte, msgID uint32, index, count uint16, body []byte, flags uint8) ([]byte, error) {
+	if count == 0 || index >= count || len(body) > MaxFragmentBody {
+		return nil, ErrBadFragment
+	}
+	var hdr [FragmentHeaderSize]byte
+	binary.BigEndian.PutUint32(hdr[0:], msgID)
+	binary.BigEndian.PutUint16(hdr[4:], index)
+	binary.BigEndian.PutUint16(hdr[6:], count)
+	payload := make([]byte, 0, FragmentHeaderSize+len(body))
+	payload = append(payload, hdr[:]...)
+	payload = append(payload, body...)
+	return AppendRawFrame(dst, payload, flags|FlagFragment)
+}
+
+// ParseFragment splits a FlagFragment frame payload into its fragment
+// header and body. The body aliases payload.
+func ParseFragment(payload []byte) (msgID uint32, index, count uint16, body []byte, err error) {
+	if len(payload) < FragmentHeaderSize {
+		return 0, 0, 0, nil, ErrBadFragment
+	}
+	msgID = binary.BigEndian.Uint32(payload[0:])
+	index = binary.BigEndian.Uint16(payload[4:])
+	count = binary.BigEndian.Uint16(payload[6:])
+	if count == 0 || index >= count {
+		return 0, 0, 0, nil, ErrBadFragment
+	}
+	return msgID, index, count, payload[FragmentHeaderSize:], nil
+}
+
+// EncodeFrame frames m into a fresh byte slice ready to ship as one UDP
+// datagram.
+func EncodeFrame(m Message, flags uint8) ([]byte, error) {
+	return AppendFrame(make([]byte, 0, FrameHeaderSize+64), m, flags)
+}
+
+// DecodeFrame parses one datagram previously produced by AppendFrame,
+// returning the decoded message and the frame flags. A fragment frame is an
+// error here — a single fragment is not a decodable message; the transport
+// reassembles via RawFrame/ParseFragment.
+func DecodeFrame(b []byte) (Message, uint8, error) {
+	payload, flags, err := RawFrame(b)
+	if err != nil {
+		return nil, 0, err
+	}
+	if flags&FlagFragment != 0 {
+		return nil, 0, fmt.Errorf("%w: fragment frame outside reassembly", ErrBadFragment)
 	}
 	m, err := Decode(payload)
 	if err != nil {

@@ -98,6 +98,117 @@ func TestDecodeFrameRejectsBadPayload(t *testing.T) {
 	}
 }
 
+func TestAppendFrameRejectsFlagFragment(t *testing.T) {
+	if _, err := AppendFrame(nil, &ScoreReq{Sender: 1, Target: 2}, FlagFragment); !errors.Is(err, ErrBadFragment) {
+		t.Fatalf("err = %v, want ErrBadFragment", err)
+	}
+}
+
+func TestFragmentRoundTrip(t *testing.T) {
+	// Split a message across fragment frames the way the transport does and
+	// reassemble by hand.
+	m := &Serve{Sender: 1, Period: 2, Chunk: 3, PayloadSize: 100}
+	body, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const chunk = 7 // force several fragments from a small message
+	count := (len(body) + chunk - 1) / chunk
+	var frames [][]byte
+	for i := 0; i < count; i++ {
+		end := (i + 1) * chunk
+		if end > len(body) {
+			end = len(body)
+		}
+		f, err := AppendFragment(nil, 42, uint16(i), uint16(count), body[i*chunk:end], FlagReliable)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames = append(frames, f)
+	}
+	var reassembled []byte
+	for i, f := range frames {
+		// Fragment frames must be invisible to DecodeFrame.
+		if _, _, err := DecodeFrame(f); !errors.Is(err, ErrBadFragment) {
+			t.Fatalf("DecodeFrame(fragment) err = %v, want ErrBadFragment", err)
+		}
+		payload, flags, err := RawFrame(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if flags != FlagReliable|FlagFragment {
+			t.Fatalf("flags = %#x, want %#x", flags, FlagReliable|FlagFragment)
+		}
+		msgID, index, n, part, err := ParseFragment(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if msgID != 42 || index != uint16(i) || n != uint16(count) {
+			t.Fatalf("fragment header = (%d, %d, %d), want (42, %d, %d)", msgID, index, n, i, count)
+		}
+		reassembled = append(reassembled, part...)
+	}
+	got, err := Decode(reassembled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, got) {
+		t.Fatalf("reassembled mismatch: %+v vs %+v", m, got)
+	}
+}
+
+func TestFragmentRejectsMalformed(t *testing.T) {
+	if _, err := AppendFragment(nil, 1, 0, 0, []byte{1}, 0); !errors.Is(err, ErrBadFragment) {
+		t.Fatalf("count 0: err = %v, want ErrBadFragment", err)
+	}
+	if _, err := AppendFragment(nil, 1, 2, 2, []byte{1}, 0); !errors.Is(err, ErrBadFragment) {
+		t.Fatalf("index >= count: err = %v, want ErrBadFragment", err)
+	}
+	if _, err := AppendFragment(nil, 1, 0, 1, make([]byte, MaxFragmentBody+1), 0); !errors.Is(err, ErrBadFragment) {
+		t.Fatalf("oversize body: err = %v, want ErrBadFragment", err)
+	}
+	if _, _, _, _, err := ParseFragment([]byte{1, 2, 3}); !errors.Is(err, ErrBadFragment) {
+		t.Fatalf("short payload: err = %v, want ErrBadFragment", err)
+	}
+	if _, _, _, _, err := ParseFragment([]byte{0, 0, 0, 1, 0, 5, 0, 2}); !errors.Is(err, ErrBadFragment) {
+		t.Fatalf("index >= count: err = %v, want ErrBadFragment", err)
+	}
+}
+
+func TestRawFrameRoundTrip(t *testing.T) {
+	b, err := AppendRawFrame(nil, []byte("hello"), FlagReliable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, flags, err := RawFrame(b)
+	if err != nil || string(payload) != "hello" || flags != FlagReliable {
+		t.Fatalf("RawFrame = (%q, %#x, %v)", payload, flags, err)
+	}
+	if _, err := AppendRawFrame(nil, make([]byte, MaxFramePayload+1), 0); !errors.Is(err, ErrPayloadTooLarge) {
+		t.Fatalf("oversize raw payload: err = %v, want ErrPayloadTooLarge", err)
+	}
+}
+
+func TestFramePayloadCarryingServe(t *testing.T) {
+	// A full-size video chunk rides one datagram with room to spare.
+	payload := make([]byte, 1316)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	m := &Serve{Sender: 1, Period: 2, Chunk: 3, PayloadSize: len(payload), Hash: 7, Payload: payload}
+	b, err := EncodeFrame(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := DecodeFrame(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, got) {
+		t.Fatal("payload-carrying serve did not survive the frame round trip")
+	}
+}
+
 func TestAppendFrameRejectsOversizedPayload(t *testing.T) {
 	huge := &AuditResp{Sender: 1}
 	for i := 0; i < 3000; i++ {

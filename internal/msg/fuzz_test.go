@@ -1,6 +1,10 @@
 package msg
 
 import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -68,6 +72,9 @@ func FuzzDecode(f *testing.F) {
 	}
 	f.Add([]byte{})
 	f.Add([]byte{byte(KindPropose), 0, 0, 0, 1, 0, 0, 0, 2, 0xFF, 0xFF}) // length bomb
+	for _, seed := range malformedSeeds() {
+		f.Add(seed.data)
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := Decode(data)
 		if (m != nil) == (err != nil) {
@@ -97,6 +104,99 @@ func FuzzDecode(f *testing.F) {
 			}
 		}
 	})
+}
+
+type corpusSeed struct {
+	name string
+	data []byte
+}
+
+// malformedSeeds are the handcrafted corpus entries: the failure shapes that
+// matter, each of which must decode to an error without panicking.
+func malformedSeeds() []corpusSeed {
+	payloadServe := &Serve{Sender: 4, Period: 9, Chunk: 5, PayloadSize: 1316,
+		Hash: 0x1234, Payload: []byte("content plane payload")}
+	served, err := Encode(payloadServe)
+	if err != nil {
+		panic(err)
+	}
+	// Claimed payload length far past what the buffer holds.
+	truncated := append([]byte(nil), served...)
+	truncated[len(truncated)-len(payloadServe.Payload)-4] = 0
+	truncated[len(truncated)-len(payloadServe.Payload)-3] = 0x01
+	// Claimed payload length past MaxChunkPayload.
+	bomb := append([]byte(nil), served...)
+	copy(bomb[len(bomb)-len(payloadServe.Payload)-4:], []byte{0xFF, 0xFF, 0xFF, 0xFF})
+	// A lone fragment frame: valid framing, but DecodeFrame must refuse it.
+	fragment, err := AppendFragment(nil, 7, 0, 2, served[:10], 0)
+	if err != nil {
+		panic(err)
+	}
+	badsum, err := EncodeFrame(payloadServe, 0)
+	if err != nil {
+		panic(err)
+	}
+	badsum = append([]byte(nil), badsum...)
+	badsum[len(badsum)-1] ^= 0x40
+	framed, err := EncodeFrame(payloadServe, FlagReliable)
+	if err != nil {
+		panic(err)
+	}
+	return []corpusSeed{
+		{"seed-empty", nil},
+		{"seed-length-bomb", []byte{byte(KindPropose), 0, 0, 0, 1, 0, 0, 0, 2, 0xFF, 0xFF}},
+		{"seed-unknown-kind", []byte{0xEE, 0, 0, 0, 1}},
+		{"seed-serve-truncated-payload", truncated},
+		{"seed-serve-payload-bomb", bomb},
+		{"seed-frame-fragment", fragment},
+		{"seed-frame-badsum", badsum},
+		{"seed-frame-truncated", framed[:len(framed)-3]},
+	}
+}
+
+// TestRegenFuzzCorpus rewrites testdata/fuzz/FuzzDecode from the live
+// encoders. Run it after any wire-format change (like the v3 payload frame):
+//
+//	LIFTING_REGEN_CORPUS=1 go test ./internal/msg -run TestRegenFuzzCorpus
+func TestRegenFuzzCorpus(t *testing.T) {
+	if os.Getenv("LIFTING_REGEN_CORPUS") == "" {
+		t.Skip("set LIFTING_REGEN_CORPUS=1 to rewrite the corpus")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzDecode")
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	var seeds []corpusSeed
+	counts := map[string]int{}
+	for _, m := range allMessages() {
+		base := strings.ReplaceAll(m.Kind().String(), "_", "-")
+		counts[base]++
+		if counts[base] > 1 {
+			base = fmt.Sprintf("%s-%d", base, counts[base])
+		}
+		raw, err := Encode(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		framed, err := EncodeFrame(m, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seeds = append(seeds,
+			corpusSeed{"seed-raw-" + base, raw},
+			corpusSeed{"seed-frame-" + base, framed})
+	}
+	seeds = append(seeds, malformedSeeds()...)
+	for _, s := range seeds {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", s.data)
+		if err := os.WriteFile(filepath.Join(dir, s.name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Logf("wrote %d corpus files to %s", len(seeds), dir)
 }
 
 // TestDecodeLengthBomb checks that a huge claimed list length on a short

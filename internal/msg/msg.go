@@ -151,13 +151,31 @@ func (m *Request) WireSize() int {
 	return headerSize + periodSize + lenPrefix + len(m.Chunks)*chunkIDSize
 }
 
-// Serve delivers one chunk payload (§3, serving phase). Payload bytes are
-// modelled, not materialized: PayloadSize carries the chunk size.
+// MaxChunkPayload bounds the payload bytes one Serve may carry (and the
+// modelled PayloadSize). It is a codec-level defense: a remote peer claiming
+// a multi-gigabyte chunk must produce a decode error, not an allocation.
+const MaxChunkPayload = 1 << 20
+
+// Serve delivers one chunk (§3, serving phase). Since frame v3 the message
+// carries the real payload bytes plus their 64-bit content hash, so
+// receivers verify what they were served. Payload may be nil in
+// modelled-only runs (bookkeeping without a content plane); PayloadSize then
+// carries the modelled chunk size for bandwidth accounting.
 type Serve struct {
-	Sender      NodeID
-	Period      Period
-	Chunk       ChunkID
+	Sender NodeID
+	Period Period
+	Chunk  ChunkID
+	// PayloadSize is the modelled chunk size in bytes. When Payload is
+	// non-nil the wire carries the real bytes and this field equals
+	// len(Payload).
 	PayloadSize int
+	// Hash is the 64-bit content hash (content.HashBytes) of the chunk payload
+	// (content.HashBytes). Zero in modelled-only runs.
+	Hash uint64
+	// Payload is the chunk content. Decode aliases the input buffer —
+	// callers that retain the message beyond the buffer's lifetime must
+	// copy (the UDP transport clones it out of its reused receive buffer).
+	Payload []byte
 }
 
 // Kind implements Message.
@@ -168,7 +186,11 @@ func (m *Serve) From() NodeID { return m.Sender }
 
 // WireSize implements Message.
 func (m *Serve) WireSize() int {
-	return headerSize + periodSize + chunkIDSize + 4 + m.PayloadSize
+	p := m.PayloadSize
+	if m.Payload != nil {
+		p = len(m.Payload)
+	}
+	return headerSize + periodSize + chunkIDSize + 4 + 8 + 4 + p
 }
 
 // Ack tells a previous server which partners the sender forwarded the served
@@ -250,6 +272,7 @@ const (
 	ReasonAuditUnconfirmed             // history entry not confirmed by alleged receiver
 	ReasonAuditEntropy                 // entropy check failed (leads to expulsion)
 	ReasonPeriodStretch                // too few proposals in history
+	ReasonInvalidPayload               // served payload missing or hash mismatch
 )
 
 var reasonNames = map[BlameReason]string{
@@ -261,6 +284,7 @@ var reasonNames = map[BlameReason]string{
 	ReasonAuditUnconfirmed: "audit-unconfirmed",
 	ReasonAuditEntropy:     "audit-entropy",
 	ReasonPeriodStretch:    "period-stretch",
+	ReasonInvalidPayload:   "invalid-payload",
 }
 
 // String returns the lowercase name of the reason.

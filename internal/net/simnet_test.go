@@ -140,7 +140,8 @@ func TestUplinkSerialization(t *testing.T) {
 	eng, n, _ := newNet(t, Conditions{UplinkBps: 10000, LatencyBase: 0})
 	rx := &capture{eng: eng}
 	n.Attach(2, rx)
-	big := &msg.Serve{Sender: 1, Chunk: 1, PayloadSize: 1000 - 45}
+	big := &msg.Serve{Sender: 1, Chunk: 1}
+	big.PayloadSize = 1000 - big.WireSize()
 	n.Send(1, 2, big, Unreliable)
 	n.Send(1, 2, big, Unreliable)
 	eng.RunAll()

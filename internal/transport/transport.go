@@ -22,6 +22,7 @@ import (
 	"fmt"
 	gonet "net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"lifting/internal/metrics"
@@ -87,6 +88,11 @@ type Runtime struct {
 	rand   *rng.Stream
 
 	bufs sync.Pool // frame buffers on the send path
+
+	// fragID numbers outbound fragmented messages so receivers can group
+	// their fragments. Uniqueness per (sender socket, recent window) is all
+	// reassembly needs.
+	fragID atomic.Uint32
 
 	// timers tracks pending AfterFuncs so Close can cancel the not-yet fired
 	// ones instead of waiting out their delays.
@@ -417,13 +423,12 @@ func (r *Runtime) Send(from, to msg.NodeID, m msg.Message, mode net.Mode) {
 	frame, err := msg.AppendFrame((*bufp)[:0], m, flags)
 	if err != nil {
 		// Outbound messages are constructed by our own protocol code; an
-		// encoding failure is a programming error — except for histories
-		// that outgrew a datagram, which a deployment must tolerate.
+		// encoding failure is a programming error — except for messages that
+		// outgrew a datagram (big audit histories, oversized chunks), which
+		// ship as a train of fragment frames instead.
 		r.bufs.Put(bufp)
 		if errors.Is(err, msg.ErrPayloadTooLarge) {
-			if r.collector != nil {
-				r.collector.OnDrop(m, size)
-			}
+			r.sendFragments(sender, addr, m, size, flags, latency)
 			return
 		}
 		panic(fmt.Sprintf("transport: encoding %T: %v", m, err))
@@ -453,13 +458,119 @@ func (r *Runtime) Send(from, to msg.NodeID, m msg.Message, mode net.Mode) {
 	}
 }
 
+// sendFragments ships a message too large for one datagram as a train of
+// fragment frames; the receiver's reassembler rebuilds the encoding before
+// dispatch. All fragments share the modelled latency draw — they leave one
+// socket back-to-back.
+func (r *Runtime) sendFragments(sender *nodeCtx, addr *gonet.UDPAddr, m msg.Message, size int, flags uint8, latency time.Duration) {
+	body, err := msg.Encode(m)
+	if err != nil {
+		panic(fmt.Sprintf("transport: encoding %T: %v", m, err))
+	}
+	count := (len(body) + msg.MaxFragmentBody - 1) / msg.MaxFragmentBody
+	if count > 0xFFFF {
+		if r.collector != nil {
+			r.collector.OnDrop(m, size)
+		}
+		return
+	}
+	msgID := r.fragID.Add(1)
+	frames := make([][]byte, 0, count)
+	for i := 0; i < count; i++ {
+		start, end := i*msg.MaxFragmentBody, (i+1)*msg.MaxFragmentBody
+		if end > len(body) {
+			end = len(body)
+		}
+		f, err := msg.AppendFragment(nil, msgID, uint16(i), uint16(count), body[start:end], flags)
+		if err != nil {
+			panic(fmt.Sprintf("transport: fragmenting %T: %v", m, err))
+		}
+		frames = append(frames, f)
+	}
+	write := func() {
+		for _, f := range frames {
+			if _, werr := sender.conn.WriteToUDP(f, addr); werr != nil {
+				if r.collector != nil {
+					r.collector.OnDrop(m, size)
+				}
+				return
+			}
+		}
+	}
+	if latency <= 0 {
+		write()
+		return
+	}
+	r.schedule(latency, func() {
+		defer r.inflight.Done()
+		if !r.isClosed() {
+			write()
+		}
+	})
+}
+
+// maxReassembly bounds the half-built messages a socket keeps. Overflow (a
+// burst of loss, or garbage from a hostile peer) clears the table: losing
+// half-built state is a retry, keeping it unbounded is a memory hole.
+const maxReassembly = 256
+
+// reassembler rebuilds fragmented messages for one receive loop. Keyed by
+// (source address, message id); fragment bodies are copied out of the shared
+// read buffer. Single-goroutine use, no locking.
+type reassembler struct {
+	entries map[string]*reasmEntry
+}
+
+type reasmEntry struct {
+	count uint16
+	got   uint16
+	parts [][]byte
+}
+
+// add folds in one fragment frame payload and returns the full message
+// encoding once every fragment has arrived.
+func (ra *reassembler) add(src string, payload []byte) ([]byte, bool) {
+	msgID, index, count, body, err := msg.ParseFragment(payload)
+	if err != nil {
+		return nil, false
+	}
+	key := fmt.Sprintf("%s#%d", src, msgID)
+	e := ra.entries[key]
+	if e == nil {
+		if len(ra.entries) >= maxReassembly {
+			ra.entries = make(map[string]*reasmEntry)
+		}
+		e = &reasmEntry{count: count, parts: make([][]byte, count)}
+		ra.entries[key] = e
+	}
+	if e.count != count || int(index) >= len(e.parts) {
+		// Contradictory fragment train; throw the whole message away.
+		delete(ra.entries, key)
+		return nil, false
+	}
+	if e.parts[index] == nil {
+		e.parts[index] = append([]byte(nil), body...)
+		e.got++
+	}
+	if e.got < e.count {
+		return nil, false
+	}
+	delete(ra.entries, key)
+	var out []byte
+	for _, p := range e.parts {
+		out = append(out, p...)
+	}
+	return out, true
+}
+
 // recvLoop reads datagrams off one node's socket until the runtime closes:
-// decode the frame, learn the sender's address, dispatch under the node's
-// lock. Malformed datagrams are dropped — FuzzDecode guarantees the decoder
-// survives anything the network delivers.
+// validate the frame, reassemble fragments, learn the sender's address,
+// dispatch under the node's lock. Malformed datagrams are dropped —
+// FuzzDecode guarantees the decoder survives anything the network delivers.
 func (r *Runtime) recvLoop(n *nodeCtx) {
 	defer r.loops.Done()
 	buf := make([]byte, 1<<16)
+	reasm := &reassembler{entries: make(map[string]*reasmEntry)}
 	for {
 		sz, srcAddr, err := n.conn.ReadFromUDP(buf)
 		if err != nil {
@@ -468,9 +579,30 @@ func (r *Runtime) recvLoop(n *nodeCtx) {
 			}
 			continue
 		}
-		m, flags, err := msg.DecodeFrame(buf[:sz])
+		payload, flags, err := msg.RawFrame(buf[:sz])
 		if err != nil {
 			continue
+		}
+		var m msg.Message
+		if flags&msg.FlagFragment != 0 {
+			body, done := reasm.add(srcAddr.String(), payload)
+			if !done {
+				continue
+			}
+			// body is freshly assembled memory; a serve payload aliasing it
+			// is owned by the decoded message, no clone needed.
+			if m, err = msg.Decode(body); err != nil {
+				continue
+			}
+		} else {
+			if m, err = msg.Decode(payload); err != nil {
+				continue
+			}
+			// Decode aliases the reused read buffer; clone retained bytes
+			// before the next datagram overwrites them.
+			if s, isServe := m.(*msg.Serve); isServe && s.Payload != nil {
+				s.Payload = append([]byte(nil), s.Payload...)
+			}
 		}
 		from := m.From()
 		r.book.Learn(from, srcAddr)

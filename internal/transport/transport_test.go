@@ -312,12 +312,15 @@ func TestAddNodeRejectsDuplicate(t *testing.T) {
 	}
 }
 
-func TestOversizedMessageDroppedNotPanic(t *testing.T) {
+func TestOversizedMessageFragmentedAndReassembled(t *testing.T) {
+	// A message too large for one datagram (a long audit history) ships as a
+	// fragment train and arrives intact — v2 dropped it silently.
 	coll := metrics.NewCollector()
 	rt := New(Options{Seed: 1, Collector: coll})
 	defer rt.Close()
+	sink := &collect{}
 	rt.Attach(1, nil)
-	rt.Attach(2, &collect{})
+	rt.Attach(2, sink)
 
 	huge := &msg.AuditResp{Sender: 1}
 	for i := 0; i < 5000; i++ {
@@ -326,8 +329,18 @@ func TestOversizedMessageDroppedNotPanic(t *testing.T) {
 		})
 	}
 	rt.Send(1, 2, huge, net.Reliable)
-	if coll.Dropped(msg.KindAuditResp) != 1 {
-		t.Fatal("oversized datagram not accounted as a drop")
+	waitFor(t, "fragmented message delivery", func() bool { return sink.count() > 0 })
+	sink.mu.Lock()
+	got, ok := sink.got[0].(*msg.AuditResp)
+	sink.mu.Unlock()
+	if !ok {
+		t.Fatalf("delivered %T, want *msg.AuditResp", got)
+	}
+	if len(got.Proposals) != 5000 || got.Proposals[4999].Period != 4999 {
+		t.Fatalf("reassembled audit history mangled: %d proposals", len(got.Proposals))
+	}
+	if coll.Dropped(msg.KindAuditResp) != 0 {
+		t.Fatal("fragmented message counted as dropped")
 	}
 }
 
@@ -435,5 +448,40 @@ func TestMetricsConcurrentSendersScrape(t *testing.T) {
 	snap := coll.SnapshotAt(0)
 	if snap.ProtocolBytes == 0 {
 		t.Fatal("no protocol bytes accounted")
+	}
+}
+
+func TestServePayloadSurvivesBufferReuse(t *testing.T) {
+	// The receive loop decodes into a reused buffer; serve payloads must be
+	// cloned before the next datagram lands on top of them.
+	rt := New(Options{Seed: 1})
+	defer rt.Close()
+	sink := &collect{}
+	rt.Attach(1, nil)
+	rt.Attach(2, sink)
+
+	payloads := make([][]byte, 10)
+	for i := range payloads {
+		p := make([]byte, 1316)
+		for j := range p {
+			p[j] = byte(i)
+		}
+		payloads[i] = p
+		rt.Send(1, 2, &msg.Serve{
+			Sender: 1, Period: 1, Chunk: msg.ChunkID(i),
+			PayloadSize: len(p), Hash: uint64(i), Payload: p,
+		}, net.Unreliable)
+	}
+	waitFor(t, "all serves delivered", func() bool { return sink.count() == len(payloads) })
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	for _, m := range sink.got {
+		s := m.(*msg.Serve)
+		want := payloads[s.Chunk]
+		for j := range want {
+			if s.Payload[j] != want[j] {
+				t.Fatalf("chunk %d payload corrupted at byte %d (buffer reuse)", s.Chunk, j)
+			}
+		}
 	}
 }
