@@ -30,10 +30,13 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	goruntime "runtime"
 	"sort"
+	"sync"
 	"syscall"
 	"time"
 
+	"lifting/internal/chaos"
 	"lifting/internal/cluster"
 	"lifting/internal/core"
 	"lifting/internal/freerider"
@@ -79,6 +82,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, interrupt
 		payload  = fs.Int("payload", 1316, "chunk payload size, bytes")
 		freeride = fs.Float64("freeride", 0, "degree of freeriding in all three dimensions (0 = honest)")
 		report   = fs.Bool("report", false, "after the run, read every node's score over the wire and print SCORE lines")
+		soak     = fs.Bool("soak", false, "replay the deployment fault schedule (derived from -seed, -duration, -period and the membership) against this process's network model")
 		httpAddr = fs.String("http", "", "serve /metrics, /status and /debug/pprof/ on this address (empty = disabled)")
 		gwAddr   = fs.String("gateway", "", "serve the HTTP stream gateway (/stream/chunk/{id}) on this address (empty = disabled)")
 		gwSource = fs.String("gateway-source", "", "upstream gateway base URL for chunks this node does not hold (e.g. the source's gateway)")
@@ -134,9 +138,23 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, interrupt
 	}
 	fmt.Fprintf(stdout, "LISTEN %d %s\n", self, bound)
 
+	// -soak: every process derives the identical fault plan from the flags
+	// the deployment already shares, then replays it against its own local
+	// network model. The lowest id is the source by convention and is never
+	// a fault target — a faulted source would explain any oracle failure.
+	var plan *chaos.Plan
+	if *soak {
+		plan = chaos.Generate(chaos.DeploymentConfig(*seed, *duration, *period, members[1:]))
+		fmt.Fprintf(stdout, "SOAK %d events=%d skew=%.4f\n", self, len(plan.Events), plan.SkewFactor(self))
+	}
+
 	var behavior gossip.Behavior
 	if *freeride > 0 {
 		behavior = freerider.Degree{Delta1: *freeride, Delta2: *freeride, Delta3: *freeride}
+	}
+	clockSkew := 0.0
+	if plan != nil {
+		clockSkew = plan.SkewFactor(self)
 	}
 	host := cluster.NewNodeHost(rt, cluster.NodeOptions{
 		ID:      self,
@@ -166,11 +184,32 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, interrupt
 			fmt.Fprintf(stdout, "EXPEL %d %s\n", target, reason)
 		},
 		Collector: collector,
+		ClockSkew: clockSkew,
 	})
 
 	if *httpAddr != "" {
 		reg := metrics.NewRegistry()
 		collector.Register(reg)
+		// Soak-harness gauges: memory growth and score-period drift are the
+		// two things a long-running scrape watches for. Heap-in-use is the
+		// dependency-free stand-in for RSS; drift is measured in periods
+		// against the process's own wall clock, so a skewed clock (or a
+		// stalled tick loop) shows up as a linear ramp.
+		reg.NewGaugeFunc("lifting_process_heap_bytes",
+			"process heap in use (runtime.ReadMemStats HeapAlloc)",
+			func() float64 {
+				var ms goruntime.MemStats
+				goruntime.ReadMemStats(&ms)
+				return float64(ms.HeapAlloc)
+			})
+		procStart := time.Now()
+		tg := *period
+		reg.NewGaugeFunc("lifting_period_drift_periods",
+			"local score-period clock minus wall-clock expectation, in periods",
+			func() float64 {
+				expected := time.Since(procStart).Seconds() / tg.Seconds()
+				return float64(host.Period()) - expected
+			})
 		srv := obs.New(reg, func() obs.Status {
 			st := obs.Status{
 				NodeID:          uint32(self),
@@ -219,6 +258,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, interrupt
 	}
 
 	host.Start()
+	if plan != nil {
+		newSoakPlane(rt, stdout, self, members, plan, *loss).schedule(*warmup)
+	}
 	if *source {
 		rt.After(*warmup, func() { host.StartStream(*duration) })
 	}
@@ -259,4 +301,129 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, interrupt
 	rt.Close()
 	fmt.Fprintf(stdout, "DONE %d\n", self)
 	return 0
+}
+
+// soakPlane replays a chaos.Plan against ONE process's local network model.
+// Every process derives the identical plan from the deployment's shared
+// flags and replays it on its own clock, so the fleet agrees on the fault
+// timeline up to process start skew (boundaries are fuzzy by at most the
+// stagger between process launches, which blame compensation absorbs).
+//
+// A Crash here is a network-level blackhole — both directions dropped at
+// every process, including the victim's own — while the victim's process
+// keeps running with its protocol state intact. That is deliberately the
+// conservative half of a crash: the state-losing half (rebuild, manager
+// score re-adoption) is exercised by the in-process soak experiment, where
+// the harness can actually tear a node down. The reputation contract under
+// test is the same in both: the blackholed node must not be expelled.
+type soakPlane struct {
+	rt      *transport.Runtime
+	out     io.Writer
+	self    msg.NodeID
+	members []msg.NodeID
+	plan    *chaos.Plan
+	base    map[msg.NodeID]net.Conditions
+
+	mu       sync.Mutex
+	down     map[msg.NodeID]bool
+	minority map[msg.NodeID]bool
+	split    bool
+	burst    map[msg.NodeID]float64
+}
+
+// newSoakPlane builds the per-member baseline: the modelled -loss on our own
+// inbound path (the same thing the non-soak path sets), plus the plan's
+// standing duplication/reordering on every member.
+func newSoakPlane(rt *transport.Runtime, out io.Writer, self msg.NodeID, members []msg.NodeID, plan *chaos.Plan, loss float64) *soakPlane {
+	s := &soakPlane{
+		rt:      rt,
+		out:     out,
+		self:    self,
+		members: append([]msg.NodeID(nil), members...),
+		plan:    plan,
+		base:    make(map[msg.NodeID]net.Conditions, len(members)),
+		down:    map[msg.NodeID]bool{},
+		burst:   map[msg.NodeID]float64{},
+	}
+	for _, id := range members {
+		c := net.Conditions{
+			DupProb:      plan.DupProb,
+			ReorderProb:  plan.ReorderProb,
+			ReorderDelay: plan.ReorderDelay,
+		}
+		if id == self {
+			c.LossIn = loss
+		}
+		s.base[id] = c
+	}
+	return s
+}
+
+// schedule installs the baseline now and every plan event at offset+ev.At on
+// the transport's harness timer.
+func (s *soakPlane) schedule(offset time.Duration) {
+	s.apply()
+	for _, ev := range s.plan.Events {
+		ev := ev
+		s.rt.After(offset+ev.At, func() { s.fire(ev) })
+	}
+}
+
+func (s *soakPlane) fire(ev chaos.Event) {
+	s.mu.Lock()
+	switch ev.Kind {
+	case chaos.Crash:
+		for _, id := range ev.Nodes {
+			s.down[id] = true
+		}
+	case chaos.Restart:
+		for _, id := range ev.Nodes {
+			delete(s.down, id)
+		}
+	case chaos.Partition:
+		s.split = true
+		s.minority = make(map[msg.NodeID]bool, len(ev.Nodes))
+		for _, id := range ev.Nodes {
+			s.minority[id] = true
+		}
+	case chaos.Heal:
+		s.split = false
+		s.minority = nil
+	case chaos.LossBurst:
+		for _, id := range ev.Nodes {
+			s.burst[id] = ev.Loss
+		}
+	case chaos.LossHeal:
+		for _, id := range ev.Nodes {
+			delete(s.burst, id)
+		}
+	}
+	s.mu.Unlock()
+	s.apply()
+	fmt.Fprintf(s.out, "CHAOS %d %s %v\n", s.self, ev.Kind, ev.Nodes)
+}
+
+// apply rebuilds every member's conditions from the baseline plus the
+// current fault state. Conditions compose: a node can sit in the partition
+// minority AND under a loss burst AND be blackholed.
+func (s *soakPlane) apply() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, id := range s.members {
+		c := s.base[id]
+		if s.split {
+			if s.minority[id] {
+				c.PartitionGroup = 2
+			} else {
+				c.PartitionGroup = 1
+			}
+		}
+		if extra, ok := s.burst[id]; ok {
+			c.LossIn = 1 - (1-c.LossIn)*(1-extra)
+		}
+		if s.down[id] {
+			c.Down = true
+		}
+		s.rt.SetConditions(id, c)
+	}
 }

@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"os/exec"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"testing"
@@ -330,6 +331,207 @@ func TestMultiProcessDeployment(t *testing.T) {
 	}
 }
 
+// TestMultiProcessSoak drives the deployment fault schedule through real OS
+// processes: five honest daemons started with -soak independently derive the
+// same chaos plan from their shared flags and replay it against their local
+// network models — a crash blackhole, a partition, a correlated loss burst,
+// standing duplication/reordering and two skewed clocks. The oracles are the
+// deployment-level halves of the soak invariants: every process applies the
+// identical schedule, nobody expels an honest node under it, the stream
+// keeps delivering, and the /metrics scrape exposes the RSS and period-drift
+// gauges the long-running harness watches.
+func TestMultiProcessSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process soak test is slow")
+	}
+
+	const (
+		soakN    = 5
+		soakSeed = 11
+		soakTg   = 100 * time.Millisecond
+		soakDur  = 5 * time.Second
+		soakEta  = -6.0 // generous: faults must not look like freeriding
+	)
+
+	bin := filepath.Join(t.TempDir(), "lifting-node")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building lifting-node: %v\n%s", err, out)
+	}
+
+	ports := make([]int, soakN)
+	for i := range ports {
+		c, err := gonet.ListenUDP("udp", &gonet.UDPAddr{IP: gonet.IPv4(127, 0, 0, 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ports[i] = c.LocalAddr().(*gonet.UDPAddr).Port
+		c.Close()
+	}
+	var peerSpecs []string
+	for i, p := range ports {
+		peerSpecs = append(peerSpecs, fmt.Sprintf("%d=127.0.0.1:%d", i, p))
+	}
+	peers := strings.Join(peerSpecs, ",")
+	tl, err := gonet.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpAddr := tl.Addr().String()
+	tl.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	// Every process gets the SAME -duration: the fault plan is derived from
+	// it, so like -seed and -period it must agree across the deployment.
+	warmup := 700 * time.Millisecond
+	outs := make([]bytes.Buffer, soakN)
+	cmds := make([]*exec.Cmd, soakN)
+	for i := soakN - 1; i >= 0; i-- { // source last: its peers should be listening
+		args := []string{
+			"-id", strconv.Itoa(i),
+			"-listen", fmt.Sprintf("127.0.0.1:%d", ports[i]),
+			"-peers", peers,
+			"-seed", strconv.Itoa(soakSeed),
+			"-f", strconv.Itoa(soakN - 1),
+			"-period", soakTg.String(),
+			"-m", strconv.Itoa(soakN),
+			"-eta", fmt.Sprintf("%g", soakEta),
+			"-grace", "8",
+			"-warmup", warmup.String(),
+			"-duration", soakDur.String(),
+			"-soak",
+		}
+		if i == 0 {
+			args = append(args, "-source")
+		}
+		if i == 1 {
+			args = append(args, "-http", httpAddr)
+		}
+		cmd := exec.CommandContext(ctx, bin, args...)
+		cmd.Stdout = &outs[i]
+		cmd.Stderr = &outs[i]
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("starting node %d: %v", i, err)
+		}
+		cmds[i] = cmd
+	}
+
+	scrapeSoakGauges(t, httpAddr, soakDur)
+
+	for i, cmd := range cmds {
+		if err := cmd.Wait(); err != nil {
+			t.Errorf("node %d exited with %v:\n%s", i, err, outs[i].String())
+		}
+	}
+
+	// Each process must have announced the same plan, replayed the same
+	// events (compared as multisets — near-simultaneous heals may interleave
+	// in stdout), and expelled nobody.
+	var wantEvents, skewed int
+	var wantChaos string
+	for i := range outs {
+		out := outs[i].String()
+		if !strings.Contains(out, fmt.Sprintf("DONE %d", i)) {
+			t.Errorf("node %d never completed:\n%s", i, out)
+		}
+		if strings.Contains(out, "EXPEL") {
+			t.Errorf("node %d expelled someone under the fault plan:\n%s", i, out)
+		}
+		events := -1
+		var chaos []string
+		for _, line := range strings.Split(out, "\n") {
+			fields := strings.Fields(line)
+			if len(fields) >= 4 && fields[0] == "SOAK" {
+				fmt.Sscanf(fields[2], "events=%d", &events)
+				if !strings.HasSuffix(fields[3], "=1.0000") {
+					skewed++
+				}
+			}
+			if len(fields) >= 3 && fields[0] == "CHAOS" {
+				chaos = append(chaos, strings.Join(fields[2:], " "))
+			}
+		}
+		if events <= 0 {
+			t.Fatalf("node %d announced no fault plan:\n%s", i, out)
+		}
+		if len(chaos) != events {
+			t.Errorf("node %d applied %d of %d scheduled events", i, len(chaos), events)
+		}
+		sort.Strings(chaos)
+		applied := strings.Join(chaos, ";")
+		if i == 0 {
+			wantEvents, wantChaos = events, applied
+		} else if events != wantEvents || applied != wantChaos {
+			t.Errorf("node %d derived a different plan:\n%s\nvs\n%s", i, applied, wantChaos)
+		}
+	}
+	for _, kind := range []string{"crash", "restart", "partition", "heal", "loss-burst", "loss-heal"} {
+		if !strings.Contains(wantChaos, kind+" ") {
+			t.Errorf("deployment plan missing a %s event: %s", kind, wantChaos)
+		}
+	}
+	if skewed == 0 {
+		t.Error("no process reported a skewed clock; the deployment schedule skews 2")
+	}
+	t.Logf("soak: %d processes replayed %d events each (%d skewed clocks): %s",
+		soakN, wantEvents, skewed, wantChaos)
+}
+
+// scrapeSoakGauges polls a soaking node's /metrics until stream traffic is
+// flowing, then checks the two gauges the long-running soak harness records:
+// heap-in-use (RSS stand-in) must be a sane nonzero size and the
+// period-drift gauge must be present and small — the period clock tracks
+// wall time even while the fault plan runs.
+func scrapeSoakGauges(t *testing.T, addr string, budget time.Duration) {
+	t.Helper()
+	client := &http.Client{Timeout: 2 * time.Second}
+	deadline := time.Now().Add(budget)
+	var exposition string
+	for {
+		var err error
+		resp, err := client.Get("http://" + addr + "/metrics")
+		if err == nil {
+			body, rerr := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if rerr == nil {
+				exposition = string(body)
+			}
+		}
+		if strings.Contains(exposition, "lifting_useful_chunks_total ") &&
+			!strings.Contains(exposition, "\nlifting_useful_chunks_total 0\n") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no useful-chunk traffic on the soaking node before deadline (err=%v):\n%s", err, exposition)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	sample := func(name string) float64 {
+		for _, line := range strings.Split(exposition, "\n") {
+			if rest, ok := strings.CutPrefix(line, name+" "); ok {
+				v, err := strconv.ParseFloat(rest, 64)
+				if err != nil {
+					t.Fatalf("unparseable %s sample %q: %v", name, rest, err)
+				}
+				return v
+			}
+		}
+		t.Fatalf("/metrics missing %s:\n%s", name, exposition)
+		return 0
+	}
+	heap := sample("lifting_process_heap_bytes")
+	if heap < 1<<18 || heap > 1<<33 {
+		t.Errorf("lifting_process_heap_bytes = %g, not a sane process heap", heap)
+	}
+	drift := sample("lifting_period_drift_periods")
+	if drift < -20 || drift > 20 {
+		t.Errorf("lifting_period_drift_periods = %g, period clock unmoored from wall clock", drift)
+	}
+	t.Logf("soak gauges: heap %.0f bytes, drift %.2f periods", heap, drift)
+}
+
 // scrapeGateway downloads stream bytes through a running node's HTTP
 // gateway and verifies them end-to-end: every payload must match the
 // canonical content generation for the deployment seed, whether it came
@@ -442,27 +644,12 @@ func scrapeObservability(t *testing.T, addr string) {
 		return string(body), resp.Header.Get("Content-Type"), nil
 	}
 
-	var exposition, ctype string
-	deadline := time.Now().Add(scenDur)
-	for {
-		var err error
-		exposition, ctype, err = get("/metrics")
-		// The per-kind counters only emit samples once nonzero, so a
-		// useful-chunk sample line is itself the nonzero-traffic check.
-		if err == nil && strings.Contains(exposition, "lifting_useful_chunks_total ") &&
-			!strings.Contains(exposition, "\nlifting_useful_chunks_total 0\n") {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("no useful-chunk traffic on /metrics before deadline (err=%v):\n%s", err, exposition)
-		}
-		time.Sleep(100 * time.Millisecond)
-	}
-
-	if !strings.HasPrefix(ctype, "text/plain; version=0.0.4") {
-		t.Errorf("/metrics Content-Type = %q", ctype)
-	}
-	for _, name := range []string{
+	// The per-kind counters only emit samples once nonzero, so polling for
+	// the full sample set doubles as the nonzero-traffic check. Polling (not
+	// a single scrape after one counter goes nonzero) matters on a loaded
+	// machine: a starved node can have received serves before it ever sent
+	// its first propose.
+	wantSamples := []string{
 		"lifting_verification_overhead_ratio ",
 		"lifting_duplicate_chunks_total",
 		"lifting_useful_chunks_total ",
@@ -471,10 +658,33 @@ func scrapeObservability(t *testing.T, addr string) {
 		"lifting_protocol_bytes_total ",
 		"lifting_verification_bytes_total ",
 		"lifting_serve_latency_seconds_count ",
-	} {
-		if !strings.Contains(exposition, name) {
-			t.Errorf("/metrics missing %q:\n%s", name, exposition)
+	}
+	missing := func(s string) string {
+		for _, name := range wantSamples {
+			if !strings.Contains(s, name) {
+				return name
+			}
 		}
+		return ""
+	}
+	var exposition, ctype string
+	deadline := time.Now().Add(scenDur)
+	for {
+		var err error
+		exposition, ctype, err = get("/metrics")
+		if err == nil && missing(exposition) == "" &&
+			!strings.Contains(exposition, "\nlifting_useful_chunks_total 0\n") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("/metrics incomplete before deadline (err=%v, first missing %q):\n%s",
+				err, missing(exposition), exposition)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	if !strings.HasPrefix(ctype, "text/plain; version=0.0.4") {
+		t.Errorf("/metrics Content-Type = %q", ctype)
 	}
 	// Well-formed text exposition: every line is a comment or `name[{labels}]
 	// value` with a parseable value.

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"lifting/internal/analysis"
+	"lifting/internal/chaos"
 	"lifting/internal/content"
 	"lifting/internal/core"
 	"lifting/internal/gossip"
@@ -125,6 +126,14 @@ type Options struct {
 	// goroutines with no lock held; synchronize externally if it mutates
 	// shared state.
 	OnBlame func(target msg.NodeID, value float64, reason msg.BlameReason)
+	// Chaos, if non-nil, layers a deterministic fault schedule onto the
+	// run: crash→restart cycles with manager score handoff, partitions,
+	// correlated loss bursts, standing duplication/reordering and per-node
+	// clock skew. Events apply from harness timers (the sharded engine's
+	// global phase), and the plan itself is pure data, so an eligible
+	// configuration stays shardable and byte-identical across shard
+	// counts. Keep the stream source out of the plan's candidates.
+	Chaos *chaos.Plan
 	// OnPeriodSnapshot, if non-nil, receives a deterministic metrics
 	// snapshot at the start of every score period, before the period's
 	// flushes and expulsion checks. Under the sharded engine it fires in
@@ -160,6 +169,10 @@ type Cluster struct {
 	Joined map[msg.NodeID]time.Duration
 	// Departed records when each node voluntarily left (churn).
 	Departed map[msg.NodeID]time.Duration
+	// Crashed records when each node last crashed (fault plane); Restarted
+	// when it last came back.
+	Crashed   map[msg.NodeID]time.Duration
+	Restarted map[msg.NodeID]time.Duration
 	// Freeriders records which nodes got a non-honest behavior.
 	Freeriders map[msg.NodeID]bool
 
@@ -187,6 +200,15 @@ type Cluster struct {
 	lastMgrs       map[msg.NodeID][]msg.NodeID
 	mgrTargets     map[msg.NodeID]map[msg.NodeID]bool
 	pendingRemoved []msg.NodeID
+
+	// Fault-plane state (guarded by mu): nodes currently down from a crash,
+	// the current partition's minority island, the loss-burst overlays, and
+	// how many plan events have been applied.
+	crashedNow   map[msg.NodeID]bool
+	partMinority map[msg.NodeID]bool
+	partitioned  bool
+	burstLoss    map[msg.NodeID]float64
+	chaosApplied int
 }
 
 // ownedClient pairs a blame client with the node whose execution context
@@ -206,6 +228,21 @@ func (c auxChain) HandleAux(from msg.NodeID, m msg.Message) bool {
 		}
 	}
 	return false
+}
+
+// skewCtx runs one node's timers on a drifting local clock: every delay is
+// scaled by a constant rate factor, so a node with factor 1.02 fires its
+// gossip periods 2% late and slowly drifts against the period auditor. Now
+// stays on true time — arrival timestamps (QoE, playout) measure when
+// chunks actually land. Scaling is a pure function of the delay, so skewed
+// runs remain deterministic and shard-count-invariant.
+type skewCtx struct {
+	sim.Context
+	factor float64
+}
+
+func (s skewCtx) After(d time.Duration, fn func()) {
+	s.Context.After(time.Duration(float64(d)*s.factor), fn)
 }
 
 // managerAux adapts a reputation.Manager to gossip.AuxHandler.
@@ -282,6 +319,18 @@ func New(opts Options) *Cluster {
 		// Young scores are noisy (σ(s) ∝ 1/√r); don't act on them.
 		opts.Rep.GracePeriods = 8
 	}
+	if opts.Chaos != nil {
+		// The plan's standing link perturbations apply to every node for
+		// the whole run, so they fold into the default conditions before
+		// the backend is built.
+		if opts.Chaos.DupProb > 0 {
+			opts.NetDefaults.DupProb = opts.Chaos.DupProb
+		}
+		if opts.Chaos.ReorderProb > 0 {
+			opts.NetDefaults.ReorderProb = opts.Chaos.ReorderProb
+			opts.NetDefaults.ReorderDelay = opts.Chaos.ReorderDelay
+		}
+	}
 
 	c := &Cluster{
 		Opts:       opts,
@@ -294,11 +343,17 @@ func New(opts Options) *Cluster {
 		Expelled:   make(map[msg.NodeID]time.Duration),
 		Joined:     make(map[msg.NodeID]time.Duration),
 		Departed:   make(map[msg.NodeID]time.Duration),
+		Crashed:    make(map[msg.NodeID]time.Duration),
+		Restarted:  make(map[msg.NodeID]time.Duration),
 		Freeriders: make(map[msg.NodeID]bool),
 		root:       rng.New(opts.Seed),
 		nextID:     msg.NodeID(opts.N),
 		lastMgrs:   make(map[msg.NodeID][]msg.NodeID),
 		mgrTargets: make(map[msg.NodeID]map[msg.NodeID]bool),
+
+		crashedNow:   make(map[msg.NodeID]bool),
+		partMinority: make(map[msg.NodeID]bool),
+		burstLoss:    make(map[msg.NodeID]float64),
 	}
 	if opts.Stream.Validate() == nil {
 		// The content seed derives from the root exactly as NodeHost derives
@@ -365,6 +420,11 @@ func (c *Cluster) buildNode(id msg.NodeID) {
 	opts := c.Opts
 	nodeRand := c.root.ForNode(uint32(id))
 	ctx := c.RT.Context(id)
+	if opts.Chaos != nil {
+		if f := opts.Chaos.SkewFactor(id); f != 1 {
+			ctx = skewCtx{Context: ctx, factor: f}
+		}
+	}
 	netw := c.RT.Network()
 
 	var behavior gossip.Behavior
@@ -667,6 +727,7 @@ func (c *Cluster) Start() {
 		c.Nodes[msg.NodeID(i)].Start()
 	}
 	c.scheduleTick(1)
+	c.startChaos()
 }
 
 // scheduleTick advances the score period every Tg.
@@ -692,6 +753,12 @@ func (c *Cluster) tick(p msg.Period) {
 	copy(clients, c.clients)
 	mgrIDs := make([]msg.NodeID, 0, len(c.Managers))
 	for id := range c.Managers {
+		// A crashed node's manager replica is frozen, not authoritative:
+		// it must not advance its clock or issue expulsion verdicts while
+		// the process is down. Its entries stay readable for handoff.
+		if c.crashedNow[id] {
+			continue
+		}
 		mgrIDs = append(mgrIDs, id)
 	}
 	c.mu.Unlock()
@@ -948,6 +1015,10 @@ func (c *Cluster) join(id msg.NodeID) {
 			c.RT.SetConditions(id, cond)
 		}
 	}
+	if c.Opts.Chaos != nil {
+		// A node joining mid-partition lands on the majority side.
+		c.applyChaosConditions(id)
+	}
 	c.mu.Lock()
 	c.Joined[id] = c.RT.Now()
 	p := c.period
@@ -978,6 +1049,230 @@ func (c *Cluster) leave(id msg.NodeID) {
 	node := c.Nodes[id]
 	c.mu.Unlock()
 	c.remove(id, node)
+}
+
+// --- fault plane ---
+
+// startChaos schedules every event of the configured fault plan. All
+// scheduling happens up front, in the plan's (sorted, deterministic) order,
+// from harness timers — under the sharded engine they fire in the global
+// phase, where membership and condition mutations are safe and
+// shard-count-invariant.
+func (c *Cluster) startChaos() {
+	plan := c.Opts.Chaos
+	if plan == nil {
+		return
+	}
+	for _, e := range plan.Events {
+		ev := e
+		c.RT.After(ev.At, func() { c.applyChaosEvent(ev) })
+	}
+}
+
+// applyChaosEvent performs one fault transition.
+func (c *Cluster) applyChaosEvent(ev chaos.Event) {
+	c.mu.Lock()
+	c.chaosApplied++
+	c.mu.Unlock()
+	switch ev.Kind {
+	case chaos.Crash:
+		for _, id := range ev.Nodes {
+			c.crash(id)
+		}
+	case chaos.Restart:
+		for _, id := range ev.Nodes {
+			c.restart(id)
+		}
+	case chaos.Partition:
+		c.mu.Lock()
+		c.partitioned = true
+		for _, id := range ev.Nodes {
+			c.partMinority[id] = true
+		}
+		c.mu.Unlock()
+		c.applyChaosConditionsAll()
+	case chaos.Heal:
+		c.mu.Lock()
+		c.partitioned = false
+		c.partMinority = make(map[msg.NodeID]bool)
+		c.mu.Unlock()
+		c.applyChaosConditionsAll()
+	case chaos.LossBurst:
+		c.mu.Lock()
+		for _, id := range ev.Nodes {
+			c.burstLoss[id] = ev.Loss
+		}
+		c.mu.Unlock()
+		for _, id := range ev.Nodes {
+			c.applyChaosConditions(id)
+		}
+	case chaos.LossHeal:
+		c.mu.Lock()
+		for _, id := range ev.Nodes {
+			delete(c.burstLoss, id)
+		}
+		c.mu.Unlock()
+		for _, id := range ev.Nodes {
+			c.applyChaosConditions(id)
+		}
+	}
+}
+
+// chaosConditionsLocked rebuilds node id's effective conditions from its
+// base (defaults or ConditionsFor) plus the current fault overlays. Caller
+// holds c.mu.
+func (c *Cluster) chaosConditionsLocked(id msg.NodeID) net.Conditions {
+	cond := c.Opts.NetDefaults
+	if cf := c.Opts.ConditionsFor; cf != nil {
+		if o, ok := cf(id); ok {
+			cond = o
+		}
+	}
+	if c.partitioned {
+		if c.partMinority[id] {
+			cond.PartitionGroup = 2
+		} else {
+			cond.PartitionGroup = 1
+		}
+	}
+	if extra, ok := c.burstLoss[id]; ok {
+		// The correlated burst stacks on the link's own loss.
+		cond.LossIn = 1 - (1-cond.LossIn)*(1-extra)
+	}
+	if _, gone := c.Expelled[id]; gone {
+		cond.Down = true
+	}
+	if _, gone := c.Departed[id]; gone {
+		cond.Down = true
+	}
+	if c.crashedNow[id] {
+		cond.Down = true
+	}
+	return cond
+}
+
+// applyChaosConditions pushes node id's rebuilt conditions to the backend.
+func (c *Cluster) applyChaosConditions(id msg.NodeID) {
+	c.mu.Lock()
+	cond := c.chaosConditionsLocked(id)
+	c.mu.Unlock()
+	c.RT.SetConditions(id, cond)
+}
+
+// applyChaosConditionsAll reapplies conditions for every id ever seen —
+// partition transitions change the group of all nodes, including down ones
+// (whose Down flag the rebuild preserves).
+func (c *Cluster) applyChaosConditionsAll() {
+	c.mu.Lock()
+	limit := c.nextID
+	c.mu.Unlock()
+	for id := msg.NodeID(0); id < limit; id++ {
+		c.applyChaosConditions(id)
+	}
+}
+
+// crash takes node id down hard: off the membership and the network, its
+// process state (gossip history, pending blames, its manager replica's
+// clock) frozen. The node's own score lives on its remote managers and is
+// untouched. No-op for nodes already gone.
+func (c *Cluster) crash(id msg.NodeID) {
+	c.mu.Lock()
+	if _, gone := c.Expelled[id]; gone {
+		c.mu.Unlock()
+		return
+	}
+	if _, gone := c.Departed[id]; gone {
+		c.mu.Unlock()
+		return
+	}
+	if c.crashedNow[id] {
+		c.mu.Unlock()
+		return
+	}
+	c.crashedNow[id] = true
+	c.Crashed[id] = c.RT.Now()
+	node := c.Nodes[id]
+	// The crashed process's unflushed blames die with it.
+	kept := c.clients[:0]
+	for _, oc := range c.clients {
+		if oc.owner != id {
+			kept = append(kept, oc)
+		}
+	}
+	c.clients = kept
+	c.mu.Unlock()
+	c.remove(id, node)
+}
+
+// restart brings a crashed node back with fresh protocol state, as a churn
+// join of the same id: its managers re-track it at the current period (a
+// no-op where the entry survived — Track does not reset tracked state), and
+// the full rebalance re-adopts the most pessimistic surviving replica onto
+// its fresh local manager. A node expelled or departed while down stays out.
+func (c *Cluster) restart(id msg.NodeID) {
+	c.mu.Lock()
+	if !c.crashedNow[id] {
+		c.mu.Unlock()
+		return
+	}
+	if _, gone := c.Expelled[id]; gone {
+		c.mu.Unlock()
+		return
+	}
+	if _, gone := c.Departed[id]; gone {
+		c.mu.Unlock()
+		return
+	}
+	delete(c.crashedNow, id)
+	c.Restarted[id] = c.RT.Now()
+	c.mu.Unlock()
+
+	c.Dir.Join(id)
+	c.buildNode(id)
+	if cf := c.Opts.ConditionsFor; cf != nil {
+		if cond, ok := cf(id); ok {
+			c.RT.SetConditions(id, cond)
+		}
+	}
+	// Rebuilding conditions clears Down and restores any standing overlays
+	// (partition side, loss burst) the node is still subject to.
+	c.applyChaosConditions(id)
+
+	c.mu.Lock()
+	p := c.period
+	node := c.Nodes[id]
+	c.mu.Unlock()
+	if c.Opts.LiFTinG {
+		c.registerScorekeepers(id, p)
+	}
+	c.RT.Exec(id, node.Start)
+	c.scheduleRebalance(true)
+}
+
+// ChaosApplied returns how many fault-plan events have fired so far.
+func (c *Cluster) ChaosApplied() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.chaosApplied
+}
+
+// MaxTrackedPerManager returns the largest per-manager tracked-target count
+// (message mode; 0 in direct mode). The soak invariants bound it by the
+// total population ever seen.
+func (c *Cluster) MaxTrackedPerManager() int {
+	c.mu.Lock()
+	mgrs := make([]*reputation.Manager, 0, len(c.Managers))
+	for _, m := range c.Managers {
+		mgrs = append(mgrs, m)
+	}
+	c.mu.Unlock()
+	most := 0
+	for _, m := range mgrs {
+		if n := m.TrackedCount(); n > most {
+			most = n
+		}
+	}
+	return most
 }
 
 // scheduleRebalance queues a manager-assignment rebalance (message mode

@@ -67,6 +67,11 @@ type NodeOptions struct {
 	// content.StoreCapacityFor). As in the full cluster, the content
 	// plane is on whenever Stream is a valid configuration.
 	StoreCapacity int
+	// ClockSkew is this node's clock-rate factor: 1.02 fires every local
+	// timer — gossip rounds, verifier deadlines, the score-period clock —
+	// 2% late, drifting against the period auditors on other processes.
+	// 0 (or 1) means a true clock.
+	ClockSkew float64
 }
 
 // NodeHost is one assembled node of a distributed deployment.
@@ -88,6 +93,7 @@ type NodeHost struct {
 
 	client *reputation.Client
 	reader *reputation.Reader
+	skew   float64 // 0 = true clock; see NodeOptions.ClockSkew
 
 	mu       sync.Mutex
 	period   msg.Period
@@ -139,6 +145,10 @@ func NewNodeHost(rt runtime.Runtime, opts NodeOptions) *NodeHost {
 	id := opts.ID
 	nodeRand := rng.New(opts.Seed).ForNode(uint32(id))
 	ctx := rt.Context(id)
+	if f := opts.ClockSkew; f > 0 && f != 1 {
+		h.skew = f
+		ctx = skewCtx{Context: ctx, factor: f}
+	}
 	netw := rt.Network()
 
 	behavior := opts.Behavior
@@ -248,9 +258,15 @@ func (h *NodeHost) Start() {
 // scheduleTick advances the score period every Tg, mirroring Cluster: the
 // manager re-evaluates expulsions and the blame client flushes its batch.
 // Each process runs its own period clock; periods only feed the r in
-// score = b̃ − blame/r, so clocks need to agree in rate, not in phase.
+// score = b̃ − blame/r, so clocks need to agree in rate, not in phase —
+// which is exactly what a skewed clock violates, so ClockSkew stretches
+// this timer too and the period-drift gauge can watch the divergence.
 func (h *NodeHost) scheduleTick(p msg.Period) {
-	h.RT.After(h.Opts.Gossip.Period, func() {
+	tick := h.Opts.Gossip.Period
+	if h.skew > 0 {
+		tick = time.Duration(float64(tick) * h.skew)
+	}
+	h.RT.After(tick, func() {
 		h.mu.Lock()
 		h.period = p
 		h.mu.Unlock()

@@ -364,6 +364,72 @@ func init() {
 		},
 	})
 	Register(Experiment{
+		Name: "soak", Paper: "beyond the paper — fault-plane soak",
+		Describe:      "churn + one attack + a seeded fault schedule under standing invariant checkers",
+		DefaultParams: Params{N: 120, Seed: 29, Duration: 30 * time.Second, Delta: -1, Pdcc: -1},
+		Run: func(ctx context.Context, p Params, obs Observer) (*Result, error) {
+			cfg := DefaultSoakConfig()
+			if p.Quick {
+				cfg = QuickSoakConfig()
+			}
+			cfg.Backend = p.backend()
+			cfg.Shards = p.Shards
+			if p.N > 0 {
+				cfg.N = p.N
+			}
+			if p.Seed > 0 {
+				cfg.Seed = p.Seed
+			}
+			if p.Duration > 0 {
+				cfg.Duration = p.Duration
+			}
+			// -filter selects the attack for the soak (freeride, blame-spam,
+			// period-stretch); the flag is free-form, Soak validates it.
+			if p.Filter != "" {
+				cfg.Attack = p.Filter
+			}
+			tab, res, err := Soak(ctx, cfg)
+			if err != nil {
+				return nil, err
+			}
+			out := newResult("soak", p)
+			out.addTable(obs, tab)
+			out.addMetric("chaos-events", float64(res.ChaosApplied))
+			out.addMetric("joined", float64(res.Joined))
+			out.addMetric("departed", float64(res.Departed))
+			out.addMetric("handoffs", float64(res.Handoffs))
+			out.addMetric("freeriders-expelled", float64(res.FreeridersExpelled))
+			out.addMetric("honest-expelled", float64(res.HonestExpelled))
+			out.addMetric("max-tracked-per-manager", float64(res.MaxTracked))
+			out.addMetric("invariant-violations", float64(len(res.Violations)))
+			out.addMetric("goodput-bytes", float64(res.GoodputBytes))
+			out.MetricsSnapshots = res.Snapshots
+			// The standing invariants are the verdict: any per-period
+			// violation fails the run, as does a schedule that did not fully
+			// execute or a stream that delivered nothing.
+			for _, v := range res.Violations {
+				out.fail("invariant violated: %s", v)
+			}
+			if res.ChaosApplied != res.PlanEvents {
+				out.fail("fault plan incomplete: applied %d of %d events", res.ChaosApplied, res.PlanEvents)
+			}
+			if res.GoodputBytes == 0 {
+				out.fail("soak delivered no verified payload (goodput 0)")
+			}
+			// Detection oracles: honest nodes survive every fault; the
+			// freerider cohort does not (cohort expulsion is only asserted
+			// for the freeride attack — bad-mouthers are undetectable by
+			// construction and stretchers are an audit subject).
+			if !res.HonestClean() {
+				out.fail("%d live honest nodes expelled under the fault plan, want 0", res.HonestExpelled)
+			}
+			if cfg.Attack == "freeride" && !res.CohortExpelled() {
+				out.fail("freerider cohort not fully expelled: %d of %d", res.FreeridersExpelled, res.Freeriders)
+			}
+			return out, nil
+		},
+	})
+	Register(Experiment{
 		Name: "matrix", Paper: "§4/§5 adversary matrix",
 		Describe:      "every §4/§5 attack scenario against its statistical oracle",
 		MultiBackend:  true,

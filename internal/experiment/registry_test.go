@@ -15,7 +15,7 @@ import (
 // cheap analytic experiments first, long cluster streams last.
 var wantExperiments = []string{
 	"fig10", "fig11", "fig12", "fig13", "eq7", "ablate",
-	"table3", "table5", "churn", "scale", "matrix", "fig14", "fig1",
+	"table3", "table5", "churn", "scale", "soak", "matrix", "fig14", "fig1",
 }
 
 // TestRegistryInventory pins the registry: every experiment of the

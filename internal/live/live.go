@@ -248,7 +248,7 @@ func (r *Runtime) Send(from, to msg.NodeID, m msg.Message, mode net.Mode) {
 	}
 	src := r.conditionsOf(from)
 	dst := r.conditionsOf(to)
-	drop := src.Down || dst.Down
+	drop := src.Down || dst.Down || net.Partitioned(src.PartitionGroup, dst.PartitionGroup)
 	if mode == net.Unreliable && !drop {
 		drop = r.rand.Bernoulli(src.LossOut) || r.rand.Bernoulli(dst.LossIn)
 	}
@@ -258,6 +258,14 @@ func (r *Runtime) Send(from, to msg.NodeID, m msg.Message, mode net.Mode) {
 	}
 	if mode == net.Reliable {
 		latency *= 3
+	}
+	duplicate := false
+	if mode == net.Unreliable && !drop {
+		if r.rand.Bernoulli(src.ReorderProb) {
+			// Hold the datagram back so later sends overtake it.
+			latency += src.ReorderDelay
+		}
+		duplicate = r.rand.Bernoulli(src.DupProb)
 	}
 	dstCtx := r.nodes[to]
 	r.mu.Unlock()
@@ -269,7 +277,7 @@ func (r *Runtime) Send(from, to msg.NodeID, m msg.Message, mode net.Mode) {
 		return
 	}
 
-	delivered := r.schedule(latency, func() {
+	deliver := func() {
 		defer r.inflight.Done()
 		if r.isStopped() {
 			return
@@ -289,9 +297,20 @@ func (r *Runtime) Send(from, to msg.NodeID, m msg.Message, mode net.Mode) {
 		if dstCtx.h != nil {
 			dstCtx.h.HandleMessage(from, decoded)
 		}
-	})
+	}
+	delivered := r.schedule(latency, deliver)
 	if !delivered && r.collector != nil {
 		r.collector.OnDrop(m, size)
+	}
+	if duplicate {
+		// In-network duplication: a second identical copy follows the
+		// first, accounted as a send of its own so the books balance.
+		if r.collector != nil {
+			r.collector.OnSend(from, m, size)
+		}
+		if !r.schedule(latency, deliver) && r.collector != nil {
+			r.collector.OnDrop(m, size)
+		}
 	}
 }
 

@@ -52,6 +52,26 @@ type Conditions struct {
 	// Down marks the node as departed or expelled: all its traffic is
 	// dropped in both directions.
 	Down bool
+	// PartitionGroup places the node in a network partition. Two nodes
+	// whose groups are both nonzero and different cannot exchange traffic;
+	// group 0 (the default) is unpartitioned and reaches everyone. The
+	// fault-injection plane flips these to model split-brain episodes.
+	PartitionGroup uint8
+	// DupProb duplicates each unreliable message leaving the node with
+	// this probability: a second identical copy is transmitted (and
+	// accounted) right behind the first.
+	DupProb float64
+	// ReorderProb delays an unreliable message leaving the node by an
+	// extra ReorderDelay with this probability, letting later sends
+	// overtake it on the wire.
+	ReorderProb  float64
+	ReorderDelay time.Duration
+}
+
+// Partitioned reports whether traffic between nodes with groups a and b is
+// cut by a partition.
+func Partitioned(a, b uint8) bool {
+	return a != 0 && b != 0 && a != b
 }
 
 // Uniform returns homogeneous conditions with the given loss probability and

@@ -112,7 +112,7 @@ func (n *SimNet) Send(from, to msg.NodeID, m msg.Message, mode Mode) {
 	}
 	src := n.ConditionsOf(from)
 	dst := n.ConditionsOf(to)
-	if src.Down || dst.Down {
+	if src.Down || dst.Down || Partitioned(src.PartitionGroup, dst.PartitionGroup) {
 		n.drop(m, size)
 		return
 	}
@@ -157,8 +157,22 @@ func (n *SimNet) Send(from, to msg.NodeID, m msg.Message, mode Mode) {
 	if mode == Reliable {
 		latency *= reliableSetupFactor
 	}
+	if mode == Unreliable && rand.Bernoulli(src.ReorderProb) {
+		// Hold the datagram back so later sends overtake it.
+		latency += src.ReorderDelay
+	}
 
 	n.engine.Deliver(int32(from), int32(to), start+tx+latency-now, n, m, int32(size))
+
+	if mode == Unreliable && rand.Bernoulli(src.DupProb) {
+		// In-network duplication: a second identical copy arrives right
+		// behind the first (no extra uplink charge). It is accounted as
+		// a send of its own so the sent/recv/dropped books still balance.
+		if n.collector != nil {
+			n.collector.OnSend(from, m, size)
+		}
+		n.engine.Deliver(int32(from), int32(to), start+tx+latency-now, n, m, int32(size))
+	}
 }
 
 // Deliver implements sim.Sink: the arrival half of Send, fired by the

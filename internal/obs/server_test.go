@@ -4,7 +4,9 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"runtime"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -96,6 +98,69 @@ func TestServerEndpoints(t *testing.T) {
 	if !strings.Contains(body, "/metrics") {
 		t.Fatalf("index page: %q", body)
 	}
+}
+
+// TestServerCloseDrainsGoroutines closes the observability server while
+// scrapes are in flight — including one parked inside the status callback —
+// and asserts Close returns promptly and every server goroutine drains. A
+// leaked handler goroutine here would accumulate scrape after scrape in a
+// long-running soak.
+func TestServerCloseDrainsGoroutines(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	release := make(chan struct{})
+	var once sync.Once
+	srv := New(metrics.NewRegistry(), func() Status {
+		// First scrape parks inside the node's status provider; later
+		// scrapes (and the node itself) must not be blocked by it.
+		once.Do(func() { <-release })
+		return Status{NodeID: 9}
+	})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		path := "/status"
+		if i%2 == 0 {
+			path = "/metrics"
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := client.Get("http://" + addr + path)
+			if err == nil {
+				resp.Body.Close()
+			}
+		}()
+	}
+	time.Sleep(100 * time.Millisecond)
+
+	closed := make(chan error, 1)
+	go func() { closed <- srv.Close() }()
+	select {
+	case err := <-closed:
+		if err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung behind an in-flight scrape")
+	}
+	close(release)
+	wg.Wait()
+	client.CloseIdleConnections()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline+5 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("goroutines did not drain after Close: %d now vs %d at start", runtime.NumGoroutine(), baseline)
 }
 
 func TestServerClose(t *testing.T) {

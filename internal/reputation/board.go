@@ -160,6 +160,10 @@ func (b *Board) Entry(target msg.NodeID) (Entry, bool) {
 	return Entry{}, false
 }
 
+// Len returns how many nodes the board tracks. The soak invariants bound
+// it: per-manager state must stay O(population), not grow with run length.
+func (b *Board) Len() int { return len(b.entries) }
+
 // Each calls fn for every tracked node. Iteration order is unspecified.
 func (b *Board) Each(fn func(id msg.NodeID, e Entry)) {
 	for id, e := range b.entries {

@@ -1,0 +1,139 @@
+package reputation
+
+import (
+	"math"
+	"testing"
+
+	"lifting/internal/msg"
+	"lifting/internal/rng"
+)
+
+// TestManagerHandoffRoundTripProperty is the property test behind manager
+// handoff and crash/restart re-adoption: for randomized blame histories, a
+// Snapshot/Adopt round-trip transfers the ENTIRE observable state — the
+// recipient scores the target identically at the handoff period and keeps
+// scoring it identically under any shared continuation of blames and ticks.
+// Re-Tracking an adopted target (what the harness does when a crashed node
+// rejoins) must neither reset its score clock nor double-count its blame,
+// and adopting the same entry twice is idempotent.
+func TestManagerHandoffRoundTripProperty(t *testing.T) {
+	r := rng.New(0x68616e646f66) // "handof"
+	cfg := Config{M: 4, Compensation: 0.3, Eta: -1e9, GracePeriods: 4}
+	const target = msg.NodeID(42)
+
+	for trial := 0; trial < 200; trial++ {
+		a := NewManager(1, cfg, nil, nil)
+		joinP := msg.Period(r.IntN(5))
+		a.Track(target, joinP)
+
+		// A random prefix of history on the original manager: interleaved
+		// blames and period advances.
+		p := joinP
+		for i, n := 0, r.IntN(30); i < n; i++ {
+			if r.Bernoulli(0.5) {
+				p++
+				a.Tick(p)
+			} else {
+				a.mu.Lock()
+				a.board.AddBlame(target, r.Float64()*3)
+				a.mu.Unlock()
+			}
+		}
+
+		// Handoff: B becomes responsible for target at period p.
+		e, tracked := a.Snapshot(target)
+		if !tracked {
+			t.Fatalf("trial %d: target untracked on the original manager", trial)
+		}
+		b := NewManager(2, cfg, nil, nil)
+		b.Adopt(target, e, p)
+
+		scoreA, _ := a.Score(target)
+		scoreB, ok := b.Score(target)
+		if !ok {
+			t.Fatalf("trial %d: adopted target not tracked", trial)
+		}
+		if math.Abs(scoreA-scoreB) > 1e-12 {
+			t.Fatalf("trial %d: handoff changed the score: %.12f vs %.12f", trial, scoreA, scoreB)
+		}
+
+		// Crash/restart: the target rejoins and the harness re-Tracks it on
+		// both replicas at a later period. JoinPeriod and blame must survive.
+		before, _ := b.Snapshot(target)
+		restartP := p + msg.Period(1+r.IntN(10))
+		a.Track(target, restartP)
+		b.Track(target, restartP)
+		after, _ := b.Snapshot(target)
+		if after.JoinPeriod != before.JoinPeriod {
+			t.Fatalf("trial %d: re-Track reset the score clock: JoinPeriod %d -> %d",
+				trial, before.JoinPeriod, after.JoinPeriod)
+		}
+		if after.TotalBlame != before.TotalBlame {
+			t.Fatalf("trial %d: re-Track changed accumulated blame: %v -> %v",
+				trial, before.TotalBlame, after.TotalBlame)
+		}
+
+		// Double-adopt of the same snapshot is idempotent — a repeated
+		// rebalance must not double-count anything.
+		b.Adopt(target, e, p)
+		if again, _ := b.Snapshot(target); again != before {
+			t.Fatalf("trial %d: double-adopt changed the entry: %+v -> %+v", trial, before, again)
+		}
+
+		// A shared continuation: identical blames and ticks applied to both
+		// replicas keep their scores identical — nothing about the handoff
+		// leaks into future scoring.
+		p = restartP
+		a.Tick(p)
+		b.Tick(p)
+		for i, n := 0, r.IntN(30); i < n; i++ {
+			if r.Bernoulli(0.5) {
+				p++
+				a.Tick(p)
+				b.Tick(p)
+			} else {
+				v := r.Float64() * 3
+				a.mu.Lock()
+				a.board.AddBlame(target, v)
+				a.mu.Unlock()
+				b.mu.Lock()
+				b.board.AddBlame(target, v)
+				b.mu.Unlock()
+			}
+		}
+		scoreA, _ = a.Score(target)
+		scoreB, _ = b.Score(target)
+		if math.Abs(scoreA-scoreB) > 1e-12 {
+			t.Fatalf("trial %d: replicas diverged after a shared continuation: %.12f vs %.12f",
+				trial, scoreA, scoreB)
+		}
+		// And the score clock still predates the restart on both: r grows
+		// from the ORIGINAL join, so a restarted node's history keeps
+		// amortizing instead of restarting.
+		if ea, _ := a.Snapshot(target); ea.JoinPeriod != e.JoinPeriod {
+			t.Fatalf("trial %d: original replica's JoinPeriod drifted: %d -> %d",
+				trial, e.JoinPeriod, ea.JoinPeriod)
+		}
+	}
+}
+
+// TestManagerAdoptCarriesExpulsion pins the other half of the handoff
+// contract: an expulsion verdict travels with the entry, so a rebalance
+// cannot resurrect an expelled node.
+func TestManagerAdoptCarriesExpulsion(t *testing.T) {
+	cfg := Config{M: 4, Compensation: 0.1, Eta: -1e9}
+	a := NewManager(1, cfg, nil, nil)
+	a.Track(7, 0)
+	a.mu.Lock()
+	a.board.AddBlame(7, 12)
+	a.board.MarkExpelled(7, msg.ReasonAuditEntropy)
+	a.mu.Unlock()
+
+	e, _ := a.Snapshot(7)
+	b := NewManager(2, cfg, nil, nil)
+	b.Adopt(7, e, 5)
+	got, _ := b.Snapshot(7)
+	if !got.Expelled || got.Reason != msg.ReasonAuditEntropy {
+		t.Fatalf("adopted entry lost the expulsion verdict: %+v", got)
+	}
+}

@@ -111,6 +111,13 @@ func (m *Manager) Adopt(target msg.NodeID, e Entry, p msg.Period) {
 	m.board.Adopt(target, e)
 }
 
+// TrackedCount returns how many targets this manager currently tracks.
+func (m *Manager) TrackedCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.board.Len()
+}
+
 // Drop stops tracking target (the manager is no longer responsible for it).
 func (m *Manager) Drop(target msg.NodeID) {
 	m.mu.Lock()

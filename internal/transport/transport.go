@@ -387,7 +387,10 @@ func (r *Runtime) Send(from, to msg.NodeID, m msg.Message, mode net.Mode) {
 	}
 	src := r.conditionsOf(from)
 	dst := r.conditionsOf(to)
-	drop := src.Down || dst.Down
+	// Partition state is locally applied for every known id (the soak
+	// schedule is replayed by each process), so the sender can cut
+	// cross-partition traffic before it touches the wire.
+	drop := src.Down || dst.Down || net.Partitioned(src.PartitionGroup, dst.PartitionGroup)
 	sender := r.nodes[from]
 	if sender == nil {
 		// Harness traffic from an id not hosted here: use any local socket.
@@ -405,6 +408,21 @@ func (r *Runtime) Send(from, to msg.NodeID, m msg.Message, mode net.Mode) {
 		// Connection-setup cost of the reliable transport, as modelled by
 		// the sim and live backends; each side scales its own half.
 		latency *= 3
+	}
+	copies := 1
+	if !drop && mode == net.Unreliable {
+		if r.bernoulli(src.ReorderProb) {
+			// Hold the datagram back so later sends overtake it.
+			latency += src.ReorderDelay
+		}
+		if r.bernoulli(src.DupProb) {
+			// In-network duplication: ship a second identical datagram,
+			// accounted as a send of its own so the books balance.
+			copies = 2
+			if r.collector != nil {
+				r.collector.OnSend(from, m, size)
+			}
+		}
 	}
 
 	addr, known := r.book.Lookup(to)
@@ -428,7 +446,7 @@ func (r *Runtime) Send(from, to msg.NodeID, m msg.Message, mode net.Mode) {
 		// ship as a train of fragment frames instead.
 		r.bufs.Put(bufp)
 		if errors.Is(err, msg.ErrPayloadTooLarge) {
-			r.sendFragments(sender, addr, m, size, flags, latency)
+			r.sendFragments(sender, addr, m, size, flags, latency, copies)
 			return
 		}
 		panic(fmt.Sprintf("transport: encoding %T: %v", m, err))
@@ -436,9 +454,11 @@ func (r *Runtime) Send(from, to msg.NodeID, m msg.Message, mode net.Mode) {
 	*bufp = frame
 
 	write := func() {
-		_, werr := sender.conn.WriteToUDP(frame, addr)
-		if werr != nil && r.collector != nil {
-			r.collector.OnDrop(m, size)
+		for i := 0; i < copies; i++ {
+			_, werr := sender.conn.WriteToUDP(frame, addr)
+			if werr != nil && r.collector != nil {
+				r.collector.OnDrop(m, size)
+			}
 		}
 		r.bufs.Put(bufp)
 	}
@@ -461,8 +481,9 @@ func (r *Runtime) Send(from, to msg.NodeID, m msg.Message, mode net.Mode) {
 // sendFragments ships a message too large for one datagram as a train of
 // fragment frames; the receiver's reassembler rebuilds the encoding before
 // dispatch. All fragments share the modelled latency draw — they leave one
-// socket back-to-back.
-func (r *Runtime) sendFragments(sender *nodeCtx, addr *gonet.UDPAddr, m msg.Message, size int, flags uint8, latency time.Duration) {
+// socket back-to-back. copies > 1 replays the whole train (fault-injected
+// duplication); the reassembler ignores the repeats.
+func (r *Runtime) sendFragments(sender *nodeCtx, addr *gonet.UDPAddr, m msg.Message, size int, flags uint8, latency time.Duration, copies int) {
 	body, err := msg.Encode(m)
 	if err != nil {
 		panic(fmt.Sprintf("transport: encoding %T: %v", m, err))
@@ -488,12 +509,14 @@ func (r *Runtime) sendFragments(sender *nodeCtx, addr *gonet.UDPAddr, m msg.Mess
 		frames = append(frames, f)
 	}
 	write := func() {
-		for _, f := range frames {
-			if _, werr := sender.conn.WriteToUDP(f, addr); werr != nil {
-				if r.collector != nil {
-					r.collector.OnDrop(m, size)
+		for i := 0; i < copies; i++ {
+			for _, f := range frames {
+				if _, werr := sender.conn.WriteToUDP(f, addr); werr != nil {
+					if r.collector != nil {
+						r.collector.OnDrop(m, size)
+					}
+					return
 				}
-				return
 			}
 		}
 	}
@@ -531,7 +554,10 @@ type reasmEntry struct {
 // encoding once every fragment has arrived.
 func (ra *reassembler) add(src string, payload []byte) ([]byte, bool) {
 	msgID, index, count, body, err := msg.ParseFragment(payload)
-	if err != nil {
+	if err != nil || len(body) == 0 {
+		// sendFragments never emits an empty fragment body; dropping them
+		// here keeps a hostile peer from completing a zero-byte "message"
+		// (found by FuzzReassembly).
 		return nil, false
 	}
 	key := fmt.Sprintf("%s#%d", src, msgID)
