@@ -3,11 +3,20 @@
 
 GO ?= go
 
-.PHONY: test race bench fuzz fmt vet
+.PHONY: test race bench fuzz fmt vet lint
 
 test:
 	$(GO) build ./...
 	$(GO) test -shuffle=on -timeout 600s ./...
+
+# Static gates: formatting, go vet, and the determinism-lint suite
+# (cmd/lifting-lint) that mechanically enforces the byte-identical
+# document contract — wall-clock reads, global rand, unordered map
+# iteration and float/time-typed document fields (see DESIGN.md).
+lint:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
+	$(GO) run ./cmd/lifting-lint ./...
 
 # The concurrent halves of the runtime seam under the race detector, plus
 # the reputation substrate (manager boards are hit from node goroutines
@@ -24,7 +33,7 @@ race:
 # previous PR's baseline (normalized by the calibration loop, so a slower
 # machine does not read as a regression).
 bench:
-	$(GO) run ./cmd/lifting-bench -check -baseline BENCH_PR7.json -out BENCH_PR8.json
+	$(GO) run ./cmd/lifting-bench -check -baseline BENCH_PR8.json -out BENCH_PR10.json
 
 # Extended fuzzing of the network-facing decoder (the committed seed corpus
 # replays on every plain `go test`).

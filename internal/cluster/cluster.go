@@ -752,6 +752,7 @@ func (c *Cluster) tick(p msg.Period) {
 	clients := make([]ownedClient, len(c.clients))
 	copy(clients, c.clients)
 	mgrIDs := make([]msg.NodeID, 0, len(c.Managers))
+	//lint:allow ordered-map-range collect-then-sort: ids are sorted before the period fan-out
 	for id := range c.Managers {
 		// A crashed node's manager replica is frozen, not authoritative:
 		// it must not advance its clock or issue expulsion verdicts while
@@ -946,6 +947,7 @@ func (c *Cluster) Scores() map[msg.NodeID]float64 {
 	}
 	c.mu.Lock()
 	mgrByID := make(map[msg.NodeID]*reputation.Manager, len(c.Managers))
+	//lint:allow ordered-map-range map-to-map copy; the copy is order-insensitive
 	for id, m := range c.Managers {
 		mgrByID[id] = m
 	}
@@ -1262,6 +1264,7 @@ func (c *Cluster) ChaosApplied() int {
 func (c *Cluster) MaxTrackedPerManager() int {
 	c.mu.Lock()
 	mgrs := make([]*reputation.Manager, 0, len(c.Managers))
+	//lint:allow ordered-map-range max reduction over the collected managers commutes
 	for _, m := range c.Managers {
 		mgrs = append(mgrs, m)
 	}
@@ -1321,6 +1324,7 @@ func (c *Cluster) rebalanceManagers() {
 	c.pendingRemoved = nil
 	p := c.period
 	mgrByID := make(map[msg.NodeID]*reputation.Manager, len(c.Managers))
+	//lint:allow ordered-map-range map-to-map copy; the copy is order-insensitive
 	for id, m := range c.Managers {
 		mgrByID[id] = m
 	}
@@ -1330,6 +1334,7 @@ func (c *Cluster) rebalanceManagers() {
 	} else {
 		seen := make(map[msg.NodeID]bool)
 		for _, r := range removed {
+			//lint:allow ordered-map-range collect-then-sort: targets are deduped then sorted below
 			for t := range c.mgrTargets[r] {
 				if !seen[t] {
 					seen[t] = true

@@ -298,6 +298,7 @@ func (h *NodeHost) Expelled() map[msg.NodeID]msg.BlameReason {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	out := make(map[msg.NodeID]msg.BlameReason, len(h.expelled))
+	//lint:allow ordered-map-range map-to-map copy; the copy is order-insensitive
 	for id, r := range h.expelled {
 		out[id] = r
 	}
@@ -369,6 +370,7 @@ func (h *NodeHost) ReadScores(targets []msg.NodeID) map[msg.NodeID]ScoreRead {
 	// slower means the runtime stopped scheduling our callbacks (Close
 	// dropped them), so give up rather than wait on tokens that will never
 	// come.
+	//lint:allow no-wallclock liveness deadline for the live backend's reader; sim runs resolve every read long before it fires
 	deadline := time.NewTimer(4*h.Opts.Gossip.Period + time.Second)
 	defer deadline.Stop()
 collect:
@@ -382,6 +384,7 @@ collect:
 	mu.Lock()
 	defer mu.Unlock()
 	copied := make(map[msg.NodeID]ScoreRead, len(out))
+	//lint:allow ordered-map-range map-to-map copy; the copy is order-insensitive
 	for id, r := range out {
 		copied[id] = r
 	}

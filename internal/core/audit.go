@@ -308,6 +308,7 @@ func (a *Auditor) onAuditPollResp(from msg.NodeID, resp *msg.AuditPollResp) {
 
 func (a *Auditor) conclude(target msg.NodeID, st *auditState) {
 	unconfirmed := 0
+	//lint:allow ordered-map-range commutative count; order cannot affect the total
 	for key := range st.polls {
 		if !st.confirmed[key] {
 			unconfirmed++

@@ -122,6 +122,7 @@ func (v *Verifier) OnProposePhase(p msg.Period, partners []msg.NodeID, proposed 
 	}
 	claimedPartners := v.behavior.AckPartners(partners)
 	servers := make([]msg.NodeID, 0, len(serversLastPeriod))
+	//lint:allow ordered-map-range collect-then-sort: keys are sorted before acks are sent
 	for server := range serversLastPeriod {
 		servers = append(servers, server)
 	}

@@ -76,13 +76,11 @@ type ChurnResult struct {
 	HonestMean, FreeriderMean float64
 	// AliveEnd is the population size at the end.
 	AliveEnd int
-	Elapsed  time.Duration
 }
 
 // Churn runs the churn scenario and reports whether LiFTinG's separation
 // survives a shifting membership. Cancelling ctx aborts the run mid-stream.
 func Churn(ctx context.Context, cfg ChurnConfig) (*Table, *ChurnResult, error) {
-	start := time.Now()
 	nFree := int(cfg.FreeriderPct * float64(cfg.N))
 	firstFree := msg.NodeID(cfg.N - nFree)
 	opts := cluster.Options{
@@ -157,6 +155,7 @@ func Churn(ctx context.Context, cfg ChurnConfig) (*Table, *ChurnResult, error) {
 	// Accumulate in sorted id order: the Moments mean is a float fold, so
 	// map-order iteration would break bit-reproducibility.
 	arrivals := make([]msg.NodeID, 0, len(joinAt))
+	//lint:allow ordered-map-range collect-then-sort: ids are sorted before the float fold below
 	for id := range joinAt {
 		arrivals = append(arrivals, id)
 	}
@@ -199,7 +198,6 @@ func Churn(ctx context.Context, cfg ChurnConfig) (*Table, *ChurnResult, error) {
 	if nr > 0 {
 		res.FreeriderMean /= float64(nr)
 	}
-	res.Elapsed = time.Since(start)
 
 	t := &Table{
 		Title:   "Churn — joins/leaves mid-stream with manager handoff (backend " + cfg.Backend.String() + ")",

@@ -278,11 +278,12 @@ type MatrixRow struct {
 	// zero here fails the row regardless of its oracle.
 	GoodputBytes uint64
 	// StreamLag and StreamJitter are the mean chunk lag and inter-arrival
-	// jitter, averaged over reps.
+	// jitter, averaged over reps. Both are sim-time quantities derived from
+	// the collector's integer nanosecond counters, not wall-clock readings.
+	//lint:allow no-time-in-results sim-time means derived from integer ns counters; byte-stable for a fixed seed
 	StreamLag, StreamJitter time.Duration
 	// Failures lists violated oracle bounds (empty = pass).
 	Failures []string
-	Elapsed  time.Duration
 }
 
 // Verdict renders the row's oracle outcome.
@@ -514,6 +515,7 @@ func (sh shape) runRep(ctx context.Context, backend runtime.Kind, seed uint64, c
 	out.jitterMeanNs = c.Collector.StreamJitterMeanNs()
 	scores := c.Scores()
 	ids := make([]msg.NodeID, 0, len(scores))
+	//lint:allow ordered-map-range collect-then-sort: ids are sorted before classification
 	for id := range scores {
 		ids = append(ids, id)
 	}
@@ -648,7 +650,6 @@ func Matrix(ctx context.Context, cfg MatrixConfig) (*Table, *MatrixResult, error
 
 		ran := false
 		for _, backend := range backends {
-			start := time.Now()
 			n := reps
 			if backend != runtime.KindSim {
 				n = 1 // wall-clock backends stream in real time
@@ -708,7 +709,6 @@ func Matrix(ctx context.Context, cfg MatrixConfig) (*Table, *MatrixResult, error
 			if row.GoodputBytes == 0 {
 				row.Failures = append(row.Failures, "no goodput")
 			}
-			row.Elapsed = time.Since(start)
 			res.Rows = append(res.Rows, row)
 			if len(row.Failures) > 0 {
 				res.Failed = true

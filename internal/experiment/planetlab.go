@@ -131,6 +131,9 @@ func (p PlanetLabConfig) freerider(id msg.NodeID) bool {
 
 // Fig14Snapshot is one CDF snapshot of Figure 14.
 type Fig14Snapshot struct {
+	// At is the snapshot's offset on the run's virtual clock — one of the
+	// configured sample points, not a wall-clock reading.
+	//lint:allow no-time-in-results configured sim-time sample point; not a measured time
 	At        time.Duration
 	Honest    []float64
 	Freerider []float64
@@ -248,8 +251,11 @@ const (
 // Fig1Result carries one health curve.
 type Fig1Result struct {
 	Scenario Fig1Scenario
-	Lags     []time.Duration
-	Health   []float64
+	// Lags is the configured x-axis grid of stream lags the health curve is
+	// evaluated at — inputs, not measurements.
+	//lint:allow no-time-in-results configured sim-time lag grid; not a measured time
+	Lags   []time.Duration
+	Health []float64
 }
 
 // Fig1 reproduces Figure 1: the fraction of nodes viewing a clear stream as

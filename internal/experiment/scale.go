@@ -82,7 +82,9 @@ type ScaleRun struct {
 	N, Freeriders      int
 	FreeridersExpelled int
 	HonestExpelled     int
-	// DetectionMean is the mean expulsion time of the detected freeriders.
+	// DetectionMean is the mean expulsion time of the detected freeriders,
+	// on the engine's virtual clock — a seed-determined quantity.
+	//lint:allow no-time-in-results sim-time mean on the engine clock; byte-stable for a fixed seed
 	DetectionMean time.Duration
 	// Events is the number of discrete events the engine executed.
 	Events uint64
@@ -100,7 +102,10 @@ type ScaleRun struct {
 	// chunk lag and the mean inter-arrival deviation from the chunk interval,
 	// in integer nanoseconds so the run stays a comparable struct.
 	StreamLagMeanNs, StreamJitterMeanNs uint64
-	// Elapsed is the wall-clock cost of the run.
+	// Elapsed is the wall-clock cost of the run, for the bench harness. It
+	// never reaches tables or the JSON document; document-building callers
+	// must keep it out (see Scale's table construction).
+	//lint:allow no-time-in-results bench-only wall-clock cost; excluded from tables and the JSON document
 	Elapsed time.Duration
 }
 
@@ -213,6 +218,7 @@ func (cfg ScaleConfig) scaleOptions(n int) cluster.Options {
 // Alongside the outcome it returns the run's periodic metrics snapshots,
 // sampled on period boundaries (sim time), every snapshotEvery periods.
 func (cfg ScaleConfig) scaleRun(ctx context.Context, n int, compensation, eta float64) (ScaleRun, []metrics.Snapshot, error) {
+	//lint:allow no-wallclock bench-only wall-clock cost kept out of the document
 	start := time.Now()
 	opts := cfg.scaleOptions(n)
 	opts.Rep.Compensation = compensation
@@ -233,6 +239,7 @@ func (cfg ScaleConfig) scaleRun(ctx context.Context, n int, compensation, eta fl
 	}
 	c.Close()
 
+	//lint:allow no-wallclock bench-only wall-clock cost kept out of the document
 	run := ScaleRun{N: n, Freeriders: len(c.Freeriders), Elapsed: time.Since(start)}
 	if c.Engine != nil {
 		run.Events = c.Engine.Events()
@@ -248,6 +255,7 @@ func (cfg ScaleConfig) scaleRun(ctx context.Context, n int, compensation, eta fl
 	run.StreamLagMeanNs = c.Collector.StreamLagMeanNs()
 	run.StreamJitterMeanNs = c.Collector.StreamJitterMeanNs()
 	var latency time.Duration
+	//lint:allow ordered-map-range commutative integer sums and counts; order cannot affect the totals
 	for id, at := range c.Expelled {
 		if c.Freeriders[id] {
 			run.FreeridersExpelled++

@@ -2,7 +2,6 @@ package experiment
 
 import (
 	"context"
-	"time"
 
 	"lifting/internal/analysis"
 	"lifting/internal/rng"
@@ -54,7 +53,6 @@ type ScoreResult struct {
 	Detection float64
 	// FalsePositives is β: the fraction of honest nodes below η.
 	FalsePositives float64
-	Elapsed        time.Duration
 }
 
 // RunScores samples the normalized score of every node under the
@@ -63,7 +61,6 @@ type ScoreResult struct {
 // aggregation is serial in node order, so the result does not depend on the
 // worker count. Cancelling ctx aborts between per-node trials.
 func RunScores(ctx context.Context, cfg ScoreConfig) (*ScoreResult, error) {
-	start := time.Now()
 	comp := cfg.Params.WrongfulBlame()
 	if cfg.NoCompensation {
 		comp = 0
@@ -108,7 +105,6 @@ func RunScores(ctx context.Context, cfg ScoreConfig) (*ScoreResult, error) {
 	}
 	res.Honest = stats.NewECDF(honest)
 	res.Freerider = stats.NewECDF(riders)
-	res.Elapsed = time.Since(start)
 	return res, nil
 }
 

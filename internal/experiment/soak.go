@@ -208,8 +208,6 @@ type SoakResult struct {
 	// Snapshots are the periodic metrics snapshots (every snapshotEvery
 	// periods) — the JSON document's metrics_snapshots section.
 	Snapshots []metrics.Snapshot
-	// Elapsed is the wall-clock cost (kept out of tables and JSON).
-	Elapsed time.Duration
 }
 
 // HonestClean reports whether no live honest node was expelled.
@@ -433,7 +431,6 @@ func (k *soakChecker) recovery(plan *chaos.Plan, period time.Duration, recoveryP
 // generated fault plan, with the standing invariants checked at every score
 // period. Cancelling ctx aborts the run.
 func Soak(ctx context.Context, cfg SoakConfig) (*Table, *SoakResult, error) {
-	start := time.Now()
 	nFree := int(cfg.FreeriderPct * float64(cfg.N))
 	firstFree := msg.NodeID(cfg.N - nFree)
 	behavior := cfg.attackBehavior(firstFree)
@@ -547,8 +544,8 @@ func Soak(ctx context.Context, cfg SoakConfig) (*Table, *SoakResult, error) {
 		Compensation:      cal.Compensation,
 		Eta:               eta,
 		Snapshots:         chk.snaps,
-		Elapsed:           time.Since(start),
 	}
+	//lint:allow ordered-map-range commutative counts partitioned per id; order cannot affect the totals
 	for id := range c.Expelled {
 		switch {
 		case c.Freeriders[id]:

@@ -496,6 +496,7 @@ func (n *Node) onServe(from msg.NodeID, m *msg.Serve) {
 // deterministic iteration.
 func sortedNodeKeys(m map[msg.NodeID][]msg.ChunkID) []msg.NodeID {
 	keys := make([]msg.NodeID, 0, len(m))
+	//lint:allow ordered-map-range collect-then-sort: this helper exists to produce the sorted order
 	for k := range m {
 		keys = append(keys, k)
 	}

@@ -80,6 +80,7 @@ func (l *Log) prune() {
 	if len(l.periods) <= l.retention {
 		return
 	}
+	//lint:allow ordered-map-range pruning deletes a key-determined subset; survivors are identical in any visit order
 	for p := range l.periods {
 		if l.newest >= msg.Period(l.retention) && p <= l.newest-msg.Period(l.retention) {
 			delete(l.periods, p)
@@ -153,6 +154,7 @@ func (l *Log) HasRecentProposalFrom(sender msg.NodeID, chunks []msg.ChunkID) boo
 		return true
 	}
 	got := make(map[msg.ChunkID]bool)
+	//lint:allow ordered-map-range builds a set; membership is order-insensitive
 	for _, pl := range l.periods {
 		for _, c := range pl.proposalsReceived[sender] {
 			got[c] = true
@@ -170,6 +172,7 @@ func (l *Log) HasRecentProposalFrom(sender msg.NodeID, chunks []msg.ChunkID) boo
 // during periods (since, newest].
 func (l *Log) FanoutMultiset(since msg.Period) *stats.Multiset[msg.NodeID] {
 	ms := stats.NewMultiset[msg.NodeID]()
+	//lint:allow ordered-map-range multiset adds commute and Entropy folds over sorted counts
 	for p, pl := range l.periods {
 		if p <= since {
 			continue
@@ -185,6 +188,7 @@ func (l *Log) FanoutMultiset(since msg.Period) *stats.Multiset[msg.NodeID] {
 // fanin during periods (since, newest].
 func (l *Log) FaninMultiset(since msg.Period) *stats.Multiset[msg.NodeID] {
 	ms := stats.NewMultiset[msg.NodeID]()
+	//lint:allow ordered-map-range multiset adds commute and Entropy folds over sorted counts
 	for p, pl := range l.periods {
 		if p <= since {
 			continue
@@ -214,6 +218,7 @@ func (l *Log) Proposals(since msg.Period) []msg.ProposalRecord {
 // diverge.
 func (l *Log) periodsAfter(since msg.Period) []msg.Period {
 	out := make([]msg.Period, 0, len(l.periods))
+	//lint:allow ordered-map-range collect-then-sort: keys are sorted before use
 	for p := range l.periods {
 		if p > since {
 			out = append(out, p)
@@ -239,6 +244,7 @@ func (l *Log) Serves(since msg.Period) []msg.ServeRecord {
 // proposals in the local history").
 func (l *Log) ProposalPeriods(since msg.Period) int {
 	n := 0
+	//lint:allow ordered-map-range commutative count; order cannot affect the total
 	for p, pl := range l.periods {
 		if p <= since {
 			continue
@@ -251,14 +257,14 @@ func (l *Log) ProposalPeriods(since msg.Period) int {
 }
 
 // AskersFor returns the multiset of nodes that asked the owner to confirm
-// proposals of suspect during periods (since, newest].
+// proposals of suspect during periods (since, newest]. Askers are returned
+// in ascending period order (arrival order within a period): the slice feeds
+// the fanin entropy evidence and a snapshot accessor must not leak map
+// iteration order into anything downstream.
 func (l *Log) AskersFor(suspect msg.NodeID, since msg.Period) []msg.NodeID {
 	var out []msg.NodeID
-	for p, pl := range l.periods {
-		if p <= since {
-			continue
-		}
-		out = append(out, pl.confirmAskers[suspect]...)
+	for _, p := range l.periodsAfter(since) {
+		out = append(out, l.periods[p].confirmAskers[suspect]...)
 	}
 	return out
 }

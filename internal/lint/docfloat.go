@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+)
+
+// NoFloatInDocument forbids float-typed fields on any type marshalled into
+// the experiments document, and float formatting inside those types'
+// methods.
+//
+// Floating-point accumulation is order-sensitive: fan the same reduction
+// across workers or shards in a different order and the low bits move, and
+// with them the formatted JSON. PR 6 and PR 7 chose integer parts-per-million
+// and integer nanoseconds for every derived ratio in the snapshot path for
+// exactly this reason. This rule pins that choice: a new float field on a
+// document type is a build error, not a review comment. Deliberate floats —
+// echoed input parameters, serially-reduced headline metrics — carry an
+// annotation explaining why their value cannot depend on execution order.
+type NoFloatInDocument struct {
+	// Roots are the document root types; the rule covers every struct
+	// reachable from them through marshalled fields.
+	Roots []TypeRef
+}
+
+func (NoFloatInDocument) Name() string { return "no-float-in-document" }
+func (NoFloatInDocument) Doc() string {
+	return "forbid float fields and float formatting on types marshalled into the experiments document; integer ppm/ns only"
+}
+
+// floatVerb matches a fmt formatting verb that renders a float.
+var floatVerb = regexp.MustCompile(`%[#+\- 0-9.*]*[eEfgG]`)
+
+// fmtFormatArg maps fmt's formatting functions to the index of their format
+// string argument.
+var fmtFormatArg = map[string]int{
+	"Sprintf": 0, "Printf": 0, "Errorf": 0,
+	"Fprintf": 1, "Appendf": 1,
+}
+
+func (a NoFloatInDocument) RunModule(pass *Pass) {
+	isFloat := func(t types.Type) bool {
+		u := types.Unalias(t).Underlying()
+		if b, ok := u.(*types.Basic); ok {
+			switch b.Kind() {
+			case types.Float32, types.Float64, types.Complex64, types.Complex128:
+				return true
+			}
+		}
+		return false
+	}
+	closure := walkDocument(pass, a.Roots, func(owner *types.Named, field *types.Var, tag string) {
+		if typeHas(field.Type(), isFloat) {
+			pass.Report(field.Pos(), "float-typed field %s.%s reaches the experiments document; floats are order-sensitive under parallel reduction — store integer ppm/ns, or annotate why this value cannot depend on execution order",
+				owner.Obj().Name(), field.Name())
+		}
+	})
+
+	// Float formatting inside methods of document types: a String or render
+	// method that prints %f smuggles float sensitivity into the document's
+	// string cells even when every field is integral.
+	for _, pkg := range pass.Module {
+		if pkg.Info == nil {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Recv == nil || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				recv := fn.Type().(*types.Signature).Recv()
+				if recv == nil {
+					continue
+				}
+				rt := types.Unalias(recv.Type())
+				if p, ok := rt.(*types.Pointer); ok {
+					rt = types.Unalias(p.Elem())
+				}
+				named, ok := rt.(*types.Named)
+				if !ok || !closure[named.Obj()] {
+					continue
+				}
+				a.checkMethodBody(pass, pkg, named, fd)
+			}
+		}
+	}
+}
+
+// checkMethodBody flags float-formatting calls inside one document-type
+// method: fmt verbs %e/%f/%g with a constant format string, and
+// strconv.FormatFloat/AppendFloat.
+func (a NoFloatInDocument) checkMethodBody(pass *Pass, pkg *Package, recv *types.Named, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		switch fn.Pkg().Path() {
+		case "fmt":
+			argIdx, ok := fmtFormatArg[fn.Name()]
+			if !ok || len(call.Args) <= argIdx {
+				return true
+			}
+			tv, ok := pkg.Info.Types[call.Args[argIdx]]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				return true
+			}
+			if floatVerb.MatchString(constant.StringVal(tv.Value)) {
+				pass.Report(call.Pos(), "float formatting in method %s.%s of a document type; format integers (ppm/ns) instead",
+					recv.Obj().Name(), fd.Name.Name)
+			}
+		case "strconv":
+			if fn.Name() == "FormatFloat" || fn.Name() == "AppendFloat" {
+				pass.Report(call.Pos(), "strconv.%s in method %s.%s of a document type; format integers (ppm/ns) instead",
+					fn.Name(), recv.Obj().Name(), fd.Name.Name)
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,29 @@
+package lint_test
+
+import (
+	"testing"
+
+	"lifting/internal/lint"
+)
+
+// TestHistoricalPR4SnapshotShape verifies the suite catches the bug class
+// PR 4 fixed by hand: a history snapshot accessor iterating its period map
+// in hash order, which made seeded runs consume randomness in wandering
+// order and diverge.
+func TestHistoricalPR4SnapshotShape(t *testing.T) {
+	checkFixture(t, "historical/pr4snapshot", []lint.Analyzer{
+		lint.OrderedMapRange{Packages: lint.PackageSet{"fixture/historical/..."}},
+	})
+}
+
+// TestHistoricalPR5WallclockShape verifies the suite catches the bug class
+// PR 5 fixed by hand: wall-clock timings measured into result structs and
+// leaked into tables and JSON, so identical seeded runs emitted different
+// bytes. Both halves of the shape are caught — the field by
+// no-time-in-results, the measurement by no-wallclock.
+func TestHistoricalPR5WallclockShape(t *testing.T) {
+	checkFixture(t, "historical/pr5wallclock", []lint.Analyzer{
+		lint.NoWallclock{Packages: lint.PackageSet{"fixture/historical/..."}},
+		lint.NoTimeInResults{Packages: lint.PackageSet{"fixture/historical/..."}},
+	})
+}

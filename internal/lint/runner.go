@@ -1,0 +1,53 @@
+package lint
+
+// ModuleAnalyzer is implemented by analyzers that reason across package
+// boundaries (the document-closure rules: a root type in one package can
+// reach fields declared in another). RunModule is invoked exactly once, with
+// a pass whose Pkg is nil and whose Module holds every loaded package.
+type ModuleAnalyzer interface {
+	Analyzer
+	RunModule(pass *Pass)
+}
+
+// Run executes the analyzers over the module and returns the surviving
+// findings, sorted: raw findings minus //lint:allow-suppressed ones, plus
+// hygiene findings about the suppressions themselves. An empty result is a
+// clean tree.
+func Run(m *Module, analyzers []Analyzer) []Diagnostic {
+	ix := &allowIndex{}
+	known := map[string]bool{"lint-allow": true}
+	for _, a := range analyzers {
+		known[a.Name()] = true
+	}
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			ix.scanAllows(m.Fset, f)
+		}
+		for _, f := range pkg.TestFiles {
+			ix.scanAllows(m.Fset, f)
+		}
+	}
+
+	var raw []Diagnostic
+	collect := func(d Diagnostic) { raw = append(raw, d) }
+	for _, a := range analyzers {
+		switch a := a.(type) {
+		case ModuleAnalyzer:
+			a.RunModule(&Pass{Fset: m.Fset, Module: m.Pkgs, rule: a.Name(), collect: collect})
+		case PackageAnalyzer:
+			for _, pkg := range m.Pkgs {
+				a.Run(&Pass{Fset: m.Fset, Pkg: pkg, Module: m.Pkgs, rule: a.Name(), collect: collect})
+			}
+		}
+	}
+
+	var out []Diagnostic
+	for _, d := range raw {
+		if !ix.suppressed(d.Pos, d.Rule) {
+			out = append(out, d)
+		}
+	}
+	out = append(out, ix.hygiene(known)...)
+	sortDiagnostics(out)
+	return out
+}

@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// allowDirective is one parsed //lint:allow comment.
+type allowDirective struct {
+	pos    token.Position // position of the comment itself
+	rule   string
+	reason string
+	used   bool
+}
+
+// allowIndex maps (filename, line) to the directives written there. A
+// directive suppresses matching findings on its own line (trailing comment)
+// and on the line directly below it (a comment line above the flagged code,
+// typically the last line of a doc comment).
+type allowIndex struct {
+	byLine map[string]map[int][]*allowDirective
+	// malformed collects //lint:allow comments missing a rule or a reason;
+	// the runner reports them as findings of the built-in lint-allow rule.
+	malformed []Diagnostic
+}
+
+const allowPrefix = "//lint:allow"
+
+// scanAllows extracts every //lint:allow directive from the file's comments.
+func (ix *allowIndex) scanAllows(fset *token.FileSet, f *ast.File) {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, allowPrefix)
+			if !ok || (text != "" && text[0] != ' ' && text[0] != '\t') {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			fields := strings.Fields(text)
+			if len(fields) < 2 {
+				ix.malformed = append(ix.malformed, Diagnostic{
+					Pos:     pos,
+					Rule:    "lint-allow",
+					Message: "malformed suppression: want //lint:allow <rule> <reason>",
+				})
+				continue
+			}
+			d := &allowDirective{pos: pos, rule: fields[0], reason: strings.Join(fields[1:], " ")}
+			if ix.byLine == nil {
+				ix.byLine = make(map[string]map[int][]*allowDirective)
+			}
+			lines := ix.byLine[pos.Filename]
+			if lines == nil {
+				lines = make(map[int][]*allowDirective)
+				ix.byLine[pos.Filename] = lines
+			}
+			lines[pos.Line] = append(lines[pos.Line], d)
+		}
+	}
+}
+
+// suppressed reports whether a finding at pos for rule is covered by a
+// directive, marking the directive used.
+func (ix *allowIndex) suppressed(pos token.Position, rule string) bool {
+	lines := ix.byLine[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, d := range lines[line] {
+			if d.rule == rule {
+				d.used = true
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// hygiene returns findings about the directives themselves: unknown rule
+// names (typos would otherwise silently suppress nothing) and unused
+// directives (stale suppressions outlive the code they excused).
+func (ix *allowIndex) hygiene(known map[string]bool) []Diagnostic {
+	var ds []Diagnostic
+	ds = append(ds, ix.malformed...)
+	for _, lines := range ix.byLine {
+		for _, dirs := range lines {
+			for _, d := range dirs {
+				switch {
+				case !known[d.rule]:
+					ds = append(ds, Diagnostic{
+						Pos:     d.pos,
+						Rule:    "lint-allow",
+						Message: "suppression names unknown rule " + d.rule,
+					})
+				case !d.used:
+					ds = append(ds, Diagnostic{
+						Pos:     d.pos,
+						Rule:    "lint-allow",
+						Message: "unused suppression for " + d.rule + ": nothing on this or the next line triggers it",
+					})
+				}
+			}
+		}
+	}
+	return ds
+}

@@ -1,0 +1,62 @@
+// Package docfloat is a golden fixture for the no-float-in-document rule:
+// a miniature experiments document whose closure carries deliberate and
+// accidental floats.
+package docfloat
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Document is the root the rule walks from.
+type Document struct {
+	Schema  string    `json:"schema"`
+	Results []*Result `json:"results"`
+}
+
+// Result mixes legal integer fields with float hazards.
+type Result struct {
+	Name        string             `json:"name"`
+	OverheadPpm uint64             `json:"overhead_ppm"`
+	Score       float64            `json:"score"`   // want "no-float-in-document: float-typed field Result.Score reaches the experiments document"
+	Ratios      []float32          `json:"ratios"`  // want "no-float-in-document: float-typed field Result.Ratios"
+	ByNode      map[string]float64 `json:"by_node"` // want "no-float-in-document: float-typed field Result.ByNode"
+	// Scratch is excluded from marshalling, so it never reaches the
+	// document and the rule leaves it alone.
+	Scratch float64 `json:"-"`
+	// hidden is unexported: encoding/json ignores it.
+	hidden float64
+	Sub    Nested `json:"sub"`
+	//lint:allow no-float-in-document echoed input parameter, copied not computed; cannot depend on execution order
+	Delta float64 `json:"delta"`
+}
+
+// Nested is reached through Result.Sub.
+type Nested struct {
+	Mean float64 `json:"mean"` // want "no-float-in-document: float-typed field Nested.Mean"
+	Ns   uint64  `json:"ns"`
+}
+
+// Orphan is not reachable from Document: its floats are fine.
+type Orphan struct {
+	X float64
+}
+
+// String formats integers only — legal.
+func (r *Result) String() string {
+	return fmt.Sprintf("%s: %d ppm", r.Name, r.OverheadPpm)
+}
+
+// Render smuggles float formatting into a document type's output.
+func (r *Result) Render() string {
+	s := fmt.Sprintf("score=%.3f", r.Score)          // want "no-float-in-document: float formatting in method Result.Render"
+	s += strconv.FormatFloat(r.Scratch, 'g', -1, 64) // want "no-float-in-document: strconv.FormatFloat in method Result.Render"
+	return s
+}
+
+// Describe is a method on the unreachable type — not checked.
+func (o Orphan) Describe() string {
+	return fmt.Sprintf("%f", o.X)
+}
+
+var _ = Orphan{}

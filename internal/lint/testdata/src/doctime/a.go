@@ -1,0 +1,39 @@
+// Package doctime is a golden fixture for the no-time-in-results rule.
+package doctime
+
+import "time"
+
+// Document is the closure root.
+type Document struct {
+	Schema  string    `json:"schema"`
+	Payload []Payload `json:"payload"`
+}
+
+// Payload is document-reachable; its name matches no result suffix, so
+// every finding below comes from the closure walk alone.
+type Payload struct {
+	Periods uint64          `json:"periods"`
+	Started time.Time       `json:"started"`  // want "no-time-in-results: wall-clock-typed field Payload.Started"
+	Took    time.Duration   `json:"took_ns"`  // want "no-time-in-results: wall-clock-typed field Payload.Took"
+	PerNode []time.Duration `json:"per_node"` // want "no-time-in-results: wall-clock-typed field Payload.PerNode"
+	// Scratch is excluded from marshalling and Payload is not
+	// result-shaped, so the closure skip applies.
+	Scratch time.Duration `json:"-"`
+	//lint:allow no-time-in-results configured sim-time offset echoed back; an input, not a measurement
+	Offset time.Duration `json:"offset_ns"`
+}
+
+// SweepRun is unreferenced by the document, but its name is result-shaped:
+// the pattern scan checks every field, marshalled or not.
+type SweepRun struct {
+	N       int
+	Elapsed time.Duration // want "no-time-in-results: wall-clock-typed field SweepRun.Elapsed"
+}
+
+// helper is neither reachable nor result-shaped.
+type helper struct {
+	deadline time.Time
+}
+
+var _ = SweepRun{}
+var _ = helper{}

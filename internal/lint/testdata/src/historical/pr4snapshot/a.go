@@ -1,0 +1,28 @@
+// Package pr4snapshot reproduces the PR 4 bug shape: history.Log snapshot
+// accessors iterated their period map in hash order. Forgery rewrites and
+// audit-poll sampling consumed randomness in whatever order the map served,
+// and seeded runs diverged until the accessors were rewritten to return
+// records in sorted period order. The ordered-map-range rule catches the
+// original shape mechanically.
+package pr4snapshot
+
+// Record is one remembered proposal.
+type Record struct {
+	Period  uint64
+	Targets []uint32
+}
+
+// Log mimics the pre-fix history.Log: per-period records in a map.
+type Log struct {
+	proposals map[uint64]Record
+}
+
+// Proposals is the buggy snapshot accessor: the returned slice order
+// followed map hash order, run to run.
+func (l *Log) Proposals() []Record {
+	out := make([]Record, 0, len(l.proposals))
+	for _, r := range l.proposals { // want "ordered-map-range: range over map\\[uint64\\]Record iterates in nondeterministic order"
+		out = append(out, r)
+	}
+	return out
+}

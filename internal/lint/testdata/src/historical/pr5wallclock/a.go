@@ -1,0 +1,24 @@
+// Package pr5wallclock reproduces the PR 5 bug shape: experiment runners
+// measured wall-clock elapsed time into their result structs, and the
+// timings leaked into rendered tables and the JSON document — so two
+// identical seeded runs emitted different bytes. The no-time-in-results
+// rule flags the field; the no-wallclock rule flags the measurement.
+package pr5wallclock
+
+import "time"
+
+// ChurnResult mimics the pre-redesign result struct: a measured wall-clock
+// duration sitting next to the deterministic outcome fields.
+type ChurnResult struct {
+	Joined   int           `json:"joined"`
+	Expelled int           `json:"expelled"`
+	Elapsed  time.Duration `json:"elapsed"` // want "no-time-in-results: wall-clock-typed field ChurnResult.Elapsed"
+}
+
+// Run mimics the pre-redesign runner: it times itself on the host clock.
+func Run() ChurnResult {
+	start := time.Now() // want "no-wallclock: time.Now reads the wall clock"
+	res := ChurnResult{Joined: 10, Expelled: 3}
+	res.Elapsed = time.Since(start) // want "no-wallclock: time.Since reads the wall clock"
+	return res
+}

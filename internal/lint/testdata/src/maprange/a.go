@@ -1,0 +1,63 @@
+// Package maprange is a golden fixture for the ordered-map-range rule.
+package maprange
+
+import "sort"
+
+type counts map[string]int
+
+// Bad: direct iteration of map storage.
+func bad(m map[string]int, c counts) []string {
+	var out []string
+	for k := range m { // want "ordered-map-range: range over map\\[string\\]int iterates in nondeterministic order"
+		out = append(out, k)
+	}
+	for k, v := range c { // want "ordered-map-range: range over counts"
+		_ = k
+		_ = v
+	}
+	for k := range mkMap() { // want "ordered-map-range: range over map\\[int\\]bool"
+		_ = k
+	}
+	return out
+}
+
+func mkMap() map[int]bool { return nil }
+
+// Good: the sorted-keys idiom ranges over a slice, never the map.
+func good(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	//lint:allow ordered-map-range key collection order does not escape: the slice is sorted below
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]string, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, k+"!")
+	}
+	return out
+}
+
+// Slices and channels never trigger the rule.
+func notMaps(s []int, ch chan int) int {
+	total := 0
+	for _, v := range s {
+		total += v
+	}
+	for v := range ch {
+		total += v
+	}
+	for i := range 3 {
+		total += i
+	}
+	return total
+}
+
+// Suppressed: a commutative reduction annotated order-insensitive.
+func suppressed(m map[string]int) int {
+	total := 0
+	for _, v := range m { //lint:allow ordered-map-range integer sum commutes; order cannot reach any output
+		total += v
+	}
+	return total
+}

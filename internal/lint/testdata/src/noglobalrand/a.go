@@ -1,0 +1,38 @@
+// Package noglobalrand is a golden fixture for the no-global-rand rule.
+package noglobalrand
+
+import (
+	"math/rand"
+	mrand "math/rand/v2"
+)
+
+// Bad: package-level functions draw from the process-global source.
+func bad() {
+	_ = rand.Intn(10)                  // want "no-global-rand: rand.Intn draws from the process-global"
+	_ = rand.Float64()                 // want "no-global-rand: rand.Float64"
+	rand.Shuffle(3, func(i, j int) {}) // want "no-global-rand: rand.Shuffle"
+	_ = mrand.IntN(10)                 // want "no-global-rand: mrand.IntN"
+	_ = mrand.N(uint8(4))              // want "no-global-rand: mrand.N"
+}
+
+// Good: locally constructed generators and type references.
+func good() float64 {
+	var r *rand.Rand = rand.New(rand.NewSource(1))
+	r2 := mrand.New(mrand.NewPCG(1, 2))
+	var src rand.Source = rand.NewSource(7)
+	_ = src
+	return r.Float64() + r2.Float64()
+}
+
+// Shadowed: a local identifier named like the import is not the package.
+type fakeRand struct{ Intn func(int) int }
+
+func shadowed(rand fakeRand) int {
+	return rand.Intn(3)
+}
+
+// Suppressed: the allow covers a deliberate global draw.
+func suppressed() int {
+	//lint:allow no-global-rand fixture exercises the suppression path
+	return mrand.IntN(2)
+}

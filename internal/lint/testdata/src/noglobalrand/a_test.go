@@ -1,0 +1,10 @@
+// Test files are parsed without type information; the rule still applies —
+// a global draw in a test makes its failure seeds unreproducible.
+package noglobalrand
+
+import "math/rand"
+
+func helperForTests() int {
+	_ = rand.New(rand.NewSource(1)) // constructors stay legal
+	return rand.Int()               // want "no-global-rand: rand.Int draws from the process-global"
+}

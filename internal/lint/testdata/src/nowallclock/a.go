@@ -1,0 +1,33 @@
+// Package nowallclock is a golden fixture for the no-wallclock rule.
+package nowallclock
+
+import "time"
+
+// Bad: direct wall-clock reads in a deterministic package.
+func bad() time.Duration {
+	start := time.Now()             // want "no-wallclock: time.Now reads the wall clock"
+	_ = time.Until(start)           // want "no-wallclock: time.Until"
+	t := time.NewTimer(time.Second) // want "no-wallclock: time.NewTimer"
+	defer t.Stop()
+	time.Sleep(time.Millisecond) // want "no-wallclock: time.Sleep"
+	return time.Since(start)     // want "no-wallclock: time.Since reads the wall clock"
+}
+
+// Good: pure time constructors and conversions are deterministic.
+func good() time.Duration {
+	d, _ := time.ParseDuration("3s")
+	at := time.Date(2010, time.November, 29, 0, 0, 0, 0, time.UTC)
+	_ = at
+	return d + 2*time.Second
+}
+
+// Suppressed: an allow on the line above covers the read.
+func suppressed() time.Time {
+	//lint:allow no-wallclock fixture exercises the suppression path
+	return time.Now()
+}
+
+// SuppressedTrailing: an allow on the same line covers the read.
+func suppressedTrailing() time.Time {
+	return time.Now() //lint:allow no-wallclock trailing-comment form
+}

@@ -1,0 +1,12 @@
+// Package allowlisted is the allowlist half of the no-wallclock fixture:
+// the same reads count as findings only when the package is on the
+// deterministic list. It carries no want comments — the test asserts the
+// finding count under both configurations.
+package allowlisted
+
+import "time"
+
+// Uptime reads the wall clock twice; legal in an allowlisted package.
+func Uptime(start time.Time) (time.Time, time.Duration) {
+	return time.Now(), time.Since(start)
+}

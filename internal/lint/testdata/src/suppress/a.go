@@ -1,0 +1,31 @@
+// Package suppress is a golden fixture for the //lint:allow hygiene rules:
+// the directives themselves are linted. Expectations that target a
+// directive's own line use block-comment form so they stay out of the
+// directive's reason text.
+package suppress
+
+import "time"
+
+// used: a well-formed directive that suppresses a real finding.
+func used() time.Time {
+	//lint:allow no-wallclock fixture needs a suppressed read
+	return time.Now()
+}
+
+// stale: nothing on this or the next line triggers no-wallclock.
+func stale() int {
+	/* want "lint-allow: unused suppression for no-wallclock" */ //lint:allow no-wallclock nothing here reads the clock
+	return 42
+}
+
+// typo: the rule name does not exist.
+func typo() time.Time {
+	/* want "lint-allow: suppression names unknown rule no-wall-clock" */ //lint:allow no-wall-clock misspelled rule names must not silently suppress
+	return time.Now()                                                     // want "no-wallclock: time.Now reads the wall clock"
+}
+
+// reasonless: an allow without a reason is malformed.
+func reasonless() time.Time {
+	/* want "lint-allow: malformed suppression" */ //lint:allow no-wallclock
+	return time.Now()                              // want "no-wallclock: time.Now reads the wall clock"
+}

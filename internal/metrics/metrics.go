@@ -402,6 +402,7 @@ func (c *Collector) BlamesIssued() map[string]uint64 {
 	c.blameMu.Lock()
 	defer c.blameMu.Unlock()
 	out := make(map[string]uint64, len(c.blamesIssued))
+	//lint:allow ordered-map-range map-to-map copy; the copy is order-insensitive
 	for reason, ctr := range c.blamesIssued {
 		out[reason] = ctr.Load()
 	}
@@ -544,6 +545,7 @@ func (c *Collector) SnapshotAt(period uint64) Snapshot {
 		s.OverheadPpm = s.VerificationBytes * 1_000_000 / s.ProtocolBytes
 	}
 	c.blameMu.Lock()
+	//lint:allow ordered-map-range collect-then-sort: the slice is sorted by reason below
 	for reason, ctr := range c.blamesIssued {
 		if v := ctr.Load(); v > 0 {
 			s.BlamesIssued = append(s.BlamesIssued, ReasonCount{Reason: reason, Count: v})
@@ -613,6 +615,7 @@ func (c *Collector) Register(reg *Registry) {
 		"Blames issued locally, by reason.", func() []LabeledValue {
 			c.blameMu.Lock()
 			out := make([]LabeledValue, 0, len(c.blamesIssued))
+			//lint:allow ordered-map-range exposition sorts labeled series before rendering
 			for reason, ctr := range c.blamesIssued {
 				out = append(out, LabeledValue{
 					Labels: [][2]string{{"reason", reason}},

@@ -164,8 +164,11 @@ func (b *Board) Entry(target msg.NodeID) (Entry, bool) {
 // it: per-manager state must stay O(population), not grow with run length.
 func (b *Board) Len() int { return len(b.entries) }
 
-// Each calls fn for every tracked node. Iteration order is unspecified.
+// Each calls fn for every tracked node. Iteration order is unspecified:
+// callers that fold or emit must canonicalize (collect-then-sort) on their
+// side.
 func (b *Board) Each(fn func(id msg.NodeID, e Entry)) {
+	//lint:allow ordered-map-range order is the documented contract; every caller collects then sorts or reduces commutatively
 	for id, e := range b.entries {
 		fn(id, *e)
 	}

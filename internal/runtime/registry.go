@@ -74,6 +74,7 @@ func Registered() []Kind {
 	registryMu.RLock()
 	defer registryMu.RUnlock()
 	kinds := make([]Kind, 0, len(registry))
+	//lint:allow ordered-map-range collect-then-sort: kinds are sorted before return
 	for k := range registry {
 		kinds = append(kinds, k)
 	}

@@ -34,6 +34,7 @@ func (s *Timers) AfterFunc(d time.Duration, fn func()) {
 	e := &timerEntry{}
 	// The callback's first action takes the same lock, so it cannot observe
 	// e.t unassigned or its entry missing even when d is zero.
+	//lint:allow no-wallclock this type IS the wall-clock half of the backend seam; only the live/udp runtimes construct it
 	e.t = time.AfterFunc(d, func() {
 		s.mu.Lock()
 		delete(s.timers, e)
@@ -51,6 +52,7 @@ func (s *Timers) AfterFunc(d time.Duration, fn func()) {
 func (s *Timers) StopAll(onCancel func()) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	//lint:allow ordered-map-range cancellation is per-entry and commutative; no order reaches the caller
 	for e := range s.timers {
 		if e.t.Stop() {
 			delete(s.timers, e)

@@ -59,6 +59,7 @@ func (m *Multiset[T]) Entropy() float64 {
 		return 0
 	}
 	counts := make([]int, 0, len(m.counts))
+	//lint:allow ordered-map-range EntropyOfCounts sorts the counts, so the fold is permutation-invariant
 	for _, c := range m.counts {
 		counts = append(counts, c)
 	}
@@ -68,6 +69,7 @@ func (m *Multiset[T]) Entropy() float64 {
 // Each calls fn for every distinct element with its count. Iteration order
 // is unspecified.
 func (m *Multiset[T]) Each(fn func(v T, count int)) {
+	//lint:allow ordered-map-range order is the documented contract; callers must canonicalize
 	for v, c := range m.counts {
 		fn(v, c)
 	}
@@ -77,6 +79,7 @@ func (m *Multiset[T]) Each(fn func(v T, count int)) {
 // count). Order is unspecified.
 func (m *Multiset[T]) Elements() []T {
 	out := make([]T, 0, m.size)
+	//lint:allow ordered-map-range order is the documented contract; callers must canonicalize
 	for v, c := range m.counts {
 		for i := 0; i < c; i++ {
 			out = append(out, v)

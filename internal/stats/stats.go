@@ -37,9 +37,19 @@ func Entropy(probs []float64) float64 {
 
 // EntropyOfCounts returns the Shannon entropy, in bits, of the empirical
 // distribution given by integer counts.
+//
+// The result is invariant under permutation of counts: the fold runs over a
+// sorted copy, so callers that collect counts from a map (randomized
+// iteration order) get bit-identical results on every call. Float addition
+// is not associative — folding the same terms in two different orders can
+// differ in the last ulp, which is enough to break the byte-identical
+// document contract when the value reaches a table or a JSON field.
 func EntropyOfCounts(counts []int) float64 {
+	sorted := make([]int, len(counts))
+	copy(sorted, counts)
+	sort.Ints(sorted)
 	var total float64
-	for _, c := range counts {
+	for _, c := range sorted {
 		if c < 0 {
 			return math.NaN()
 		}
@@ -49,7 +59,7 @@ func EntropyOfCounts(counts []int) float64 {
 		return 0
 	}
 	var h float64
-	for _, c := range counts {
+	for _, c := range sorted {
 		if c == 0 {
 			continue
 		}

@@ -139,9 +139,11 @@ func (n *node) window(cfg Config, round int) (recv, sent map[msg.NodeID]int) {
 	sent = make(map[msg.NodeID]int)
 	for i := 0; i < cfg.Window; i++ {
 		idx := (round - i + len(n.receivedFrom)*cfg.Window) % cfg.Window
+		//lint:allow ordered-map-range commutative integer sums into a map; no order escapes
 		for p, v := range n.receivedFrom[idx] {
 			recv[p] += v
 		}
+		//lint:allow ordered-map-range commutative integer sums into a map; no order escapes
 		for p, v := range n.uploadedTo[idx] {
 			sent[p] += v
 		}
